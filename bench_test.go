@@ -1,0 +1,487 @@
+// Benchmark harness regenerating every figure and demonstration of the
+// paper plus the quantitative claims its text makes (see EXPERIMENTS.md
+// for the index and the measured results):
+//
+//	F1 — Fig. 1: wrapper interposition topology (per-wrapper call cost)
+//	F2 — Fig. 2: automated fault-injection campaign throughput
+//	F3 — Fig. 3: per-micro-generator overhead decomposition
+//	F4 — Fig. 4: application-centric scan
+//	F5 — Fig. 5: profiled application run
+//	D1 — §3.4:  heap-smash attack and its containment
+//	T1 — §1 "low overhead" claim: micro and macro overhead per wrapper
+//	T2 — robustness hardening: campaign before/after wrapping
+//	Ablation — design choices called out in DESIGN.md §5
+package healers
+
+import (
+	"fmt"
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/cmem"
+	"healers/internal/ctypes"
+	"healers/internal/cval"
+	"healers/internal/dynlink"
+	"healers/internal/gen"
+	"healers/internal/inject"
+	"healers/internal/proc"
+	"healers/internal/simelf"
+	"healers/internal/victim"
+	"healers/internal/wrappers"
+)
+
+// benchSystem builds a system with libc, the victim apps, and all three
+// canonical wrappers installed.
+func benchSystem(b *testing.B) *simelf.System {
+	b.Helper()
+	sys := simelf.NewSystem()
+	if err := victim.InstallAll(sys); err != nil {
+		b.Fatal(err)
+	}
+	libc, _ := sys.Library(clib.LibcSoname)
+	sec, _, err := wrappers.Security(libc, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.AddLibrary(sec); err != nil {
+		b.Fatal(err)
+	}
+	prof, _, err := wrappers.Profiling(libc, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.AddLibrary(prof); err != nil {
+		b.Fatal(err)
+	}
+	rob, _, err := wrappers.Robustness(libc, wrappers.StrongestAPI(benchProtos(b, libc)), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.AddLibrary(rob); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func benchProtos(b *testing.B, libc *simelf.Library) []*ctypes.Prototype {
+	b.Helper()
+	var protos []*ctypes.Prototype
+	for _, n := range libc.Symbols() {
+		if p := libc.Proto(n); p != nil {
+			protos = append(protos, p)
+		}
+	}
+	return protos
+}
+
+// callEnv builds a ready environment with a string argument for strlen
+// micro benches.
+func callEnv(b *testing.B) (*cval.Env, cval.Value) {
+	b.Helper()
+	env := cval.NewEnv()
+	a, f := env.Img.StaticString("the quick brown fox jumps over the lazy dog")
+	if f != nil {
+		b.Fatal(f)
+	}
+	return env, cval.Ptr(a)
+}
+
+// resolveIn returns the strlen entry of a link map for the stress app
+// under the given preloads.
+func resolveIn(b *testing.B, sys *simelf.System, preloads ...string) cval.CFunc {
+	b.Helper()
+	lm, err := dynlink.Load(sys, victim.StressName, preloads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, ok := lm.Resolve("strlen")
+	if !ok {
+		b.Fatal("strlen unresolved")
+	}
+	return fn
+}
+
+// BenchmarkF1_Interposition measures one intercepted strlen call as the
+// preload stack of Figure 1 deepens: direct libc, one wrapper, two
+// stacked wrappers. The paper's claim: interposition itself is cheap.
+func BenchmarkF1_Interposition(b *testing.B) {
+	sys := benchSystem(b)
+	stacks := []struct {
+		name     string
+		preloads []string
+	}{
+		{"direct", nil},
+		{"one_wrapper", []string{wrappers.ProfilingSoname}},
+		{"two_wrappers", []string{wrappers.SecuritySoname, wrappers.ProfilingSoname}},
+	}
+	for _, s := range stacks {
+		b.Run(s.name, func(b *testing.B) {
+			fn := resolveIn(b, sys, s.preloads...)
+			env, arg := callEnv(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, f := fn(env, []cval.Value{arg}); f != nil {
+					b.Fatal(f)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkF2_Campaign measures the Figure 2 pipeline: one complete
+// single-function fault-injection campaign (every probe in a fresh
+// simulated process) for a representative function.
+func BenchmarkF2_Campaign(b *testing.B) {
+	for _, fn := range []string{"strcpy", "memcpy", "abs"} {
+		b.Run(fn, func(b *testing.B) {
+			sys := simelf.NewSystem()
+			if err := sys.AddLibrary(clib.MustRegistry().AsLibrary()); err != nil {
+				b.Fatal(err)
+			}
+			c, err := inject.New(sys, clib.LibcSoname)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.RunFunction(fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkF3_MicroGenOverhead decomposes wrapper cost per
+// micro-generator, the composability claim behind Figure 3: each feature
+// costs only its own fragment.
+func BenchmarkF3_MicroGenOverhead(b *testing.B) {
+	libc := clib.MustRegistry().AsLibrary()
+	proto := libc.Proto("strlen")
+	base, _ := libc.Lookup("strlen")
+
+	micros := []struct {
+		name string
+		mk   func() gen.MicroGenerator
+	}{
+		{"caller_only", nil},
+		{"call_counter", gen.MGCallCounter},
+		{"exectime", gen.MGExectime},
+		{"collect_errors", gen.MGCollectErrors},
+		{"func_errors", gen.MGFuncErrors},
+		{"heap_check", gen.MGHeapCheck},
+		{"bound_check", gen.MGBoundCheck},
+	}
+	for _, m := range micros {
+		b.Run(m.name, func(b *testing.B) {
+			parts := []gen.MicroGenerator{gen.MGPrototype()}
+			if m.mk != nil {
+				parts = append(parts, m.mk())
+			}
+			parts = append(parts, gen.MGCaller())
+			g, err := gen.NewGenerator(parts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := gen.NewState("bench")
+			next := base
+			wrapped := g.Build(proto, &next, st)
+			env, arg := callEnv(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, f := wrapped(env, []cval.Value{arg}); f != nil {
+					b.Fatal(f)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkF4_AppScan measures the application-centric scan of Figure 4.
+func BenchmarkF4_AppScan(b *testing.B) {
+	tk := newBenchToolkit(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tk.ScanApplication(victim.RootdName); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newBenchToolkit builds a toolkit with sample apps for facade benches.
+func newBenchToolkit(b *testing.B) *Toolkit {
+	b.Helper()
+	tk, err := NewToolkit()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tk.InstallSampleApps(); err != nil {
+		b.Fatal(err)
+	}
+	return tk
+}
+
+// BenchmarkF5_ProfiledWorkload measures a full textutil run under the
+// profiling wrapper, XML log included — the Figure 5 pipeline.
+func BenchmarkF5_ProfiledWorkload(b *testing.B) {
+	tk := newBenchToolkit(b)
+	const input = "profile this line\nand this one too\n"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr, err := tk.RunProfiled(victim.TextutilName, input)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rr.Proc.Crashed() {
+			b.Fatal(rr.Proc)
+		}
+	}
+}
+
+// BenchmarkD1_AttackAndContainment measures the §3.4 demo cycle: one
+// exploited undefended run plus one contained defended run.
+func BenchmarkD1_AttackAndContainment(b *testing.B) {
+	sys := benchSystem(b)
+	attack := string(victim.ExploitPacket())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := proc.Start(sys, victim.RootdName, proc.WithStdin(attack))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := p.Run(); res.Crashed() || !p.Env().ShellSpawned {
+			b.Fatalf("undefended exploit failed: %v", res)
+		}
+		p, err = proc.Start(sys, victim.RootdName, proc.WithStdin(attack),
+			proc.WithPreloads(wrappers.SecuritySoname))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := p.Run(); !res.Crashed() || res.Fault.Kind != cmem.FaultOverflow {
+			b.Fatalf("defended exploit not contained: %v", res)
+		}
+	}
+}
+
+// BenchmarkT1_MicroOverhead is the paper's "low overhead" claim at call
+// granularity: one strlen call through each wrapper type.
+func BenchmarkT1_MicroOverhead(b *testing.B) {
+	sys := benchSystem(b)
+	configs := []struct {
+		name     string
+		preloads []string
+	}{
+		{"raw", nil},
+		{"robustness", []string{wrappers.RobustnessSoname}},
+		{"security", []string{wrappers.SecuritySoname}},
+		{"profiling", []string{wrappers.ProfilingSoname}},
+		{"all_stacked", []string{wrappers.SecuritySoname, wrappers.RobustnessSoname, wrappers.ProfilingSoname}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			fn := resolveIn(b, sys, cfg.preloads...)
+			env, arg := callEnv(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, f := fn(env, []cval.Value{arg}); f != nil {
+					b.Fatal(f)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkT1_MacroOverhead is the same claim at application granularity:
+// a complete stress run (100 iterations of mixed libc traffic) under each
+// wrapper configuration.
+func BenchmarkT1_MacroOverhead(b *testing.B) {
+	sys := benchSystem(b)
+	configs := []struct {
+		name     string
+		preloads []string
+	}{
+		{"raw", nil},
+		{"robustness", []string{wrappers.RobustnessSoname}},
+		{"security", []string{wrappers.SecuritySoname}},
+		{"profiling", []string{wrappers.ProfilingSoname}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := proc.Start(sys, victim.StressName, proc.WithPreloads(cfg.preloads...))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res := p.Run("100"); res.Crashed() || res.Status != 0 {
+					b.Fatalf("stress under %s: %v", cfg.name, res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkT2_HardeningCampaign measures the before/after robustness
+// verification on a representative function subset (the full-library
+// variant runs in the tests).
+func BenchmarkT2_HardeningCampaign(b *testing.B) {
+	subset := []string{"strcpy", "strcat", "memcpy", "strlen", "strtol"}
+	for i := 0; i < b.N; i++ {
+		tk := newBenchToolkit(b)
+		api := RobustAPI{}
+		before := 0
+		for _, fn := range subset {
+			fr, err := tk.InjectFunction(Libc, fn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			before += fr.Failures
+			params := make([]ctypes.RobustParam, len(fr.Verdicts))
+			for j, v := range fr.Verdicts {
+				params[j] = ctypes.RobustParam{Name: v.Name, Chain: v.Chain, Level: v.Level, LevelName: v.LevelName}
+			}
+			api[fn] = params
+		}
+		if _, err := tk.GenerateRobustnessWrapper(Libc, api, nil); err != nil {
+			b.Fatal(err)
+		}
+		after := 0
+		for _, fn := range subset {
+			fr, err := tk.InjectFunction(Libc, fn, inject.WithPreloads(RobustnessWrapper))
+			if err != nil {
+				b.Fatal(err)
+			}
+			after += fr.Failures
+		}
+		if before == 0 || after != 0 {
+			b.Fatalf("hardening shape violated: %d before, %d after", before, after)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(before), "failures_before")
+			b.ReportMetric(float64(after), "failures_after")
+		}
+	}
+}
+
+// BenchmarkAblation_ProbeIsolation compares the fresh-process-per-probe
+// design against reusing one process for a whole probe sweep: reuse is
+// faster but state corruption leaks between probes (DESIGN.md §5).
+func BenchmarkAblation_ProbeIsolation(b *testing.B) {
+	sys := simelf.NewSystem()
+	if err := sys.AddLibrary(clib.MustRegistry().AsLibrary()); err != nil {
+		b.Fatal(err)
+	}
+	c, err := inject.New(sys, clib.LibcSoname)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fresh_process", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.RunFunction("strcpy"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused_process", func(b *testing.B) {
+		// The unsound variant: all probes in one process image.
+		libc, _ := sys.Library(clib.LibcSoname)
+		fn, _ := libc.Lookup("strlen")
+		for i := 0; i < b.N; i++ {
+			env := cval.NewEnv()
+			a, _ := env.Img.StaticString("probe")
+			for j := 0; j < 12; j++ { // same probe count as strcpy's sweep
+				fn(env, []cval.Value{cval.Ptr(a)})
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_CanaryPlacement compares checking heap integrity on
+// every intercepted call (the shipped security wrapper) against checking
+// only on allocation-family calls: the cheap placement detects smashes
+// later (DESIGN.md §5).
+func BenchmarkAblation_CanaryPlacement(b *testing.B) {
+	configs := []struct {
+		name  string
+		funcs []string // nil = wrap everything
+	}{
+		{"every_call", nil},
+		{"heap_ops_only", []string{"malloc", "free", "realloc", "calloc"}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			sys := simelf.NewSystem()
+			if err := victim.InstallAll(sys); err != nil {
+				b.Fatal(err)
+			}
+			libc, _ := sys.Library(clib.LibcSoname)
+			sec, _, err := wrappers.Security(libc, cfg.funcs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.AddLibrary(sec); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := proc.Start(sys, victim.StressName, proc.WithPreloads(wrappers.SecuritySoname))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res := p.Run("50"); res.Crashed() || res.Status != 0 {
+					b.Fatalf("stress: %v", res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PLTCache compares cached (PLT-bound) symbol
+// resolution against walking the search order on every call.
+func BenchmarkAblation_PLTCache(b *testing.B) {
+	sys := benchSystem(b)
+	b.Run("cached", func(b *testing.B) {
+		lm, err := dynlink.Load(sys, victim.StressName, []string{wrappers.ProfilingSoname})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := lm.Resolve("strlen"); !ok {
+				b.Fatal("unresolved")
+			}
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lm, err := dynlink.Load(sys, victim.StressName, []string{wrappers.ProfilingSoname})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := lm.Resolve("strlen"); !ok {
+				b.Fatal("unresolved")
+			}
+		}
+	})
+}
+
+// BenchmarkSubstrate_HeapAllocator pins the heap allocator's own cost so
+// wrapper overheads above can be read against it.
+func BenchmarkSubstrate_HeapAllocator(b *testing.B) {
+	for _, canaries := range []bool{false, true} {
+		b.Run(fmt.Sprintf("canaries=%v", canaries), func(b *testing.B) {
+			sp := cmem.NewSpace()
+			h := cmem.NewHeap(sp, cmem.HeapBase, cmem.HeapLimit)
+			h.SetCanaries(canaries)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := h.Malloc(64)
+				if p.IsNull() {
+					b.Fatal("malloc failed")
+				}
+				if f := h.Free(p); f != nil {
+					b.Fatal(f)
+				}
+			}
+		})
+	}
+}

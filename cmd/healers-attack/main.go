@@ -1,0 +1,109 @@
+// Command healers-attack stages the §3.4 demonstration: a heap buffer
+// overflow hijacks the control flow of the root-privileged rootd daemon
+// and spawns a shell; with the security wrapper preloaded the overflow is
+// detected and the process is terminated before the hijacked jump.
+//
+// Usage:
+//
+//	healers-attack            # both phases: undefended, then defended
+//	healers-attack -defend    # only the defended run
+//	healers-attack -benign    # a well-formed request instead of the attack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"healers"
+)
+
+func main() {
+	defendOnly := flag.Bool("defend", false, "run only the defended phase")
+	benign := flag.Bool("benign", false, "send a benign request instead of the exploit")
+	flag.Parse()
+
+	if err := run(*defendOnly, *benign); err != nil {
+		fmt.Fprintln(os.Stderr, "healers-attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(defendOnly, benign bool) error {
+	tk, err := healers.NewToolkit()
+	if err != nil {
+		return err
+	}
+	if err := tk.InstallSampleApps(); err != nil {
+		return err
+	}
+	if _, err := tk.GenerateSecurityWrapper(healers.Libc, nil); err != nil {
+		return err
+	}
+
+	packet := healers.ExploitPacket()
+	label := "exploit packet (64-byte filler + chunk header + handler pointer)"
+	if benign {
+		packet = healers.BenignPacket("GET /index")
+		label = "benign request"
+	}
+	fmt.Printf("packet: %s, %d bytes\n\n", label, len(packet))
+
+	if !defendOnly {
+		fmt.Println("=== phase 1: rootd WITHOUT protection ===")
+		res, err := tk.Run(healers.Rootd, nil, string(packet))
+		if err != nil {
+			return err
+		}
+		report(res)
+	}
+
+	fmt.Println("=== phase 2: rootd with the security wrapper preloaded ===")
+	fmt.Printf("LD_PRELOAD=%s\n", healers.SecurityWrapper)
+	res, err := tk.Run(healers.Rootd, []string{healers.SecurityWrapper}, string(packet))
+	if err != nil {
+		return err
+	}
+	report(res)
+	return nil
+}
+
+func report(res healers.ProcResult) {
+	fmt.Printf("process: %s\n", res)
+	if res.Stdout != "" {
+		fmt.Printf("stdout:\n%s", indent(res.Stdout))
+	}
+	if res.Crashed() {
+		fmt.Println("-> the wrapper detected the overflow and terminated the process;")
+		fmt.Println("   no shell for the attacker.")
+	} else if contains(res.Stdout, "/bin/sh") {
+		fmt.Println("-> the attacker got a ROOT SHELL: control flow was hijacked through")
+		fmt.Println("   the overflowed heap buffer.")
+	} else {
+		fmt.Println("-> request handled normally.")
+	}
+	fmt.Println()
+}
+
+func indent(s string) string {
+	out := "  "
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += "  "
+		}
+	}
+	if len(out) >= 2 && out[len(out)-2:] == "  " {
+		out = out[:len(out)-2]
+	}
+	return out
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

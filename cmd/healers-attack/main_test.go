@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestRunAttackPhases(t *testing.T) {
+	tests := []struct {
+		name       string
+		defendOnly bool
+		benign     bool
+	}{
+		{"both phases exploit", false, false},
+		{"defend only", true, false},
+		{"benign", false, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.defendOnly, tt.benign); err != nil {
+				t.Errorf("run: %v", err)
+			}
+		})
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if indent("a\nb\n") != "  a\n  b\n" {
+		t.Errorf("indent = %q", indent("a\nb\n"))
+	}
+	if !contains("hello world", "lo wo") || contains("abc", "zz") {
+		t.Error("contains misbehaves")
+	}
+}

@@ -1,0 +1,80 @@
+// Command healers-collectd is the central collection server of §2.3:
+// wrapped applications upload their self-describing XML documents over
+// TCP; the server stores them and prints a summary of everything it has
+// received.
+//
+// Usage:
+//
+//	healers-collectd -addr 127.0.0.1:7099            # run until interrupted
+//	healers-collectd -addr 127.0.0.1:0 -max 3        # exit after 3 documents
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"healers/internal/collect"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7099", "listen address")
+	maxDocs := flag.Int("max", 0, "exit after receiving this many documents (0 = run until interrupted)")
+	flag.Parse()
+
+	if err := run(*addr, *maxDocs); err != nil {
+		fmt.Fprintln(os.Stderr, "healers-collectd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxDocs int) error {
+	srv, err := collect.Serve(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("healers-collectd listening on %s\n", srv.Addr())
+
+	interrupted := make(chan os.Signal, 1)
+	signal.Notify(interrupted, os.Interrupt)
+
+	seen := 0
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-interrupted:
+			fmt.Println("\ninterrupted")
+			return summarize(srv)
+		case <-ticker.C:
+			if n := srv.Count(); n > seen {
+				for _, d := range srv.Docs("")[seen:] {
+					fmt.Printf("received %-14s from %-21s (%d bytes)\n", d.Kind, d.From, len(d.Data))
+				}
+				seen = n
+			}
+			if maxDocs > 0 && seen >= maxDocs {
+				return summarize(srv)
+			}
+		}
+	}
+}
+
+func summarize(srv *collect.Server) error {
+	agg, err := srv.AggregateCalls()
+	if err != nil {
+		return err
+	}
+	if len(agg) == 0 {
+		fmt.Println("no profiles received")
+		return nil
+	}
+	fmt.Println("\naggregate call counts across all received profiles:")
+	for fn, calls := range agg {
+		fmt.Printf("  %-14s %d\n", fn, calls)
+	}
+	return nil
+}

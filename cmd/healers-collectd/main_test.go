@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"healers/internal/collect"
+	"healers/internal/gen"
+	"healers/internal/xmlrep"
+)
+
+func TestRunReceivesAndExits(t *testing.T) {
+	done := make(chan error, 1)
+	addr := "127.0.0.1:39917"
+	go func() { done <- run(addr, 2) }()
+
+	// Upload two profiles; run() must return after the second.
+	st := gen.NewState("libhealers_prof.so")
+	st.CallCount = append(st.CallCount, 0)
+	for i := 0; i < 2; i++ {
+		st2 := gen.NewState("libhealers_prof.so")
+		idx := st2.Index("strlen")
+		st2.CallCount[idx] = uint64(i + 1)
+		var err error
+		for try := 0; try < 100; try++ {
+			if err = collect.Upload(addr, xmlrep.NewProfileLog("h", "a", st2)); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	if err := run("256.0.0.1:bad", 1); err == nil {
+		t.Error("bad address accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Command healers-gen shows the flexible wrapper generation of §2.3: it
+// renders the C-like source of a generated wrapper for any library
+// function, composed from micro-generators — the paper's Figure 3 output.
+//
+// Usage:
+//
+//	healers-gen wctrans                       # profiling wrapper (Fig. 3)
+//	healers-gen -type security strcpy         # security wrapper source
+//	healers-gen -type robustness -derive strcpy  # derive the robust API first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"healers"
+	"healers/internal/ctypes"
+)
+
+func main() {
+	kind := flag.String("type", "profiling", "wrapper type: robustness, security, or profiling")
+	derive := flag.Bool("derive", false, "run a fault-injection campaign to derive the robust API (robustness type only)")
+	lib := flag.String("lib", healers.Libc, "library the function belongs to")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: healers-gen [-type T] [-derive] <function>")
+		os.Exit(2)
+	}
+	if err := run(*kind, *lib, flag.Arg(0), *derive); err != nil {
+		fmt.Fprintln(os.Stderr, "healers-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, lib, fn string, derive bool) error {
+	tk, err := healers.NewToolkit()
+	if err != nil {
+		return err
+	}
+	var api healers.RobustAPI
+	if kind == "robustness" {
+		if derive {
+			fr, err := tk.InjectFunction(lib, fn)
+			if err != nil {
+				return err
+			}
+			api = healers.RobustAPI{}
+			params := make([]ctypes.RobustParam, len(fr.Verdicts))
+			for i, v := range fr.Verdicts {
+				params[i] = ctypes.RobustParam{Name: v.Name, Chain: v.Chain, Level: v.Level, LevelName: v.LevelName}
+			}
+			api[fn] = params
+			fmt.Printf("/* robust API derived by fault injection: %v */\n", fr.RobustLevelNames())
+		} else {
+			scan, err := tk.ScanLibrary(lib)
+			if err != nil {
+				return err
+			}
+			proto := scan.Protos[fn]
+			if proto == nil {
+				return fmt.Errorf("no prototype for %q in %s", fn, lib)
+			}
+			api = strongest(proto)
+			fmt.Println("/* robust API assumed strongest (use -derive for the measured one) */")
+		}
+	}
+	src, err := tk.WrapperSource(kind, lib, fn, api)
+	if err != nil {
+		return err
+	}
+	fmt.Print(src)
+	return nil
+}
+
+// strongest builds a worst-case robust API for one prototype.
+func strongest(proto *ctypes.Prototype) healers.RobustAPI {
+	params := make([]ctypes.RobustParam, len(proto.Params))
+	for i, prm := range proto.Params {
+		chain := ctypes.ChainFor(prm)
+		lvl := chain.Strongest()
+		params[i] = ctypes.RobustParam{Name: prm.Name, Chain: chain.Name, Level: lvl, LevelName: chain.Levels[lvl].Name}
+	}
+	return healers.RobustAPI{proto.Name: params}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunKinds(t *testing.T) {
+	tests := []struct {
+		name   string
+		kind   string
+		fn     string
+		derive bool
+		ok     bool
+	}{
+		{"profiling wctrans", "profiling", "wctrans", false, true},
+		{"security strcpy", "security", "strcpy", false, true},
+		{"robustness strongest", "robustness", "strlen", false, true},
+		{"robustness derived", "robustness", "strlen", true, true},
+		{"unknown kind", "bogus", "strlen", false, false},
+		{"unknown func", "profiling", "nope", false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.kind, "libc.so.6", tt.fn, tt.derive)
+			if (err == nil) != tt.ok {
+				t.Errorf("run = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}

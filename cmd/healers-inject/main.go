@@ -1,0 +1,101 @@
+// Command healers-inject runs the automated fault-injection campaign of
+// §2.2 / Figure 2 against a library, prints the robustness table, and can
+// emit the derived robust API as XML or verify the hardening by re-running
+// the campaign with the generated robustness wrapper preloaded.
+//
+// Usage:
+//
+//	healers-inject                      # campaign against libc.so.6
+//	healers-inject -func strcpy         # probe a single function
+//	healers-inject -xml                 # emit the robust-API XML file
+//	healers-inject -verify              # before/after hardening table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"healers"
+	"healers/internal/xmlrep"
+)
+
+func main() {
+	lib := flag.String("lib", healers.Libc, "library to probe")
+	fn := flag.String("func", "", "probe only this function")
+	asXML := flag.Bool("xml", false, "emit the derived robust API as XML")
+	verify := flag.Bool("verify", false, "re-run the campaign with the robustness wrapper preloaded")
+	pairwise := flag.Bool("pairwise", false, "with -func: also run the pairwise (two-parameter) sweep")
+	flag.Parse()
+
+	if *pairwise && *fn == "" {
+		fmt.Fprintln(os.Stderr, "healers-inject: -pairwise requires -func")
+		os.Exit(2)
+	}
+	if err := run(*lib, *fn, *asXML, *verify, *pairwise); err != nil {
+		fmt.Fprintln(os.Stderr, "healers-inject:", err)
+		os.Exit(1)
+	}
+}
+
+func run(lib, fn string, asXML, verify, pairwise bool) error {
+	tk, err := healers.NewToolkit()
+	if err != nil {
+		return err
+	}
+
+	if fn != "" {
+		fr, err := tk.InjectFunction(lib, fn)
+		if err != nil {
+			return err
+		}
+		if pairwise {
+			cmp, err := tk.CompareInjectionModes(lib, fn)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: single-fault %d probes / %d failures; pairwise %d probes / %d failures\n",
+				fn, cmp.SingleProbes, cmp.SingleFailures, cmp.PairProbes, cmp.PairFailures)
+		}
+		fmt.Printf("%s: %d probes, %d failures\n", fr.Proto, fr.Probes, fr.Failures)
+		for _, r := range fr.Results {
+			status := r.Outcome.String()
+			if r.Fault != nil {
+				status += " (" + r.Fault.Error() + ")"
+			}
+			fmt.Printf("  param %d probe %-14s sat-level %d -> %s\n", r.Param, r.Probe, r.SatLevel, status)
+		}
+		fmt.Printf("derived robust types: %s\n", strings.Join(fr.RobustLevelNames(), ", "))
+		if fr.NeedsContainment {
+			fmt.Println("NOTE: argument checks alone cannot contain this function; the")
+			fmt.Println("robustness wrapper installs a bounded substitution or the security")
+			fmt.Println("wrapper's canaries are required.")
+		}
+		return nil
+	}
+
+	if verify {
+		h, _, err := tk.VerifyHardening(lib)
+		if err != nil {
+			return err
+		}
+		fmt.Print(healers.RenderHardening(h))
+		return nil
+	}
+
+	api, report, err := tk.DeriveRobustAPI(lib)
+	if err != nil {
+		return err
+	}
+	if asXML {
+		data, err := xmlrep.Marshal(xmlrep.NewRobustAPIDoc(lib, api))
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+	}
+	fmt.Print(healers.RenderCampaign(report))
+	return nil
+}

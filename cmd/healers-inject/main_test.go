@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunSingleFunction(t *testing.T) {
+	if err := run("libc.so.6", "strcpy", false, false, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run("libc.so.6", "strncpy", false, false, true); err != nil {
+		t.Fatalf("pairwise run: %v", err)
+	}
+	if err := run("libc.so.6", "no_such", false, false, false); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if err := run("libmissing.so", "", false, false, false); err == nil {
+		t.Error("unknown library accepted")
+	}
+}
+
+func TestRunLibmCampaignAndXML(t *testing.T) {
+	// libm is small, so the whole-library paths stay fast in tests.
+	if err := run("libm.so.6", "", false, false, false); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if err := run("libm.so.6", "", true, false, false); err != nil {
+		t.Fatalf("xml: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+// Command healers-profile runs an application under the profiling
+// wrapper (demo §3.3) and renders the collected statistics — call
+// frequencies, execution-time shares, and errno distributions — as the
+// ASCII analogue of the paper's Figure 5. The XML log can be printed or
+// shipped to a running healers-collectd.
+//
+// Usage:
+//
+//	healers-profile -app textutil -stdin "some input text"
+//	healers-profile -app stress -argv 200 -xml
+//	healers-profile -app stress -collect 127.0.0.1:7099
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"healers"
+	"healers/internal/collect"
+	"healers/internal/xmlrep"
+)
+
+func main() {
+	app := flag.String("app", healers.Textutil, "application to run")
+	stdin := flag.String("stdin", "the quick brown fox\njumps over the lazy dog\n", "standard input for the run")
+	argv := flag.String("argv", "", "single argument passed to the program")
+	asXML := flag.Bool("xml", false, "print the XML profile log instead of the report")
+	collectAddr := flag.String("collect", "", "upload the XML log to this collection server")
+	flag.Parse()
+
+	if err := run(*app, *stdin, *argv, *asXML, *collectAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "healers-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, stdin, argv string, asXML bool, collectAddr string) error {
+	tk, err := healers.NewToolkit()
+	if err != nil {
+		return err
+	}
+	if err := tk.InstallSampleApps(); err != nil {
+		return err
+	}
+	var args []string
+	if argv != "" {
+		args = append(args, argv)
+	}
+	rr, err := tk.RunProfiled(app, stdin, args...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s\n\n", app, rr.Proc)
+	if asXML {
+		data, err := xmlrep.Marshal(rr.Profile)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+	} else {
+		fmt.Print(healers.RenderProfile(rr.Profile))
+	}
+	if collectAddr != "" {
+		if err := collect.Upload(collectAddr, rr.Profile); err != nil {
+			return err
+		}
+		fmt.Printf("\nprofile uploaded to %s\n", collectAddr)
+	}
+	return nil
+}

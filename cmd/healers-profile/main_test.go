@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"healers/internal/collect"
+)
+
+func TestRunProfileModes(t *testing.T) {
+	if err := run("textutil", "words here\n", "", false, ""); err != nil {
+		t.Fatalf("report mode: %v", err)
+	}
+	if err := run("stress", "", "20", true, ""); err != nil {
+		t.Fatalf("xml mode: %v", err)
+	}
+	if err := run("nope", "", "", false, ""); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestRunProfileWithCollector(t *testing.T) {
+	srv, err := collect.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := run("textutil", "ship me\n", "", false, srv.Addr()); err != nil {
+		t.Fatalf("collect mode: %v", err)
+	}
+	if err := run("textutil", "x\n", "", false, "127.0.0.1:1"); err == nil {
+		t.Error("dead collector accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Command healers-scan is the toolkit's scanning front end (demos §3.1
+// and §3.2): it lists the libraries in the simulated system, enumerates a
+// library's functions with their prototypes, emits the XML declaration
+// file, and extracts an application's linked libraries and undefined
+// functions (Fig. 4).
+//
+// Usage:
+//
+//	healers-scan                      # list libraries and applications
+//	healers-scan -lib libc.so.6       # list a library's functions
+//	healers-scan -lib libc.so.6 -xml  # emit the XML declaration file
+//	healers-scan -app rootd           # application-centric scan (Fig. 4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"healers"
+	"healers/internal/xmlrep"
+)
+
+func main() {
+	lib := flag.String("lib", "", "scan this library")
+	app := flag.String("app", "", "scan this application")
+	asXML := flag.Bool("xml", false, "emit the XML declaration file instead of text")
+	flag.Parse()
+
+	if err := run(*lib, *app, *asXML); err != nil {
+		fmt.Fprintln(os.Stderr, "healers-scan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(lib, app string, asXML bool) error {
+	tk, err := healers.NewToolkit()
+	if err != nil {
+		return err
+	}
+	if err := tk.InstallSampleApps(); err != nil {
+		return err
+	}
+
+	switch {
+	case lib != "":
+		return scanLibrary(tk, lib, asXML)
+	case app != "":
+		scan, err := tk.ScanApplication(app)
+		if err != nil {
+			return err
+		}
+		fmt.Print(healers.RenderAppScan(scan))
+		return nil
+	default:
+		fmt.Println("libraries in the system:")
+		for _, l := range tk.ListLibraries() {
+			scan, err := tk.ScanLibrary(l)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-24s %d functions\n", l, len(scan.Functions))
+		}
+		fmt.Println("\napplications in the system:")
+		for _, a := range tk.ListApplications() {
+			fmt.Printf("  %s\n", a)
+		}
+		return nil
+	}
+}
+
+func scanLibrary(tk *healers.Toolkit, lib string, asXML bool) error {
+	scan, err := tk.ScanLibrary(lib)
+	if err != nil {
+		return err
+	}
+	if asXML {
+		data, err := xmlrep.Marshal(scan.Declarations())
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+	}
+	fmt.Printf("functions defined in %s:\n", lib)
+	for _, fn := range scan.Functions {
+		if p := scan.Protos[fn]; p != nil {
+			fmt.Printf("  %s\n", p)
+		} else {
+			fmt.Printf("  %s (no prototype)\n", fn)
+		}
+	}
+	return nil
+}

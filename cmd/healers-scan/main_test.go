@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	tests := []struct {
+		name  string
+		lib   string
+		app   string
+		asXML bool
+		ok    bool
+	}{
+		{"list all", "", "", false, true},
+		{"scan lib text", "libc.so.6", "", false, true},
+		{"scan lib xml", "libc.so.6", "", true, true},
+		{"scan libm", "libm.so.6", "", false, true},
+		{"scan app", "", "rootd", false, true},
+		{"scan calc", "", "calc", false, true},
+		{"missing lib", "nope.so", "", false, false},
+		{"missing app", "", "nope", false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.lib, tt.app, tt.asXML)
+			if (err == nil) != tt.ok {
+				t.Errorf("run(%q,%q,%v) error = %v, want ok=%v", tt.lib, tt.app, tt.asXML, err, tt.ok)
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+// Command healers-web serves the toolkit's demonstration Web interface —
+// the browser-based view the paper's §3 demos use (Figures 4 and 5 are
+// screenshots of it): browse the system's libraries and their prototypes,
+// inspect an application's link map and undefined functions, download XML
+// declaration files, and watch profiles arrive at the built-in collection
+// server.
+//
+// Usage:
+//
+//	healers-web -addr 127.0.0.1:8088 -collect 127.0.0.1:7099
+//
+// then point a browser at http://127.0.0.1:8088/ and upload profiles with
+// healers-profile -collect 127.0.0.1:7099.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"healers"
+	"healers/internal/collect"
+	"healers/internal/webui"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8088", "HTTP listen address")
+	collectAddr := flag.String("collect", "127.0.0.1:7099", "collection server listen address (empty to disable)")
+	flag.Parse()
+	if err := run(*addr, *collectAddr, true); err != nil {
+		fmt.Fprintln(os.Stderr, "healers-web:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts both servers; when wait is true it blocks until interrupted.
+func run(addr, collectAddr string, wait bool) error {
+	tk, err := healers.NewToolkit()
+	if err != nil {
+		return err
+	}
+	if err := tk.InstallSampleApps(); err != nil {
+		return err
+	}
+	var col *collect.Server
+	if collectAddr != "" {
+		col, err = collect.Serve(collectAddr)
+		if err != nil {
+			return err
+		}
+		defer col.Close()
+		fmt.Printf("collection server on %s\n", col.Addr())
+	}
+	ui := webui.New(tk, col)
+	if err := ui.Start(addr); err != nil {
+		return err
+	}
+	defer ui.Close()
+	fmt.Printf("web interface on http://%s/\n", ui.Addr())
+
+	if !wait {
+		return nil
+	}
+	interrupted := make(chan os.Signal, 1)
+	signal.Notify(interrupted, os.Interrupt)
+	<-interrupted
+	return nil
+}

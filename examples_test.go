@@ -1,0 +1,49 @@
+package healers
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example program end to end with `go run`
+// and checks for its landmark output line — the examples are documentation
+// and must stay runnable.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn the go toolchain; skipped in -short mode")
+	}
+	tests := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "strcpy call denied by wrapper"},
+		{"./examples/harden-daemon", "overflow(s) stopped"},
+		{"./examples/profile-fleet", "aggregate call counts"},
+		{"./examples/robust-api", "writable_sized"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.dir, func(t *testing.T) {
+			done := make(chan struct{})
+			cmd := exec.Command("go", "run", tt.dir)
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				t.Fatalf("%s timed out", tt.dir)
+			}
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", tt.dir, err, out)
+			}
+			if !strings.Contains(string(out), tt.want) {
+				t.Errorf("%s output missing %q:\n%s", tt.dir, tt.want, out)
+			}
+		})
+	}
+}

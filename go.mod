@@ -1,0 +1,3 @@
+module healers
+
+go 1.24

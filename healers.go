@@ -1,0 +1,106 @@
+// Package healers is a Go reproduction of the HEALERS toolkit
+// (Fetzer & Xiao, DSN 2003): enhancing the robustness and security of
+// existing applications, without source access, by interposing generated
+// fault-containment wrappers between an application and its C library.
+//
+// Because Go cannot build LD_PRELOAD shared objects, the whole substrate
+// is reproduced as a simulated C runtime: a paged address space with real
+// fault semantics, a boundary-tag heap with canaries, an 80+-function C
+// library with authentic unchecked behaviour, an ELF-like object format,
+// and a dynamic linker whose preload list is the interposition mechanism.
+// On top of that substrate the package offers the paper's workflow:
+//
+//	tk, err := healers.NewToolkit()          // a system with libc installed
+//	tk.InstallSampleApps()                    // rootd, textutil, stress
+//	scan, _ := tk.ScanLibrary("libc.so.6")    // demo 3.1
+//	api, report, _ := tk.DeriveRobustAPI("libc.so.6")   // Fig. 2
+//	tk.GenerateRobustnessWrapper("libc.so.6", api, nil) // Fig. 3
+//	res, _ := tk.Run("rootd", []string{healers.SecurityWrapper}, attack)
+//
+// See the examples directory for complete programs and EXPERIMENTS.md for
+// the reproduced figures and demos.
+package healers
+
+import (
+	"healers/internal/clib"
+	"healers/internal/core"
+	"healers/internal/ctypes"
+	"healers/internal/inject"
+	"healers/internal/proc"
+	"healers/internal/victim"
+	"healers/internal/wrappers"
+	"healers/internal/xmlrep"
+)
+
+// Toolkit is one HEALERS instance bound to one simulated system. See
+// core.Toolkit for the full method set: scanning, injection, wrapper
+// generation, profiled runs, and hardening verification.
+type Toolkit = core.Toolkit
+
+// Result types re-exported for callers of the toolkit API.
+type (
+	// LibraryScan is a library-centric scan (demo §3.1).
+	LibraryScan = core.LibraryScan
+	// AppScan is an application-centric scan (demo §3.2, Fig. 4).
+	AppScan = core.AppScan
+	// RunResult couples a process result with its collected profile.
+	RunResult = core.RunResult
+	// HardeningResult compares campaign failures before and after
+	// wrapping.
+	HardeningResult = core.HardeningResult
+	// RobustAPI is the fault-injection-derived weakest robust argument
+	// types per function.
+	RobustAPI = ctypes.RobustAPI
+	// LibReport is a whole-library fault-injection campaign report.
+	LibReport = inject.LibReport
+	// FuncReport is a single-function fault-injection report.
+	FuncReport = inject.FuncReport
+	// ProcResult describes how a simulated process ended.
+	ProcResult = proc.Result
+	// ProfileLog is the profiling wrapper's XML document (Fig. 5).
+	ProfileLog = xmlrep.ProfileLog
+)
+
+// Well-known sonames.
+const (
+	// Libc is the simulated C library every application links against.
+	Libc = clib.LibcSoname
+	// RobustnessWrapper is the generated robustness wrapper's soname.
+	RobustnessWrapper = wrappers.RobustnessSoname
+	// SecurityWrapper is the generated security wrapper's soname.
+	SecurityWrapper = wrappers.SecuritySoname
+	// ProfilingWrapper is the generated profiling wrapper's soname.
+	ProfilingWrapper = wrappers.ProfilingSoname
+)
+
+// Sample application names installed by Toolkit.InstallSampleApps.
+const (
+	// Rootd is the vulnerable root daemon of the §3.4 demo.
+	Rootd = victim.RootdName
+	// Textutil is the string-heavy text processor.
+	Textutil = victim.TextutilName
+	// Stress is the deterministic mixed libc workload.
+	Stress = victim.StressName
+)
+
+// NewToolkit creates a toolkit over a fresh simulated system with the C
+// library installed.
+func NewToolkit() (*Toolkit, error) { return core.NewToolkit() }
+
+// ExploitPacket crafts the §3.4 heap-smash packet against Rootd.
+func ExploitPacket() []byte { return victim.ExploitPacket() }
+
+// BenignPacket crafts a well-formed Rootd request.
+func BenignPacket(msg string) []byte { return victim.BenignPacket(msg) }
+
+// Report rendering, re-exported from the core package.
+var (
+	// RenderProfile renders a profile as the ASCII analogue of Fig. 5.
+	RenderProfile = core.RenderProfile
+	// RenderCampaign renders a campaign as the robustness table.
+	RenderCampaign = core.RenderCampaign
+	// RenderHardening renders the before/after hardening comparison.
+	RenderHardening = core.RenderHardening
+	// RenderAppScan renders the Fig. 4 application view.
+	RenderAppScan = core.RenderAppScan
+)

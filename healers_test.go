@@ -1,0 +1,73 @@
+package healers
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIPipeline drives the exported API exactly as the README's
+// quickstart describes it.
+func TestPublicAPIPipeline(t *testing.T) {
+	tk, err := NewToolkit()
+	if err != nil {
+		t.Fatalf("NewToolkit: %v", err)
+	}
+	if err := tk.InstallSampleApps(); err != nil {
+		t.Fatalf("InstallSampleApps: %v", err)
+	}
+
+	scan, err := tk.ScanLibrary(Libc)
+	if err != nil {
+		t.Fatalf("ScanLibrary: %v", err)
+	}
+	if len(scan.Functions) < 60 {
+		t.Errorf("libc exports %d functions", len(scan.Functions))
+	}
+
+	appScan, err := tk.ScanApplication(Rootd)
+	if err != nil {
+		t.Fatalf("ScanApplication: %v", err)
+	}
+	if !strings.Contains(RenderAppScan(appScan), "memcpy") {
+		t.Error("app scan missing memcpy")
+	}
+
+	if _, err := tk.GenerateSecurityWrapper(Libc, nil); err != nil {
+		t.Fatalf("GenerateSecurityWrapper: %v", err)
+	}
+
+	res, err := tk.Run(Rootd, nil, string(ExploitPacket()))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Crashed() {
+		t.Fatalf("undefended exploit crashed: %v", res)
+	}
+	res, err = tk.Run(Rootd, []string{SecurityWrapper}, string(ExploitPacket()))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Crashed() {
+		t.Fatal("security wrapper did not stop the exploit")
+	}
+
+	rr, err := tk.RunProfiled(Textutil, "public api words\n")
+	if err != nil {
+		t.Fatalf("RunProfiled: %v", err)
+	}
+	if rr.Profile.TotalCalls() == 0 {
+		t.Error("empty profile")
+	}
+	if !strings.Contains(RenderProfile(rr.Profile), "call frequency") {
+		t.Error("profile report malformed")
+	}
+}
+
+func TestPacketHelpers(t *testing.T) {
+	if len(ExploitPacket()) <= 64 {
+		t.Error("exploit packet too short to overflow")
+	}
+	if got := BenignPacket("hi"); string(got) != "hi\x00" {
+		t.Errorf("BenignPacket = %q", got)
+	}
+}

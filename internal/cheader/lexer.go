@@ -1,0 +1,124 @@
+// Package cheader parses the C prototype declarations that drive the
+// HEALERS pipeline (Fig. 2: "parses the header files and manual pages from
+// C libraries to generate the prototype information for all global
+// functions").
+//
+// The accepted grammar is the practical subset that C library headers use
+// for function declarations:
+//
+//	char *strcpy(char *dest, const char *src);  /* @dest out_buf src=src nul  @src in_str */
+//	void *memcpy(void *dest, const void *src, size_t n); /* @dest out_buf len=n @src in_buf len=n @n size of=dest */
+//	void qsort(void *base, size_t nmemb, size_t size, int (*compar)(const void *, const void *));
+//	int printf(const char *format, ...); /* @format fmt */
+//
+// Trailing comments may carry HEALERS role annotations — the machine
+// version of the man-page knowledge the paper's toolkit extracted: which
+// parameter is an output buffer, which size bounds which buffer, which
+// string's length determines the required capacity. Declarations without
+// annotations get conservative defaults inferred from const-ness.
+package cheader
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokStar
+	tokLParen
+	tokRParen
+	tokComma
+	tokSemi
+	tokEllipsis
+	tokLBracket
+	tokRBracket
+	tokNumber
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "<eof>"
+	}
+	return t.text
+}
+
+// lexer tokenizes one declaration's text (comments already stripped).
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '*':
+			l.emit(tokStar, "*")
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == ';':
+			l.emit(tokSemi, ";")
+		case c == '[':
+			l.emit(tokLBracket, "[")
+		case c == ']':
+			l.emit(tokRBracket, "]")
+		case c == '.':
+			if strings.HasPrefix(l.src[l.pos:], "...") {
+				l.toks = append(l.toks, token{tokEllipsis, "...", l.pos})
+				l.pos += 3
+			} else {
+				return nil, fmt.Errorf("cheader: stray '.' at offset %d in %q", l.pos, src)
+			}
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == 'x' ||
+				('a' <= l.src[l.pos] && l.src[l.pos] <= 'f') || ('A' <= l.src[l.pos] && l.src[l.pos] <= 'F')) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		default:
+			return nil, fmt.Errorf("cheader: unexpected character %q at offset %d in %q", c, l.pos, src)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{k, text, l.pos})
+	l.pos += len(text)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}

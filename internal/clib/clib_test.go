@@ -1,0 +1,109 @@
+package clib
+
+import (
+	"testing"
+
+	"healers/internal/cmem"
+	"healers/internal/cval"
+)
+
+// testCtx bundles a fresh env and registry for one test.
+type testCtx struct {
+	t   *testing.T
+	env *cval.Env
+	reg *Registry
+}
+
+func newCtx(t *testing.T) *testCtx {
+	t.Helper()
+	return &testCtx{t: t, env: cval.NewEnv(), reg: MustRegistry()}
+}
+
+// call invokes a libc function by name, failing the test on a fault.
+func (c *testCtx) call(name string, args ...cval.Value) cval.Value {
+	c.t.Helper()
+	v, f := c.tryCall(name, args...)
+	if f != nil {
+		c.t.Fatalf("%s faulted: %v", name, f)
+	}
+	return v
+}
+
+// tryCall invokes a libc function and returns any fault.
+func (c *testCtx) tryCall(name string, args ...cval.Value) (cval.Value, *cmem.Fault) {
+	c.t.Helper()
+	b, ok := c.reg.Lookup(name)
+	if !ok {
+		c.t.Fatalf("no such function %s", name)
+	}
+	return b.Fn(c.env, args)
+}
+
+// str places a static string and returns its address value.
+func (c *testCtx) str(s string) cval.Value {
+	c.t.Helper()
+	a, f := c.env.Img.StaticString(s)
+	if f != nil {
+		c.t.Fatalf("StaticString: %v", f)
+	}
+	return cval.Ptr(a)
+}
+
+// buf allocates a zeroed static buffer.
+func (c *testCtx) buf(n uint32) cval.Value {
+	c.t.Helper()
+	a, f := c.env.Img.StaticAlloc(n)
+	if f != nil {
+		c.t.Fatalf("StaticAlloc: %v", f)
+	}
+	for i := uint32(0); i < n; i++ {
+		if f := c.env.Img.Space.WriteByteAt(a+cmem.Addr(i), 0); f != nil {
+			c.t.Fatalf("zero: %v", f)
+		}
+	}
+	return cval.Ptr(a)
+}
+
+// readStr reads a C string back.
+func (c *testCtx) readStr(v cval.Value) string {
+	c.t.Helper()
+	s, f := c.env.Img.CString(v.Addr())
+	if f != nil {
+		c.t.Fatalf("CString(%s): %v", v, f)
+	}
+	return s
+}
+
+func TestRegistryConsistency(t *testing.T) {
+	reg, err := NewRegistry()
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	if reg.Len() < 60 {
+		t.Errorf("registry has only %d functions; the simulated libc should be substantial", reg.Len())
+	}
+	for _, name := range reg.Names() {
+		b, ok := reg.Lookup(name)
+		if !ok || b.Fn == nil || b.Proto == nil {
+			t.Errorf("%s: incomplete builtin", name)
+		}
+		if b.Proto.Name != name {
+			t.Errorf("%s: prototype name %q mismatched", name, b.Proto.Name)
+		}
+	}
+	if reg.Proto("strcpy") == nil {
+		t.Error("Proto(strcpy) = nil")
+	}
+	if p := reg.Proto("nonexistent"); p != nil {
+		t.Errorf("Proto(nonexistent) = %v", p)
+	}
+	// The annotations from the headers must have landed.
+	strcpy := reg.Proto("strcpy")
+	if strcpy.Params[0].SrcStr != 1 || !strcpy.Params[0].NulTerm {
+		t.Errorf("strcpy dest annotations missing: %+v", strcpy.Params[0])
+	}
+	printf := reg.Proto("printf")
+	if !printf.Variadic {
+		t.Error("printf not variadic")
+	}
+}

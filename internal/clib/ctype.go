@@ -1,0 +1,107 @@
+package clib
+
+import (
+	"healers/internal/cmem"
+	"healers/internal/cval"
+)
+
+// The ctype.h family. C's classification macros index a table with the
+// *int* argument; passing values outside unsigned char / EOF is undefined
+// behaviour, which glibc's table layout turns into out-of-bounds reads.
+// The simulated versions return 0 for out-of-range inputs (a benign
+// resolution) — the injector still exercises them to show the scalar
+// chain needs no strengthening.
+
+func init() {
+	registerImpl("isalpha", classify(func(c byte) bool {
+		return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+	}))
+	registerImpl("isdigit", classify(func(c byte) bool { return c >= '0' && c <= '9' }))
+	registerImpl("isalnum", classify(func(c byte) bool {
+		return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+	}))
+	registerImpl("isspace", classify(func(c byte) bool {
+		return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+	}))
+	registerImpl("isupper", classify(func(c byte) bool { return c >= 'A' && c <= 'Z' }))
+	registerImpl("islower", classify(func(c byte) bool { return c >= 'a' && c <= 'z' }))
+	registerImpl("ispunct", classify(func(c byte) bool {
+		return c >= 0x21 && c <= 0x7e && !((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+	}))
+	registerImpl("isprint", classify(func(c byte) bool { return c >= 0x20 && c < 0x7f }))
+	registerImpl("iscntrl", classify(func(c byte) bool { return c < 0x20 || c == 0x7f }))
+	registerImpl("isxdigit", classify(func(c byte) bool {
+		return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	}))
+	registerImpl("toupper", cToupper)
+	registerImpl("tolower", cTolower)
+	registerImpl("wctrans", cWctrans)
+	registerImpl("towctrans", cTowctrans)
+}
+
+// classify adapts a byte predicate to the C int->int convention.
+func classify(pred func(byte) bool) cval.CFunc {
+	return func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		c := arg(args, 0).Int32()
+		if c < 0 || c > 255 {
+			return cval.Int(0), nil
+		}
+		return cval.Bool(pred(byte(c))), nil
+	}
+}
+
+func cToupper(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	c := arg(args, 0).Int32()
+	if c >= 'a' && c <= 'z' {
+		c -= 32
+	}
+	return cval.Int(int64(c)), nil
+}
+
+func cTolower(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	c := arg(args, 0).Int32()
+	if c >= 'A' && c <= 'Z' {
+		c += 32
+	}
+	return cval.Int(int64(c)), nil
+}
+
+// wctrans descriptors, as returned by wctrans(3) and consumed by
+// towctrans. Zero means "unknown mapping".
+const (
+	wctransToLower = 1
+	wctransToUpper = 2
+)
+
+// cWctrans is the function the paper's Figure 3 wraps. It reads the
+// mapping name from the (possibly invalid) pointer — the authentic hazard.
+func cWctrans(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	name, f := env.Img.Space.ReadCString(arg(args, 0).Addr(), 1<<12)
+	if f != nil {
+		return 0, f
+	}
+	switch name {
+	case "tolower":
+		return cval.Int(wctransToLower), nil
+	case "toupper":
+		return cval.Int(wctransToUpper), nil
+	default:
+		env.Errno = cval.EINVAL
+		return cval.Int(0), nil
+	}
+}
+
+func cTowctrans(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	wc := arg(args, 0).Int32()
+	switch arg(args, 1).Int32() {
+	case wctransToLower:
+		if wc >= 'A' && wc <= 'Z' {
+			wc += 32
+		}
+	case wctransToUpper:
+		if wc >= 'a' && wc <= 'z' {
+			wc -= 32
+		}
+	}
+	return cval.Int(int64(wc)), nil
+}

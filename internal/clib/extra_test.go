@@ -1,0 +1,176 @@
+package clib
+
+import (
+	"strings"
+	"testing"
+
+	"healers/internal/cmem"
+	"healers/internal/cval"
+)
+
+func TestStrcasecmp(t *testing.T) {
+	c := newCtx(t)
+	tests := []struct {
+		a, b string
+		sign int
+	}{
+		{"Hello", "hello", 0},
+		{"ABC", "abd", -1},
+		{"abd", "ABC", 1},
+		{"", "", 0},
+		{"Ab", "abc", -1},
+	}
+	for _, tt := range tests {
+		got := c.call("strcasecmp", c.str(tt.a), c.str(tt.b)).Int32()
+		if sign32(got) != tt.sign {
+			t.Errorf("strcasecmp(%q,%q) = %d, want sign %d", tt.a, tt.b, got, tt.sign)
+		}
+	}
+	if got := c.call("strncasecmp", c.str("HELLOx"), c.str("helloy"), cval.Uint(5)).Int32(); got != 0 {
+		t.Errorf("strncasecmp = %d", got)
+	}
+	if got := c.call("strcoll", c.str("a"), c.str("b")).Int32(); sign32(got) != -1 {
+		t.Errorf("strcoll = %d", got)
+	}
+}
+
+func TestStpcpy(t *testing.T) {
+	c := newCtx(t)
+	dst := c.buf(32)
+	end := c.call("stpcpy", dst, c.str("abc"))
+	if end.Addr() != dst.Addr()+3 {
+		t.Errorf("stpcpy returned %s, want dst+3", end.Addr())
+	}
+	if got := c.readStr(dst); got != "abc" {
+		t.Errorf("dst = %q", got)
+	}
+}
+
+func TestStrnlen(t *testing.T) {
+	c := newCtx(t)
+	s := c.str("hello")
+	if got := c.call("strnlen", s, cval.Uint(10)).Uint32(); got != 5 {
+		t.Errorf("strnlen long = %d", got)
+	}
+	if got := c.call("strnlen", s, cval.Uint(3)).Uint32(); got != 3 {
+		t.Errorf("strnlen capped = %d", got)
+	}
+	// Bounded: never reads past maxlen, so an unterminated buffer with a
+	// tight bound does not fault — the safety property that made the n
+	// variants popular.
+	un := cmem.Addr(0x00900000)
+	if f := c.env.Img.Space.Map(un, cmem.PageSize, cmem.ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	for i := cmem.Addr(0); i < cmem.PageSize; i++ {
+		c.env.Img.Space.WriteByteAt(un+i, 'x')
+	}
+	if got := c.call("strnlen", cval.Ptr(un+cmem.PageSize-8), cval.Uint(8)).Uint32(); got != 8 {
+		t.Errorf("strnlen at cliff = %d", got)
+	}
+}
+
+func TestMemccpy(t *testing.T) {
+	c := newCtx(t)
+	dst := c.buf(32)
+	ret := c.call("memccpy", dst, c.str("ab;cd"), cval.Int(';'), cval.Uint(5))
+	if ret.Addr() != dst.Addr()+3 {
+		t.Errorf("memccpy returned %s, want dst+3", ret.Addr())
+	}
+	got := make([]byte, 3)
+	c.env.Img.Space.Read(dst.Addr(), got)
+	if string(got) != "ab;" {
+		t.Errorf("copied = %q", got)
+	}
+	if ret := c.call("memccpy", dst, c.str("abcd"), cval.Int('z'), cval.Uint(4)); !ret.IsNull() {
+		t.Error("memccpy without match should return NULL")
+	}
+}
+
+func TestToascii(t *testing.T) {
+	c := newCtx(t)
+	if got := c.call("toascii", cval.Int(0x1c1)).Int32(); got != 0x41 {
+		t.Errorf("toascii = %#x", got)
+	}
+}
+
+func TestPutenv(t *testing.T) {
+	c := newCtx(t)
+	c.call("putenv", c.str("LANG=C"))
+	v := c.call("getenv", c.str("LANG"))
+	if c.readStr(v) != "C" {
+		t.Errorf("LANG = %q", c.readStr(v))
+	}
+	// No '=' removes.
+	c.call("putenv", c.str("LANG"))
+	if got := c.call("getenv", c.str("LANG")); !got.IsNull() {
+		t.Error("putenv without '=' did not unset")
+	}
+}
+
+func TestTimeAndClock(t *testing.T) {
+	c := newCtx(t)
+	t1 := c.call("time", cval.Ptr(0)).Uint32()
+	tloc := c.buf(8)
+	t2 := c.call("time", tloc).Uint32()
+	if t2 <= t1 {
+		t.Errorf("time not monotone: %d then %d", t1, t2)
+	}
+	stored, _ := c.env.Img.Space.ReadU32(tloc.Addr())
+	if stored != t2 {
+		t.Errorf("*tloc = %d, want %d", stored, t2)
+	}
+	// time with a wild tloc faults — the ptr_out hazard.
+	if _, f := c.tryCall("time", cval.Ptr(0xdeadbee0)); f == nil {
+		t.Error("time(wild) did not fault")
+	}
+	c1 := c.call("clock").Uint32()
+	c2 := c.call("clock").Uint32()
+	if c2 <= c1 {
+		t.Errorf("clock not monotone: %d then %d", c1, c2)
+	}
+}
+
+func TestSleepAdvancesVirtualClock(t *testing.T) {
+	c := newCtx(t)
+	before := c.call("time", cval.Ptr(0)).Uint32()
+	c.call("sleep", cval.Uint(10))
+	after := c.call("time", cval.Ptr(0)).Uint32()
+	if after < before+10000 {
+		t.Errorf("sleep(10) advanced clock by %d", after-before)
+	}
+	c.call("usleep", cval.Uint(100))
+}
+
+func TestIdentityCalls(t *testing.T) {
+	c := newCtx(t)
+	if got := c.call("getppid").Int32(); got != 1 {
+		t.Errorf("getppid = %d", got)
+	}
+	if got := c.call("geteuid").Int32(); got != 1000 {
+		t.Errorf("geteuid = %d", got)
+	}
+	if got := c.call("isatty", cval.Int(1)).Int32(); got != 1 {
+		t.Errorf("isatty(1) = %d", got)
+	}
+	c.env.PutFile("f", nil)
+	fd := c.call("open", c.str("f"), cval.Int(0)).Int32()
+	if got := c.call("isatty", cval.Int(int64(fd))).Int32(); got != 0 {
+		t.Errorf("isatty(file) = %d", got)
+	}
+}
+
+func TestPerror(t *testing.T) {
+	c := newCtx(t)
+	c.env.Errno = cval.ENOENT
+	c.call("perror", c.str("open failed"))
+	if got := c.env.Stderr.String(); got != "open failed: ENOENT\n" {
+		t.Errorf("stderr = %q", got)
+	}
+	c.env.Stderr.Reset()
+	c.env.Errno = 0
+	c.call("perror", c.str(""))
+	if !strings.HasSuffix(c.env.Stderr.String(), "0\n") {
+		t.Errorf("stderr = %q", c.env.Stderr.String())
+	}
+}

@@ -1,0 +1,129 @@
+// Package clib implements the simulated C library that HEALERS hardens:
+// the string.h / stdlib.h / ctype.h / stdio.h / unistd.h / wctype.h
+// function families, written with authentic *unchecked* C semantics over
+// the cmem substrate. strcpy really does walk off the end of an
+// unterminated source; sprintf really does smash a too-small destination;
+// free really does abort on a wild pointer. The fault injector needs this
+// honesty — a defensive implementation would have nothing to discover.
+//
+// Prototypes are not hand-assembled: they are parsed from the embedded
+// header texts below by internal/cheader, the same path the paper's
+// toolkit takes ("parses the header files and manual pages from C
+// libraries", §2.2, Fig. 2). The annotations carry the man-page knowledge
+// (which parameter is a buffer, which size bounds it).
+package clib
+
+// Headers returns the simulated header files: name -> full text.
+func Headers() map[string]string {
+	return map[string]string{
+		"string.h": stringH,
+		"stdlib.h": stdlibH,
+		"ctype.h":  ctypeH,
+		"stdio.h":  stdioH,
+		"unistd.h": unistdH,
+		"wctype.h": wctypeH,
+		"extra.h":  extraH,
+	}
+}
+
+const stringH = `
+/* string.h — simulated C library, string and memory functions */
+size_t strlen(const char *s); /* @s in_str */
+char *strcpy(char *dest, const char *src); /* @dest out_buf src=src nul @src in_str */
+char *strncpy(char *dest, const char *src, size_t n); /* @dest out_buf len=n @src in_str @n size of=dest */
+char *strcat(char *dest, const char *src); /* @dest inout_buf src=src nul @src in_str */
+char *strncat(char *dest, const char *src, size_t n); /* @dest inout_buf src=src nul @src in_str @n size */
+int strcmp(const char *s1, const char *s2); /* @s1 in_str @s2 in_str */
+int strncmp(const char *s1, const char *s2, size_t n); /* @s1 in_str @s2 in_str @n size */
+char *strchr(const char *s, int c); /* @s in_str */
+char *strrchr(const char *s, int c); /* @s in_str */
+char *strstr(const char *haystack, const char *needle); /* @haystack in_str @needle in_str */
+char *strdup(const char *s); /* @s in_str */
+char *strndup(const char *s, size_t n); /* @s in_str @n size */
+size_t strspn(const char *s, const char *accept); /* @s in_str @accept in_str */
+size_t strcspn(const char *s, const char *reject); /* @s in_str @reject in_str */
+char *strpbrk(const char *s, const char *accept); /* @s in_str @accept in_str */
+char *strtok(char *s, const char *delim); /* @s inout_buf @delim in_str */
+char *strerror(int errnum);
+void *memcpy(void *dest, const void *src, size_t n); /* @dest out_buf len=n @src in_buf len=n @n size of=dest */
+void *memmove(void *dest, const void *src, size_t n); /* @dest out_buf len=n overlap_ok @src in_buf len=n @n size of=dest */
+void *memset(void *s, int c, size_t n); /* @s out_buf len=n @n size of=s */
+int memcmp(const void *s1, const void *s2, size_t n); /* @s1 in_buf len=n @s2 in_buf len=n @n size of=s1 */
+void *memchr(const void *s, int c, size_t n); /* @s in_buf len=n @n size of=s */
+void *memfrob(void *s, size_t n); /* @s out_buf len=n @n size of=s */
+`
+
+const stdlibH = `
+/* stdlib.h — simulated C library, memory, conversion, process control */
+void *malloc(size_t size); /* @size size */
+void *calloc(size_t nmemb, size_t size); /* @nmemb size @size size */
+void *realloc(void *ptr, size_t size); /* @ptr heap_ptr @size size */
+void free(void *ptr); /* @ptr heap_ptr */
+int atoi(const char *nptr); /* @nptr in_str */
+long atol(const char *nptr); /* @nptr in_str */
+long long atoll(const char *nptr); /* @nptr in_str */
+double atof(const char *nptr); /* @nptr in_str */
+long strtol(const char *nptr, char **endptr, int base); /* @nptr in_str @endptr ptr_out */
+unsigned long strtoul(const char *nptr, char **endptr, int base); /* @nptr in_str @endptr ptr_out */
+int abs(int j);
+long labs(long j);
+long long llabs(long long j);
+int rand(void);
+void srand(unsigned int seed);
+void qsort(void *base, size_t nmemb, size_t size, int (*compar)(const void *, const void *)); /* @base out_buf @nmemb size of=base @size size of=base */
+void *bsearch(const void *key, const void *base, size_t nmemb, size_t size, int (*compar)(const void *, const void *)); /* @key in_buf @base in_buf @nmemb size of=base @size size of=base */
+void exit(int status);
+void abort(void);
+char *getenv(const char *name); /* @name in_str */
+int setenv(const char *name, const char *value, int overwrite); /* @name in_str @value in_str */
+int unsetenv(const char *name); /* @name in_str */
+int atexit(void (*function)(void));
+int system(const char *command); /* @command in_str */
+`
+
+const ctypeH = `
+/* ctype.h — simulated C library, character classification */
+int isalpha(int c);
+int isdigit(int c);
+int isalnum(int c);
+int isspace(int c);
+int isupper(int c);
+int islower(int c);
+int ispunct(int c);
+int isprint(int c);
+int iscntrl(int c);
+int isxdigit(int c);
+int toupper(int c);
+int tolower(int c);
+`
+
+const stdioH = `
+/* stdio.h — simulated C library, formatted and stream I/O */
+int puts(const char *s); /* @s in_str */
+int putchar(int c);
+int printf(const char *format, ...); /* @format fmt */
+int fprintf(int stream, const char *format, ...); /* @stream fd @format fmt */
+int sprintf(char *str, const char *format, ...); /* @str out_buf @format fmt */
+int snprintf(char *str, size_t size, const char *format, ...); /* @str out_buf len=size @size size of=str @format fmt */
+int sscanf(const char *str, const char *format, ...); /* @str in_str @format fmt */
+char *gets(char *s); /* @s out_buf */
+char *fgets_fd(char *s, int size, int fd); /* @s out_buf len=size @size size of=s @fd fd */
+int remove(const char *pathname); /* @pathname in_str */
+int rename(const char *oldpath, const char *newpath); /* @oldpath in_str @newpath in_str */
+`
+
+const unistdH = `
+/* unistd.h — simulated POSIX I/O */
+int open(const char *pathname, int flags); /* @pathname in_str */
+ssize_t read(int fd, void *buf, size_t count); /* @fd fd @buf out_buf len=count @count size of=buf */
+ssize_t write(int fd, const void *buf, size_t count); /* @fd fd @buf in_buf len=count @count size of=buf */
+int close(int fd); /* @fd fd */
+int getpid(void);
+int getuid(void);
+`
+
+const wctypeH = `
+/* wctype.h — simulated C library, wide-character mapping */
+wctrans_t wctrans(const char *name); /* @name in_str */
+wint_t towctrans(wint_t wc, wctrans_t desc);
+`

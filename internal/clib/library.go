@@ -1,0 +1,17 @@
+package clib
+
+import "healers/internal/simelf"
+
+// LibcSoname is the soname of the simulated C library.
+const LibcSoname = "libc.so.6"
+
+// AsLibrary packages the registry as the installable shared object
+// "libc.so.6", prototypes included — the bottom of every link map.
+func (r *Registry) AsLibrary() *simelf.Library {
+	lib := simelf.NewLibrary(LibcSoname)
+	for _, name := range r.Names() {
+		b := r.byName[name]
+		lib.ExportWithProto(b.Proto, b.Fn)
+	}
+	return lib
+}

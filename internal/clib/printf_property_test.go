@@ -1,0 +1,79 @@
+package clib
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"healers/internal/cval"
+)
+
+// Property: the simulated printf agrees with Go's fmt for the shared
+// integer verb subset on arbitrary values.
+func TestPropertyPrintfMatchesGoFmt(t *testing.T) {
+	prop := func(d int32, u uint32, x uint32, c byte) bool {
+		// C's %c writes the raw byte; Go's %c UTF-8-encodes the rune.
+		// They agree exactly on ASCII, so compare there.
+		c = c%0x7e + 1
+		ctx := newCtx(t)
+		fmtStr := ctx.str("%d|%u|%x|%X|%o|%c|%%")
+		ctx.call("printf", fmtStr,
+			cval.Int(int64(d)), cval.Uint(uint64(u)), cval.Uint(uint64(x)),
+			cval.Uint(uint64(x)), cval.Uint(uint64(u)), cval.Int(int64(c)))
+		want := fmt.Sprintf("%d|%d|%x|%X|%o|%c|%%", d, u, x, x, u, rune(c))
+		got := ctx.env.Stdout.String()
+		if got != want {
+			t.Logf("printf = %q, fmt = %q (d=%d u=%d x=%#x c=%q)", got, want, d, u, x, c)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: widths and zero padding agree with Go's fmt for %d.
+func TestPropertyPrintfWidths(t *testing.T) {
+	prop := func(d int32, w uint8) bool {
+		width := int(w%12) + 1
+		ctx := newCtx(t)
+		fmtStr := ctx.str(fmt.Sprintf("[%%%dd][%%0%dd][%%-%dd]", width, width, width))
+		ctx.call("printf", fmtStr, cval.Int(int64(d)), cval.Int(int64(d)), cval.Int(int64(d)))
+		want := fmt.Sprintf(fmt.Sprintf("[%%%dd][%%0%dd][%%-%dd]", width, width, width), d, d, d)
+		got := ctx.env.Stdout.String()
+		if got != want {
+			t.Logf("printf = %q, fmt = %q (d=%d width=%d)", got, want, d, width)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snprintf truncation never loses agreement with the full
+// output's prefix and always NUL-terminates.
+func TestPropertySnprintfTruncation(t *testing.T) {
+	prop := func(d int32, size uint8) bool {
+		n := uint32(size%20) + 1
+		ctx := newCtx(t)
+		fmtStr := ctx.str("value=%d!")
+		dst := ctx.buf(64)
+		ret := ctx.call("snprintf", dst, cval.Uint(uint64(n)), fmtStr, cval.Int(int64(d)))
+		full := fmt.Sprintf("value=%d!", d)
+		if ret.Int32() != int32(len(full)) {
+			return false
+		}
+		got := ctx.readStr(dst)
+		wantLen := int(n) - 1
+		if wantLen > len(full) {
+			wantLen = len(full)
+		}
+		return got == full[:wantLen]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package clib
+
+import (
+	"fmt"
+	"sort"
+
+	"healers/internal/cheader"
+	"healers/internal/ctypes"
+	"healers/internal/cval"
+)
+
+// Builtin couples a prototype (parsed from the headers) with its
+// implementation.
+type Builtin struct {
+	Proto *ctypes.Prototype
+	Fn    cval.CFunc
+}
+
+// Registry is the simulated libc's symbol table: every implemented
+// function with its parsed prototype. Construct with NewRegistry.
+type Registry struct {
+	byName map[string]Builtin
+	names  []string
+}
+
+// impls maps function names to implementations. Populated across the
+// per-header implementation files via registerImpl in their init order.
+var impls = map[string]cval.CFunc{}
+
+// registerImpl records an implementation; called from per-file init
+// functions. Duplicate registration is a programming error caught at
+// startup.
+func registerImpl(name string, fn cval.CFunc) {
+	if _, dup := impls[name]; dup {
+		panic(fmt.Sprintf("clib: duplicate implementation of %s", name))
+	}
+	impls[name] = fn
+}
+
+// NewRegistry parses the embedded headers and binds every prototype to
+// its implementation. A prototype without an implementation, an
+// implementation without a prototype, or an unparseable header is an
+// error: the library must be internally consistent before anything is
+// built on it.
+func NewRegistry() (*Registry, error) {
+	r := &Registry{byName: make(map[string]Builtin)}
+	hdrNames := make([]string, 0, len(Headers()))
+	for name := range Headers() {
+		hdrNames = append(hdrNames, name)
+	}
+	sort.Strings(hdrNames)
+	for _, hdr := range hdrNames {
+		protos, errs := cheader.ParseHeader(hdr, Headers()[hdr])
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("clib: parsing %s: %v", hdr, errs[0])
+		}
+		for _, p := range protos {
+			fn, ok := impls[p.Name]
+			if !ok {
+				return nil, fmt.Errorf("clib: %s declared in %s but not implemented", p.Name, hdr)
+			}
+			if _, dup := r.byName[p.Name]; dup {
+				return nil, fmt.Errorf("clib: %s declared twice", p.Name)
+			}
+			r.byName[p.Name] = Builtin{Proto: p, Fn: fn}
+			r.names = append(r.names, p.Name)
+		}
+	}
+	for name := range impls {
+		if _, ok := r.byName[name]; !ok {
+			return nil, fmt.Errorf("clib: %s implemented but not declared in any header", name)
+		}
+	}
+	sort.Strings(r.names)
+	return r, nil
+}
+
+// MustRegistry is NewRegistry for callers where an inconsistent library
+// is unrecoverable (tests, examples, tool main functions).
+func MustRegistry() *Registry {
+	r, err := NewRegistry()
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Lookup returns the builtin for name.
+func (r *Registry) Lookup(name string) (Builtin, bool) {
+	b, ok := r.byName[name]
+	return b, ok
+}
+
+// Proto returns the prototype for name, or nil.
+func (r *Registry) Proto(name string) *ctypes.Prototype {
+	return r.byName[name].Proto
+}
+
+// Names returns all function names, sorted.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.names...)
+}
+
+// Len returns the number of functions.
+func (r *Registry) Len() int { return len(r.names) }
+
+// arg fetches argument i, or zero if the caller passed too few — a real C
+// callee would read whatever garbage is in the register; zero is the
+// deterministic stand-in.
+func arg(args []cval.Value, i int) cval.Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return 0
+}

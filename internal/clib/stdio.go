@@ -1,0 +1,679 @@
+package clib
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"healers/internal/cmem"
+	"healers/internal/cval"
+)
+
+// The stdio.h family, including the printf engine. sprintf writes through
+// its destination with *no bound* — the canonical heap/stack smashing
+// vector the security wrapper exists to stop — and %n writes back through
+// a pointer argument, the format-string attack the fmt chain rejects.
+
+func init() {
+	registerImpl("puts", cPuts)
+	registerImpl("putchar", cPutchar)
+	registerImpl("printf", cPrintf)
+	registerImpl("fprintf", cFprintf)
+	registerImpl("sprintf", cSprintf)
+	registerImpl("snprintf", cSnprintf)
+	registerImpl("sscanf", cSscanf)
+	registerImpl("gets", cGets)
+	registerImpl("fgets_fd", cFgetsFd)
+	registerImpl("remove", cRemove)
+	registerImpl("rename", cRename)
+}
+
+// emitFunc receives formatted output one byte at a time.
+type emitFunc func(b byte) *cmem.Fault
+
+// formatInto interprets the format string at fmtAddr against varargs,
+// emitting bytes through emit. Returns the number of bytes produced
+// (before any truncation applied by the emitter).
+func formatInto(env *cval.Env, fmtAddr cmem.Addr, varargs []cval.Value, emit emitFunc) (int32, *cmem.Fault) {
+	sp := env.Img.Space
+	var count int32
+	argi := 0
+	nextArg := func() cval.Value {
+		v := arg(varargs, argi)
+		argi++
+		return v
+	}
+	out := func(b byte) *cmem.Fault {
+		count++
+		return emit(b)
+	}
+	outStr := func(s string) *cmem.Fault {
+		for i := 0; i < len(s); i++ {
+			if f := out(s[i]); f != nil {
+				return f
+			}
+		}
+		return nil
+	}
+
+	for i := cmem.Addr(0); ; i++ {
+		c, f := sp.ReadByteAt(fmtAddr + i)
+		if f != nil {
+			return count, f
+		}
+		if c == 0 {
+			return count, nil
+		}
+		if c != '%' {
+			if f := out(c); f != nil {
+				return count, f
+			}
+			continue
+		}
+		// Parse %[flags][width][.precision]verb
+		var (
+			leftAlign, zeroPad, plusSign, spaceSign, altForm bool
+			width, prec                                      = -1, -1
+		)
+	flags:
+		for {
+			i++
+			c, f = sp.ReadByteAt(fmtAddr + i)
+			if f != nil {
+				return count, f
+			}
+			switch c {
+			case '-':
+				leftAlign = true
+			case '0':
+				zeroPad = true
+			case '+':
+				plusSign = true
+			case ' ':
+				spaceSign = true
+			case '#':
+				altForm = true
+			default:
+				break flags
+			}
+		}
+		if c == '*' {
+			width = int(nextArg().Int32())
+			if width < 0 {
+				leftAlign = true
+				width = -width
+			}
+			i++
+			c, f = sp.ReadByteAt(fmtAddr + i)
+			if f != nil {
+				return count, f
+			}
+		} else {
+			for c >= '0' && c <= '9' {
+				if width < 0 {
+					width = 0
+				}
+				width = width*10 + int(c-'0')
+				i++
+				c, f = sp.ReadByteAt(fmtAddr + i)
+				if f != nil {
+					return count, f
+				}
+			}
+		}
+		if c == '.' {
+			prec = 0
+			i++
+			c, f = sp.ReadByteAt(fmtAddr + i)
+			if f != nil {
+				return count, f
+			}
+			if c == '*' {
+				prec = int(nextArg().Int32())
+				i++
+				c, f = sp.ReadByteAt(fmtAddr + i)
+				if f != nil {
+					return count, f
+				}
+			} else {
+				for c >= '0' && c <= '9' {
+					prec = prec*10 + int(c-'0')
+					i++
+					c, f = sp.ReadByteAt(fmtAddr + i)
+					if f != nil {
+						return count, f
+					}
+				}
+			}
+		}
+		// Length modifiers are parsed and (mostly) ignored: the
+		// simulated ABI passes everything as 64-bit words.
+		long := 0
+		for c == 'l' || c == 'h' || c == 'z' {
+			if c == 'l' {
+				long++
+			}
+			i++
+			c, f = sp.ReadByteAt(fmtAddr + i)
+			if f != nil {
+				return count, f
+			}
+		}
+
+		pad := func(s string) *cmem.Fault {
+			if width > len(s) {
+				if leftAlign {
+					if f := outStr(s); f != nil {
+						return f
+					}
+					for k := len(s); k < width; k++ {
+						if f := out(' '); f != nil {
+							return f
+						}
+					}
+					return nil
+				}
+				if zeroPad {
+					// C zero-pads after the sign: -007, not 00-7.
+					if len(s) > 0 && (s[0] == '-' || s[0] == '+' || s[0] == ' ') {
+						if f := out(s[0]); f != nil {
+							return f
+						}
+						s = s[1:]
+						width--
+					}
+					for k := len(s); k < width; k++ {
+						if f := out('0'); f != nil {
+							return f
+						}
+					}
+					return outStr(s)
+				}
+				for k := len(s); k < width; k++ {
+					if f := out(' '); f != nil {
+						return f
+					}
+				}
+			}
+			return outStr(s)
+		}
+		signed := func(v int64) string {
+			s := strconv.FormatInt(v, 10)
+			if v >= 0 {
+				if plusSign {
+					s = "+" + s
+				} else if spaceSign {
+					s = " " + s
+				}
+			}
+			return s
+		}
+
+		switch c {
+		case '%':
+			if f := out('%'); f != nil {
+				return count, f
+			}
+		case 'd', 'i':
+			v := nextArg()
+			var n int64
+			if long >= 2 {
+				n = v.Int()
+			} else {
+				n = int64(v.Int32())
+			}
+			if f := pad(signed(n)); f != nil {
+				return count, f
+			}
+		case 'u':
+			v := nextArg()
+			var n uint64
+			if long >= 2 {
+				n = uint64(v)
+			} else {
+				n = uint64(v.Uint32())
+			}
+			if f := pad(strconv.FormatUint(n, 10)); f != nil {
+				return count, f
+			}
+		case 'x', 'X', 'o':
+			v := nextArg()
+			var n uint64
+			if long >= 2 {
+				n = uint64(v)
+			} else {
+				n = uint64(v.Uint32())
+			}
+			base := 16
+			if c == 'o' {
+				base = 8
+			}
+			s := strconv.FormatUint(n, base)
+			if c == 'X' {
+				s = upperHex(s)
+			}
+			if altForm && n != 0 {
+				switch c {
+				case 'x':
+					s = "0x" + s
+				case 'X':
+					s = "0X" + s
+				case 'o':
+					s = "0" + s
+				}
+			}
+			if f := pad(s); f != nil {
+				return count, f
+			}
+		case 'c':
+			if f := pad(string([]byte{nextArg().Byte()})); f != nil {
+				return count, f
+			}
+		case 's':
+			a := nextArg().Addr()
+			// %s walks the argument string in simulated memory;
+			// an invalid pointer faults exactly like a real printf.
+			var s []byte
+			for j := cmem.Addr(0); ; j++ {
+				b, f := sp.ReadByteAt(a + j)
+				if f != nil {
+					return count, f
+				}
+				if b == 0 {
+					break
+				}
+				if prec >= 0 && len(s) >= prec {
+					break
+				}
+				s = append(s, b)
+			}
+			if f := pad(string(s)); f != nil {
+				return count, f
+			}
+		case 'p':
+			if f := pad(fmt.Sprintf("0x%x", nextArg().Uint32())); f != nil {
+				return count, f
+			}
+		case 'f', 'g', 'e':
+			v := math.Float64frombits(uint64(nextArg()))
+			p := prec
+			if p < 0 {
+				p = 6
+			}
+			var s string
+			switch c {
+			case 'f':
+				s = strconv.FormatFloat(v, 'f', p, 64)
+			case 'e':
+				s = strconv.FormatFloat(v, 'e', p, 64)
+			default:
+				s = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			if f := pad(s); f != nil {
+				return count, f
+			}
+		case 'n':
+			// The format-string attack vector: write the count so
+			// far through the next pointer argument.
+			a := nextArg().Addr()
+			if f := sp.WriteU32(a, uint32(count)); f != nil {
+				return count, f
+			}
+		default:
+			// Unknown verb: C behaviour is undefined; glibc prints
+			// the raw characters.
+			if f := out('%'); f != nil {
+				return count, f
+			}
+			if f := out(c); f != nil {
+				return count, f
+			}
+		}
+	}
+}
+
+func upperHex(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'f' {
+			b[i] = c - 32
+		}
+	}
+	return string(b)
+}
+
+// writeToFd routes a byte to a descriptor: 1=stdout, 2=stderr, else the
+// open file table.
+func writeToFd(env *cval.Env, fd int32) (emitFunc, bool) {
+	switch fd {
+	case 1:
+		return func(b byte) *cmem.Fault { env.Stdout.WriteByte(b); return nil }, true
+	case 2:
+		return func(b byte) *cmem.Fault { env.Stderr.WriteByte(b); return nil }, true
+	default:
+		f, ok := env.File(fd)
+		if !ok || f.RdOnly {
+			return nil, false
+		}
+		return func(b byte) *cmem.Fault { f.Data.WriteByte(b); return nil }, true
+	}
+}
+
+func cPuts(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	s, f := env.Img.Space.ReadCString(arg(args, 0).Addr(), 1<<20)
+	if f != nil {
+		return 0, f
+	}
+	env.Stdout.WriteString(s)
+	env.Stdout.WriteByte('\n')
+	return cval.Int(int64(len(s)) + 1), nil
+}
+
+func cPutchar(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	c := arg(args, 0).Byte()
+	env.Stdout.WriteByte(c)
+	return cval.Int(int64(c)), nil
+}
+
+func cPrintf(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	n, f := formatInto(env, arg(args, 0).Addr(), args[min(1, len(args)):], func(b byte) *cmem.Fault {
+		env.Stdout.WriteByte(b)
+		return nil
+	})
+	if f != nil {
+		return 0, f
+	}
+	return cval.Int(int64(n)), nil
+}
+
+func cFprintf(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	fd := arg(args, 0).Int32()
+	emit, ok := writeToFd(env, fd)
+	if !ok {
+		env.Errno = cval.EBADF
+		return cval.Int(-1), nil
+	}
+	n, f := formatInto(env, arg(args, 1).Addr(), args[min(2, len(args)):], emit)
+	if f != nil {
+		return 0, f
+	}
+	return cval.Int(int64(n)), nil
+}
+
+func cSprintf(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	dst := arg(args, 0).Addr()
+	sp := env.Img.Space
+	off := cmem.Addr(0)
+	n, f := formatInto(env, arg(args, 1).Addr(), args[min(2, len(args)):], func(b byte) *cmem.Fault {
+		// No bound whatsoever: sprintf is the paper's headline
+		// overflow vector.
+		ferr := sp.WriteByteAt(dst+off, b)
+		off++
+		return ferr
+	})
+	if f != nil {
+		return 0, f
+	}
+	if f := sp.WriteByteAt(dst+off, 0); f != nil {
+		return 0, f
+	}
+	return cval.Int(int64(n)), nil
+}
+
+func cSnprintf(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	dst := arg(args, 0).Addr()
+	size := arg(args, 1).Uint32()
+	sp := env.Img.Space
+	off := uint32(0)
+	n, f := formatInto(env, arg(args, 2).Addr(), args[min(3, len(args)):], func(b byte) *cmem.Fault {
+		if size > 0 && off < size-1 {
+			if ferr := sp.WriteByteAt(dst+cmem.Addr(off), b); ferr != nil {
+				return ferr
+			}
+			off++
+		}
+		return nil
+	})
+	if f != nil {
+		return 0, f
+	}
+	if size > 0 {
+		if f := sp.WriteByteAt(dst+cmem.Addr(off), 0); f != nil {
+			return 0, f
+		}
+	}
+	return cval.Int(int64(n)), nil
+}
+
+// cSscanf supports the %d, %u, %x, %s and %c verbs — the subset the
+// example applications use.
+func cSscanf(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	sp := env.Img.Space
+	src := arg(args, 0).Addr()
+	fmtA := arg(args, 1).Addr()
+	varargs := args[min(2, len(args)):]
+	argi := 0
+	matched := int32(0)
+	si := cmem.Addr(0)
+
+	skipSpace := func() *cmem.Fault {
+		for {
+			b, f := sp.ReadByteAt(src + si)
+			if f != nil {
+				return f
+			}
+			if b != ' ' && b != '\t' && b != '\n' {
+				return nil
+			}
+			si++
+		}
+	}
+
+	for fi := cmem.Addr(0); ; fi++ {
+		c, f := sp.ReadByteAt(fmtA + fi)
+		if f != nil {
+			return 0, f
+		}
+		if c == 0 {
+			return cval.Int(int64(matched)), nil
+		}
+		if c == ' ' {
+			if f := skipSpace(); f != nil {
+				return 0, f
+			}
+			continue
+		}
+		if c != '%' {
+			b, f := sp.ReadByteAt(src + si)
+			if f != nil {
+				return 0, f
+			}
+			if b != c {
+				return cval.Int(int64(matched)), nil
+			}
+			si++
+			continue
+		}
+		fi++
+		c, f = sp.ReadByteAt(fmtA + fi)
+		if f != nil {
+			return 0, f
+		}
+		out := arg(varargs, argi)
+		argi++
+		switch c {
+		case 'd', 'u', 'x':
+			if f := skipSpace(); f != nil {
+				return 0, f
+			}
+			base := 10
+			if c == 'x' {
+				base = 16
+			}
+			val, neg, end, any, f := parseIntBody(env, src+si, base)
+			if f != nil {
+				return 0, f
+			}
+			if !any {
+				return cval.Int(int64(matched)), nil
+			}
+			v := int64(val)
+			if neg {
+				v = -v
+			}
+			if f := sp.WriteU32(out.Addr(), uint32(int32(v))); f != nil {
+				return 0, f
+			}
+			si = end - src // end is absolute; si is an offset
+			matched++
+		case 's':
+			if f := skipSpace(); f != nil {
+				return 0, f
+			}
+			start := si
+			j := cmem.Addr(0)
+			for {
+				b, f := sp.ReadByteAt(src + si)
+				if f != nil {
+					return 0, f
+				}
+				if b == 0 || b == ' ' || b == '\t' || b == '\n' {
+					break
+				}
+				// Unbounded %s write: another classic overflow.
+				if f := sp.WriteByteAt(out.Addr()+j, b); f != nil {
+					return 0, f
+				}
+				j++
+				si++
+			}
+			if si == start {
+				return cval.Int(int64(matched)), nil
+			}
+			if f := sp.WriteByteAt(out.Addr()+j, 0); f != nil {
+				return 0, f
+			}
+			matched++
+		case 'c':
+			b, f := sp.ReadByteAt(src + si)
+			if f != nil {
+				return 0, f
+			}
+			if b == 0 {
+				return cval.Int(int64(matched)), nil
+			}
+			if f := sp.WriteByteAt(out.Addr(), b); f != nil {
+				return 0, f
+			}
+			si++
+			matched++
+		default:
+			return cval.Int(int64(matched)), nil
+		}
+	}
+}
+
+// cGets reads a line from simulated stdin into the destination with no
+// bound — the function so dangerous it was removed from C11.
+func cGets(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	dst := arg(args, 0).Addr()
+	sp := env.Img.Space
+	i := cmem.Addr(0)
+	for {
+		b, err := env.Stdin.ReadByte()
+		if err != nil {
+			if i == 0 {
+				return cval.Ptr(0), nil // EOF with nothing read
+			}
+			break
+		}
+		if b == '\n' {
+			break
+		}
+		if f := sp.WriteByteAt(dst+i, b); f != nil {
+			return 0, f
+		}
+		i++
+	}
+	if f := sp.WriteByteAt(dst+i, 0); f != nil {
+		return 0, f
+	}
+	return cval.Ptr(dst), nil
+}
+
+func cFgetsFd(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	dst := arg(args, 0).Addr()
+	size := arg(args, 1).Int32()
+	fd := arg(args, 2).Int32()
+	if size <= 0 {
+		return cval.Ptr(0), nil
+	}
+	sp := env.Img.Space
+	read1 := func() (byte, bool) {
+		if fd == 0 {
+			b, err := env.Stdin.ReadByte()
+			return b, err == nil
+		}
+		f, ok := env.File(fd)
+		if !ok || f.Pos >= f.Data.Len() {
+			return 0, false
+		}
+		b := f.Data.Bytes()[f.Pos]
+		f.Pos++
+		return b, true
+	}
+	i := cmem.Addr(0)
+	for int32(i) < size-1 {
+		b, ok := read1()
+		if !ok {
+			if i == 0 {
+				return cval.Ptr(0), nil
+			}
+			break
+		}
+		if f := sp.WriteByteAt(dst+i, b); f != nil {
+			return 0, f
+		}
+		i++
+		if b == '\n' {
+			break
+		}
+	}
+	if f := sp.WriteByteAt(dst+i, 0); f != nil {
+		return 0, f
+	}
+	return cval.Ptr(dst), nil
+}
+
+func cRemove(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	name, f := env.Img.Space.ReadCString(arg(args, 0).Addr(), 1<<16)
+	if f != nil {
+		return 0, f
+	}
+	if !env.RemoveFile(name) {
+		return cval.Int(-1), nil
+	}
+	return cval.Int(0), nil
+}
+
+func cRename(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	oldName, f := env.Img.Space.ReadCString(arg(args, 0).Addr(), 1<<16)
+	if f != nil {
+		return 0, f
+	}
+	newName, f := env.Img.Space.ReadCString(arg(args, 1).Addr(), 1<<16)
+	if f != nil {
+		return 0, f
+	}
+	if !env.RenameFile(oldName, newName) {
+		return cval.Int(-1), nil
+	}
+	return cval.Int(0), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,377 @@
+package clib
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"healers/internal/cmem"
+	"healers/internal/cval"
+)
+
+func TestPutsAndPutchar(t *testing.T) {
+	c := newCtx(t)
+	n := c.call("puts", c.str("hello")).Int32()
+	if n != 6 {
+		t.Errorf("puts returned %d, want 6", n)
+	}
+	c.call("putchar", cval.Int('!'))
+	if got := c.env.Stdout.String(); got != "hello\n!" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestPrintfVerbs(t *testing.T) {
+	tests := []struct {
+		name string
+		fmt  string
+		args func(c *testCtx) []cval.Value
+		want string
+	}{
+		{"plain", "no directives", nil, "no directives"},
+		{"percent", "100%%", nil, "100%"},
+		{"int", "%d", args(cval.Int(-42)), "-42"},
+		{"int width", "[%5d]", args(cval.Int(42)), "[   42]"},
+		{"int zero pad", "[%05d]", args(cval.Int(42)), "[00042]"},
+		{"int left", "[%-5d]", args(cval.Int(42)), "[42   ]"},
+		{"plus", "%+d %+d", args(cval.Int(1), cval.Int(-1)), "+1 -1"},
+		{"space flag", "% d", args(cval.Int(7)), " 7"},
+		{"unsigned", "%u", args(cval.Int(-1)), "4294967295"},
+		{"hex", "%x %X", args(cval.Uint(0xbeef), cval.Uint(0xbeef)), "beef BEEF"},
+		{"alt hex", "%#x", args(cval.Uint(255)), "0xff"},
+		{"octal", "%o %#o", args(cval.Uint(8), cval.Uint(8)), "10 010"},
+		{"char", "%c%c", args(cval.Int('h'), cval.Int('i')), "hi"},
+		{"pointer", "%p", args(cval.Ptr(0x1000)), "0x1000"},
+		{"star width", "[%*d]", args(cval.Int(4), cval.Int(7)), "[   7]"},
+		{"neg star width", "[%*d]", args(cval.Int(-4), cval.Int(7)), "[7   ]"},
+		{"long long", "%lld", args(cval.Int(1 << 40)), "1099511627776"},
+		{"float", "%.2f", args(cval.Uint(math.Float64bits(3.14159))), "3.14"},
+		{"unknown verb", "%q", args(cval.Int(1)), "%q"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := newCtx(t)
+			var av []cval.Value
+			if tt.args != nil {
+				av = tt.args(c)
+			}
+			c.call("printf", append([]cval.Value{c.str(tt.fmt)}, av...)...)
+			if got := c.env.Stdout.String(); got != tt.want {
+				t.Errorf("printf(%q) wrote %q, want %q", tt.fmt, got, tt.want)
+			}
+		})
+	}
+}
+
+func args(vs ...cval.Value) func(*testCtx) []cval.Value {
+	return func(*testCtx) []cval.Value { return vs }
+}
+
+func TestPrintfString(t *testing.T) {
+	c := newCtx(t)
+	c.call("printf", c.str("<%s>"), c.str("abc"))
+	if got := c.env.Stdout.String(); got != "<abc>" {
+		t.Errorf("printf %%s = %q", got)
+	}
+	c.env.Stdout.Reset()
+	c.call("printf", c.str("<%.2s>"), c.str("abc"))
+	if got := c.env.Stdout.String(); got != "<ab>" {
+		t.Errorf("printf %%.2s = %q", got)
+	}
+	c.env.Stdout.Reset()
+	c.call("printf", c.str("<%6s>"), c.str("abc"))
+	if got := c.env.Stdout.String(); got != "<   abc>" {
+		t.Errorf("printf %%6s = %q", got)
+	}
+	// %s with a wild pointer faults, like real printf.
+	if _, f := c.tryCall("printf", c.str("%s"), cval.Ptr(0xdeadbeef)); f == nil {
+		t.Error("printf with wild string pointer did not fault")
+	}
+}
+
+func TestPrintfPercentN(t *testing.T) {
+	c := newCtx(t)
+	out := c.buf(8)
+	n := c.call("printf", c.str("12345%n"), out).Int32()
+	if n != 5 {
+		t.Errorf("printf returned %d, want 5", n)
+	}
+	v, _ := c.env.Img.Space.ReadU32(out.Addr())
+	if v != 5 {
+		t.Errorf("%%n wrote %d, want 5", v)
+	}
+	// %n through a wild pointer faults — the attack the fmt chain stops.
+	if _, f := c.tryCall("printf", c.str("abc%n"), cval.Ptr(0xdead0000)); f == nil {
+		t.Error("%n with wild pointer did not fault")
+	}
+}
+
+func TestPrintfReturnsByteCount(t *testing.T) {
+	c := newCtx(t)
+	n := c.call("printf", c.str("ab%dcd"), cval.Int(123)).Int32()
+	if n != 7 {
+		t.Errorf("printf count = %d, want 7", n)
+	}
+}
+
+func TestSprintfUnbounded(t *testing.T) {
+	c := newCtx(t)
+	dst := c.buf(64)
+	c.call("sprintf", dst, c.str("%s=%d"), c.str("key"), cval.Int(7))
+	if got := c.readStr(dst); got != "key=7" {
+		t.Errorf("sprintf = %q", got)
+	}
+	// sprintf happily smashes past a small heap chunk (silent, in-page).
+	small := c.call("malloc", cval.Uint(4))
+	next := c.call("malloc", cval.Uint(8))
+	c.env.Img.Space.WriteCString(next.Addr(), "target")
+	c.call("sprintf", small, c.str("%s"), c.str(strings.Repeat("A", 40)))
+	if got := c.readStr(next); got == "target" {
+		t.Error("sprintf overflow did not corrupt neighbour chunk")
+	}
+}
+
+func TestSnprintfBounded(t *testing.T) {
+	c := newCtx(t)
+	// Allocate the format and payload strings before placing the
+	// sentinel: static allocation is a bump pointer, and the sentinel
+	// must not sit inside a later allocation.
+	fmtS := c.str("%s")
+	payload := c.str("0123456789")
+	dst := c.buf(8)
+	// Sentinel right past the buffer bound.
+	c.env.Img.Space.WriteByteAt(dst.Addr()+8, 'Z')
+	n := c.call("snprintf", dst, cval.Uint(8), fmtS, payload).Int32()
+	if n != 10 {
+		t.Errorf("snprintf returned %d, want full length 10", n)
+	}
+	if got := c.readStr(dst); got != "0123456" {
+		t.Errorf("snprintf truncated = %q, want %q", got, "0123456")
+	}
+	b, _ := c.env.Img.Space.ReadByteAt(dst.Addr() + 8)
+	if b != 'Z' {
+		t.Error("snprintf wrote past its bound")
+	}
+	// size 0 writes nothing at all.
+	if n := c.call("snprintf", cval.Ptr(0), cval.Uint(0), c.str("abc")).Int32(); n != 3 {
+		t.Errorf("snprintf(NULL,0) = %d, want 3", n)
+	}
+}
+
+func TestFprintf(t *testing.T) {
+	c := newCtx(t)
+	c.call("fprintf", cval.Int(2), c.str("err %d"), cval.Int(9))
+	if got := c.env.Stderr.String(); got != "err 9" {
+		t.Errorf("stderr = %q", got)
+	}
+	// To an open file.
+	fd := c.call("open", c.str("log.txt"), cval.Int(oWronly|oCreat)).Int32()
+	if fd < 0 {
+		t.Fatal("open failed")
+	}
+	c.call("fprintf", cval.Int(int64(fd)), c.str("line %d\n"), cval.Int(1))
+	c.call("close", cval.Int(int64(fd)))
+	data, ok := c.env.FileData("log.txt")
+	if !ok || string(data) != "line 1\n" {
+		t.Errorf("file = %q, %v", data, ok)
+	}
+	// Bad fd returns -1/EBADF.
+	c.env.Errno = 0
+	if got := c.call("fprintf", cval.Int(77), c.str("x")).Int32(); got != -1 || c.env.Errno != cval.EBADF {
+		t.Errorf("fprintf bad fd = %d errno %d", got, c.env.Errno)
+	}
+}
+
+func TestSscanf(t *testing.T) {
+	c := newCtx(t)
+	a := c.buf(4)
+	b := c.buf(4)
+	s := c.buf(32)
+	n := c.call("sscanf", c.str("12 34 word"), c.str("%d %d %s"), a, b, s).Int32()
+	if n != 3 {
+		t.Fatalf("sscanf matched %d, want 3", n)
+	}
+	va, _ := c.env.Img.Space.ReadU32(a.Addr())
+	vb, _ := c.env.Img.Space.ReadU32(b.Addr())
+	if va != 12 || vb != 34 {
+		t.Errorf("ints = %d,%d", va, vb)
+	}
+	if got := c.readStr(s); got != "word" {
+		t.Errorf("str = %q", got)
+	}
+	// Literal mismatch stops the scan.
+	n = c.call("sscanf", c.str("x=5"), c.str("y=%d"), a).Int32()
+	if n != 0 {
+		t.Errorf("mismatch scan = %d, want 0", n)
+	}
+	// Hex verb.
+	n = c.call("sscanf", c.str("ff"), c.str("%x"), a).Int32()
+	va, _ = c.env.Img.Space.ReadU32(a.Addr())
+	if n != 1 || va != 255 {
+		t.Errorf("hex scan = %d, %d", n, va)
+	}
+}
+
+func TestGetsOverflows(t *testing.T) {
+	c := newCtx(t)
+	c.env.Stdin.WriteString("short\n")
+	dst := c.buf(32)
+	ret := c.call("gets", dst)
+	if ret != dst || c.readStr(dst) != "short" {
+		t.Errorf("gets = %q", c.readStr(dst))
+	}
+	// EOF with nothing read returns NULL.
+	if got := c.call("gets", dst); !got.IsNull() {
+		t.Error("gets at EOF should return NULL")
+	}
+	// gets happily overruns a tiny buffer into its neighbour.
+	c.env.Stdin.WriteString(strings.Repeat("B", 64) + "\n")
+	small := c.call("malloc", cval.Uint(4))
+	next := c.call("malloc", cval.Uint(8))
+	c.env.Img.Space.WriteCString(next.Addr(), "ok")
+	c.call("gets", small)
+	if got := c.readStr(next); got == "ok" {
+		t.Error("gets overflow did not corrupt neighbour")
+	}
+}
+
+func TestFgetsFd(t *testing.T) {
+	c := newCtx(t)
+	c.env.PutFile("in.txt", []byte("line one\nline two\n"))
+	fd := c.call("open", c.str("in.txt"), cval.Int(oRdonly)).Int32()
+	dst := c.buf(64)
+	c.call("fgets_fd", dst, cval.Int(64), cval.Int(int64(fd)))
+	if got := c.readStr(dst); got != "line one\n" {
+		t.Errorf("first line = %q", got)
+	}
+	c.call("fgets_fd", dst, cval.Int(64), cval.Int(int64(fd)))
+	if got := c.readStr(dst); got != "line two\n" {
+		t.Errorf("second line = %q", got)
+	}
+	if got := c.call("fgets_fd", dst, cval.Int(64), cval.Int(int64(fd))); !got.IsNull() {
+		t.Error("fgets at EOF should be NULL")
+	}
+	// Bounded: size 4 reads 3 chars + NUL.
+	c.env.Stdin.WriteString("abcdefg")
+	c.call("fgets_fd", dst, cval.Int(4), cval.Int(0))
+	if got := c.readStr(dst); got != "abc" {
+		t.Errorf("bounded fgets = %q", got)
+	}
+}
+
+func TestRemoveRename(t *testing.T) {
+	c := newCtx(t)
+	c.env.PutFile("a.txt", []byte("x"))
+	if got := c.call("rename", c.str("a.txt"), c.str("b.txt")).Int32(); got != 0 {
+		t.Errorf("rename = %d", got)
+	}
+	if _, ok := c.env.FileData("a.txt"); ok {
+		t.Error("old name still exists")
+	}
+	if got := c.call("remove", c.str("b.txt")).Int32(); got != 0 {
+		t.Errorf("remove = %d", got)
+	}
+	if got := c.call("remove", c.str("b.txt")).Int32(); got != -1 {
+		t.Error("remove of missing file should fail")
+	}
+}
+
+func TestUnistdReadWrite(t *testing.T) {
+	c := newCtx(t)
+	fd := c.call("open", c.str("io.bin"), cval.Int(oRdwr|oCreat)).Int32()
+	buf := c.buf(16)
+	c.env.Img.Space.WriteCString(buf.Addr(), "payload")
+	if n := c.call("write", cval.Int(int64(fd)), buf, cval.Uint(7)).Int32(); n != 7 {
+		t.Errorf("write = %d", n)
+	}
+	c.call("close", cval.Int(int64(fd)))
+
+	fd = c.call("open", c.str("io.bin"), cval.Int(oRdonly)).Int32()
+	out := c.buf(16)
+	if n := c.call("read", cval.Int(int64(fd)), out, cval.Uint(16)).Int32(); n != 7 {
+		t.Errorf("read = %d", n)
+	}
+	if got := c.readStr(out); got != "payload" {
+		t.Errorf("read data = %q", got)
+	}
+	// Reading into unmapped memory faults (the injector's out_buf case).
+	if _, f := c.tryCall("read", cval.Int(0), cval.Ptr(0xdead0000), cval.Uint(4)); f == nil {
+		c.env.Stdin.WriteString("xxxx")
+		if _, f := c.tryCall("read", cval.Int(0), cval.Ptr(0xdead0000), cval.Uint(4)); f == nil {
+			t.Error("read into wild buffer did not fault")
+		}
+	}
+	// write on stdout lands in Stdout.
+	c.call("write", cval.Int(1), buf, cval.Uint(3))
+	if got := c.env.Stdout.String(); got != "pay" {
+		t.Errorf("stdout = %q", got)
+	}
+	if got := c.call("getpid").Int32(); got != 4242 {
+		t.Errorf("getpid = %d", got)
+	}
+	if got := c.call("getuid").Int32(); got != 1000 {
+		t.Errorf("getuid = %d", got)
+	}
+	c.env.Privileged = true
+	if got := c.call("getuid").Int32(); got != 0 {
+		t.Errorf("privileged getuid = %d", got)
+	}
+}
+
+func TestCtypeFamily(t *testing.T) {
+	c := newCtx(t)
+	type tc struct {
+		fn   string
+		in   int64
+		want int32
+	}
+	tests := []tc{
+		{"isalpha", 'a', 1}, {"isalpha", 'Z', 1}, {"isalpha", '1', 0}, {"isalpha", -1, 0}, {"isalpha", 400, 0},
+		{"isdigit", '5', 1}, {"isdigit", 'x', 0},
+		{"isalnum", '8', 1}, {"isalnum", 'p', 1}, {"isalnum", ' ', 0},
+		{"isspace", ' ', 1}, {"isspace", '\t', 1}, {"isspace", 'a', 0},
+		{"isupper", 'Q', 1}, {"isupper", 'q', 0},
+		{"islower", 'q', 1}, {"islower", 'Q', 0},
+		{"ispunct", '!', 1}, {"ispunct", 'a', 0},
+		{"isprint", ' ', 1}, {"isprint", 0x7f, 0},
+		{"iscntrl", '\n', 1}, {"iscntrl", 'a', 0},
+		{"isxdigit", 'f', 1}, {"isxdigit", 'F', 1}, {"isxdigit", 'g', 0},
+	}
+	for _, tt := range tests {
+		if got := c.call(tt.fn, cval.Int(tt.in)); (got != 0) != (tt.want != 0) {
+			t.Errorf("%s(%d) = %v, want truthy=%v", tt.fn, tt.in, got, tt.want != 0)
+		}
+	}
+	if got := c.call("toupper", cval.Int('a')).Int32(); got != 'A' {
+		t.Errorf("toupper = %c", got)
+	}
+	if got := c.call("toupper", cval.Int('7')).Int32(); got != '7' {
+		t.Errorf("toupper non-letter = %c", got)
+	}
+	if got := c.call("tolower", cval.Int('Z')).Int32(); got != 'z' {
+		t.Errorf("tolower = %c", got)
+	}
+}
+
+func TestWctrans(t *testing.T) {
+	c := newCtx(t)
+	lower := c.call("wctrans", c.str("tolower")).Int32()
+	upper := c.call("wctrans", c.str("toupper")).Int32()
+	if lower == 0 || upper == 0 || lower == upper {
+		t.Fatalf("wctrans descriptors: %d, %d", lower, upper)
+	}
+	c.env.Errno = 0
+	if got := c.call("wctrans", c.str("bogus")).Int32(); got != 0 || c.env.Errno != cval.EINVAL {
+		t.Errorf("wctrans(bogus) = %d errno %d", got, c.env.Errno)
+	}
+	if got := c.call("towctrans", cval.Int('A'), cval.Int(int64(lower))).Int32(); got != 'a' {
+		t.Errorf("towctrans lower = %c", got)
+	}
+	if got := c.call("towctrans", cval.Int('a'), cval.Int(int64(upper))).Int32(); got != 'A' {
+		t.Errorf("towctrans upper = %c", got)
+	}
+	// The paper's example: wctrans with an invalid pointer crashes.
+	if _, f := c.tryCall("wctrans", cval.Ptr(0)); f == nil || f.Kind != cmem.FaultSegv {
+		t.Errorf("wctrans(NULL): fault = %v, want SIGSEGV", f)
+	}
+}

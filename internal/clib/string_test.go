@@ -1,0 +1,387 @@
+package clib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"healers/internal/cmem"
+	"healers/internal/cval"
+)
+
+func TestStrlen(t *testing.T) {
+	c := newCtx(t)
+	tests := []struct {
+		s    string
+		want uint32
+	}{
+		{"", 0},
+		{"a", 1},
+		{"hello, world", 12},
+	}
+	for _, tt := range tests {
+		if got := c.call("strlen", c.str(tt.s)).Uint32(); got != tt.want {
+			t.Errorf("strlen(%q) = %d, want %d", tt.s, got, tt.want)
+		}
+	}
+	// NULL and wild pointers crash, as in C.
+	if _, f := c.tryCall("strlen", cval.Ptr(0)); f == nil || f.Kind != cmem.FaultSegv {
+		t.Errorf("strlen(NULL): fault = %v, want SIGSEGV", f)
+	}
+	if _, f := c.tryCall("strlen", cval.Ptr(0xdeadbeef)); f == nil || f.Kind != cmem.FaultSegv {
+		t.Errorf("strlen(wild): fault = %v, want SIGSEGV", f)
+	}
+}
+
+func TestStrcpy(t *testing.T) {
+	c := newCtx(t)
+	dst := c.buf(64)
+	ret := c.call("strcpy", dst, c.str("copy me"))
+	if ret != dst {
+		t.Errorf("strcpy returned %s, want dst %s", ret, dst)
+	}
+	if got := c.readStr(dst); got != "copy me" {
+		t.Errorf("dst = %q", got)
+	}
+	// strcpy to NULL crashes.
+	if _, f := c.tryCall("strcpy", cval.Ptr(0), c.str("x")); f == nil {
+		t.Error("strcpy(NULL, src) did not fault")
+	}
+	// strcpy into read-only memory takes a protection fault.
+	ro, _ := c.env.Img.LiteralString("rodata")
+	if _, f := c.tryCall("strcpy", cval.Ptr(ro), c.str("x")); f == nil || f.Kind != cmem.FaultProt {
+		t.Errorf("strcpy into rodata: fault = %v, want prot", f)
+	}
+}
+
+func TestStrcpyOverflowIsSilent(t *testing.T) {
+	// The defining hazard: copying a long string into a small heap
+	// buffer silently corrupts the neighbour — no fault at copy time.
+	c := newCtx(t)
+	small := c.env.Img.Heap.Malloc(8)
+	victim := c.env.Img.Heap.Malloc(8)
+	c.call("strcpy", cval.Ptr(victim), c.str("innocent"))
+	c.call("strcpy", cval.Ptr(small), c.str("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA"))
+	got := c.readStr(cval.Ptr(victim))
+	if got == "innocent" {
+		t.Error("overflow did not corrupt the adjacent chunk; heap layout unexpected")
+	}
+}
+
+func TestStrncpy(t *testing.T) {
+	c := newCtx(t)
+	dst := c.buf(16)
+	c.call("strncpy", dst, c.str("abc"), cval.Uint(8))
+	if got := c.readStr(dst); got != "abc" {
+		t.Errorf("dst = %q", got)
+	}
+	// Padding: all 8 bytes written, bytes 3..7 are NUL.
+	for i := uint32(3); i < 8; i++ {
+		b, _ := c.env.Img.Space.ReadByteAt(dst.Addr() + cmem.Addr(i))
+		if b != 0 {
+			t.Errorf("pad byte %d = %#x, want 0", i, b)
+		}
+	}
+	// Truncation: no NUL when src >= n.
+	dst2 := c.buf(16)
+	c.env.Img.Space.WriteByteAt(dst2.Addr()+5, 'Z') // sentinel after the copy
+	c.call("strncpy", dst2, c.str("abcdefgh"), cval.Uint(5))
+	b, _ := c.env.Img.Space.ReadByteAt(dst2.Addr() + 5)
+	if b != 'Z' {
+		t.Errorf("strncpy wrote past n: byte 5 = %q", b)
+	}
+}
+
+func TestStrcatAndStrncat(t *testing.T) {
+	c := newCtx(t)
+	dst := c.buf(64)
+	c.call("strcpy", dst, c.str("foo"))
+	c.call("strcat", dst, c.str("bar"))
+	if got := c.readStr(dst); got != "foobar" {
+		t.Errorf("strcat = %q", got)
+	}
+	c.call("strncat", dst, c.str("bazqux"), cval.Uint(3))
+	if got := c.readStr(dst); got != "foobarbaz" {
+		t.Errorf("strncat = %q", got)
+	}
+	// strcat on an unterminated destination walks off; SEGV.
+	un := cmem.Addr(0x00900000)
+	if f := c.env.Img.Space.Map(un, cmem.PageSize, cmem.ProtRW); f != nil {
+		t.Fatalf("map: %v", f)
+	}
+	for i := cmem.Addr(0); i < cmem.PageSize; i++ {
+		c.env.Img.Space.WriteByteAt(un+i, 'x')
+	}
+	if _, f := c.tryCall("strcat", cval.Ptr(un), c.str("y")); f == nil || f.Kind != cmem.FaultSegv {
+		t.Errorf("strcat on unterminated dst: fault = %v, want SIGSEGV", f)
+	}
+}
+
+func TestStrcmpFamily(t *testing.T) {
+	c := newCtx(t)
+	tests := []struct {
+		a, b string
+		sign int
+	}{
+		{"abc", "abc", 0},
+		{"abc", "abd", -1},
+		{"abd", "abc", 1},
+		{"ab", "abc", -1},
+		{"abc", "ab", 1},
+		{"", "", 0},
+	}
+	for _, tt := range tests {
+		got := c.call("strcmp", c.str(tt.a), c.str(tt.b)).Int32()
+		if sign32(got) != tt.sign {
+			t.Errorf("strcmp(%q,%q) = %d, want sign %d", tt.a, tt.b, got, tt.sign)
+		}
+	}
+	if got := c.call("strncmp", c.str("abcdef"), c.str("abcxyz"), cval.Uint(3)).Int32(); got != 0 {
+		t.Errorf("strncmp n=3 = %d, want 0", got)
+	}
+	if got := c.call("strncmp", c.str("abcdef"), c.str("abcxyz"), cval.Uint(4)).Int32(); sign32(got) != -1 {
+		t.Errorf("strncmp n=4 = %d, want negative", got)
+	}
+}
+
+func sign32(v int32) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestStrchrFamily(t *testing.T) {
+	c := newCtx(t)
+	s := c.str("hello")
+	if got := c.call("strchr", s, cval.Int('l')); got.Addr() != s.Addr()+2 {
+		t.Errorf("strchr = %s, want %s", got.Addr(), s.Addr()+2)
+	}
+	if got := c.call("strrchr", s, cval.Int('l')); got.Addr() != s.Addr()+3 {
+		t.Errorf("strrchr = %s, want %s", got.Addr(), s.Addr()+3)
+	}
+	if got := c.call("strchr", s, cval.Int('z')); !got.IsNull() {
+		t.Errorf("strchr missing char = %s, want NULL", got.Addr())
+	}
+	// Searching for NUL returns the terminator address.
+	if got := c.call("strchr", s, cval.Int(0)); got.Addr() != s.Addr()+5 {
+		t.Errorf("strchr(s,0) = %s, want terminator", got.Addr())
+	}
+}
+
+func TestStrstr(t *testing.T) {
+	c := newCtx(t)
+	hay := c.str("the quick brown fox")
+	tests := []struct {
+		needle string
+		off    int32 // offset in hay, -1 = NULL
+	}{
+		{"quick", 4},
+		{"the", 0},
+		{"fox", 16},
+		{"", 0},
+		{"cat", -1},
+		{"foxx", -1},
+	}
+	for _, tt := range tests {
+		got := c.call("strstr", hay, c.str(tt.needle))
+		if tt.off < 0 {
+			if !got.IsNull() {
+				t.Errorf("strstr(%q) = %s, want NULL", tt.needle, got.Addr())
+			}
+		} else if got.Addr() != hay.Addr()+cmem.Addr(tt.off) {
+			t.Errorf("strstr(%q) = %s, want hay+%d", tt.needle, got.Addr(), tt.off)
+		}
+	}
+}
+
+func TestStrdupAndStrndup(t *testing.T) {
+	c := newCtx(t)
+	p := c.call("strdup", c.str("duplicate"))
+	if p.IsNull() {
+		t.Fatal("strdup returned NULL")
+	}
+	if got := c.readStr(p); got != "duplicate" {
+		t.Errorf("strdup = %q", got)
+	}
+	if !c.env.Img.Heap.InUse(p.Addr()) {
+		t.Error("strdup result not a live heap chunk")
+	}
+	q := c.call("strndup", c.str("duplicate"), cval.Uint(3))
+	if got := c.readStr(q); got != "dup" {
+		t.Errorf("strndup = %q", got)
+	}
+	// n longer than the string copies just the string.
+	r := c.call("strndup", c.str("ab"), cval.Uint(100))
+	if got := c.readStr(r); got != "ab" {
+		t.Errorf("strndup long n = %q", got)
+	}
+}
+
+func TestStrspnFamily(t *testing.T) {
+	c := newCtx(t)
+	if got := c.call("strspn", c.str("123abc"), c.str("0123456789")).Uint32(); got != 3 {
+		t.Errorf("strspn = %d, want 3", got)
+	}
+	if got := c.call("strcspn", c.str("abc;def"), c.str(";")).Uint32(); got != 3 {
+		t.Errorf("strcspn = %d, want 3", got)
+	}
+	p := c.str("abc,def")
+	if got := c.call("strpbrk", p, c.str(",;")); got.Addr() != p.Addr()+3 {
+		t.Errorf("strpbrk = %s, want p+3", got.Addr())
+	}
+	if got := c.call("strpbrk", c.str("abc"), c.str(",;")); !got.IsNull() {
+		t.Error("strpbrk without match should be NULL")
+	}
+}
+
+func TestStrtok(t *testing.T) {
+	c := newCtx(t)
+	buf := c.buf(64)
+	c.call("strcpy", buf, c.str("a,b;;c"))
+	delim := c.str(",;")
+	var got []string
+	tok := c.call("strtok", buf, delim)
+	for !tok.IsNull() {
+		got = append(got, c.readStr(tok))
+		tok = c.call("strtok", cval.Ptr(0), delim)
+	}
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Next call after exhaustion returns NULL again.
+	if tok := c.call("strtok", cval.Ptr(0), delim); !tok.IsNull() {
+		t.Error("strtok after exhaustion returned a token")
+	}
+}
+
+func TestStrerror(t *testing.T) {
+	c := newCtx(t)
+	p := c.call("strerror", cval.Int(int64(cval.EINVAL)))
+	if got := c.readStr(p); got != "EINVAL" {
+		t.Errorf("strerror(EINVAL) = %q", got)
+	}
+	q := c.call("strerror", cval.Int(int64(cval.EINVAL)))
+	if q != p {
+		t.Error("strerror did not return a stable pointer")
+	}
+}
+
+func TestMemFunctions(t *testing.T) {
+	c := newCtx(t)
+	src := c.buf(16)
+	dst := c.buf(16)
+	for i := uint32(0); i < 16; i++ {
+		c.env.Img.Space.WriteByteAt(src.Addr()+cmem.Addr(i), byte(i))
+	}
+	c.call("memcpy", dst, src, cval.Uint(16))
+	if got := c.call("memcmp", dst, src, cval.Uint(16)).Int32(); got != 0 {
+		t.Errorf("memcmp after memcpy = %d", got)
+	}
+	c.call("memset", dst, cval.Int('x'), cval.Uint(4))
+	b, _ := c.env.Img.Space.ReadByteAt(dst.Addr() + 3)
+	if b != 'x' {
+		t.Errorf("memset byte = %q", b)
+	}
+	b, _ = c.env.Img.Space.ReadByteAt(dst.Addr() + 4)
+	if b != 4 {
+		t.Errorf("memset overwrote byte 4: %d", b)
+	}
+	if got := c.call("memchr", src, cval.Int(7), cval.Uint(16)); got.Addr() != src.Addr()+7 {
+		t.Errorf("memchr = %s", got.Addr())
+	}
+	if got := c.call("memchr", src, cval.Int(99), cval.Uint(16)); !got.IsNull() {
+		t.Error("memchr missing byte should be NULL")
+	}
+	// memfrob is its own inverse.
+	c.call("memfrob", src, cval.Uint(16))
+	c.call("memfrob", src, cval.Uint(16))
+	for i := uint32(0); i < 16; i++ {
+		b, _ := c.env.Img.Space.ReadByteAt(src.Addr() + cmem.Addr(i))
+		if b != byte(i) {
+			t.Fatalf("memfrob^2 changed byte %d", i)
+		}
+	}
+}
+
+func TestMemmoveOverlap(t *testing.T) {
+	c := newCtx(t)
+	buf := c.buf(16)
+	c.call("strcpy", buf, c.str("abcdefgh"))
+	// Overlapping forward move: shift right by 2.
+	c.call("memmove", cval.Ptr(buf.Addr()+2), buf, cval.Uint(8))
+	got := make([]byte, 10)
+	c.env.Img.Space.Read(buf.Addr(), got)
+	if string(got[2:10]) != "abcdefgh" {
+		t.Errorf("memmove forward = %q", got)
+	}
+	// Overlapping backward move.
+	c.call("strcpy", buf, c.str("abcdefgh"))
+	c.call("memmove", buf, cval.Ptr(buf.Addr()+2), cval.Uint(6))
+	s := c.readStr(buf)
+	if s[:6] != "cdefgh" {
+		t.Errorf("memmove backward = %q", s)
+	}
+}
+
+func TestMemcpyFaultsOnBadArgs(t *testing.T) {
+	c := newCtx(t)
+	good := c.buf(16)
+	tests := []struct {
+		name string
+		args []cval.Value
+	}{
+		{"null dst", []cval.Value{cval.Ptr(0), good, cval.Uint(4)}},
+		{"null src", []cval.Value{good, cval.Ptr(0), cval.Uint(4)}},
+		{"wild dst", []cval.Value{cval.Ptr(0xdead0000), good, cval.Uint(4)}},
+		{"huge n", []cval.Value{good, good, cval.Uint(0x10000000)}},
+	}
+	for _, tt := range tests {
+		if _, f := c.tryCall("memcpy", tt.args...); f == nil {
+			t.Errorf("%s: memcpy did not fault", tt.name)
+		}
+	}
+	// n = 0 with garbage pointers does NOT fault (no bytes touched) —
+	// authentic C behaviour the injector relies on.
+	if _, f := c.tryCall("memcpy", cval.Ptr(0), cval.Ptr(0), cval.Uint(0)); f != nil {
+		t.Errorf("memcpy(NULL,NULL,0) faulted: %v", f)
+	}
+}
+
+// Property: strcpy+strlen round-trip equals Go string semantics for
+// NUL-free payloads.
+func TestPropertyStrcpyRoundTrip(t *testing.T) {
+	c := newCtx(t)
+	dst := c.buf(1 << 12)
+	prop := func(raw []byte) bool {
+		s := make([]byte, 0, len(raw))
+		for _, b := range raw {
+			if b != 0 {
+				s = append(s, b)
+			}
+		}
+		if len(s) > 1024 {
+			s = s[:1024]
+		}
+		src, f := c.env.Img.StaticString(string(s))
+		if f != nil {
+			return false
+		}
+		c.call("strcpy", dst, cval.Ptr(src))
+		if got := c.call("strlen", dst).Uint32(); got != uint32(len(s)) {
+			return false
+		}
+		return c.readStr(dst) == string(s)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

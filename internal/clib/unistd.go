@@ -1,0 +1,112 @@
+package clib
+
+import (
+	"healers/internal/cmem"
+	"healers/internal/cval"
+)
+
+// The unistd.h subset: POSIX descriptor I/O against the simulated fd table
+// and in-memory filesystem.
+
+// open(2) flag bits (matching Linux numerically).
+const (
+	oRdonly = 0
+	oWronly = 1
+	oRdwr   = 2
+	oCreat  = 0x40
+)
+
+func init() {
+	registerImpl("open", cOpen)
+	registerImpl("read", cRead)
+	registerImpl("write", cWrite)
+	registerImpl("close", cClose)
+	registerImpl("getpid", cGetpid)
+	registerImpl("getuid", cGetuid)
+}
+
+func cOpen(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	name, f := env.Img.Space.ReadCString(arg(args, 0).Addr(), 1<<16)
+	if f != nil {
+		return 0, f
+	}
+	flags := arg(args, 1).Int32()
+	readOnly := flags&3 == oRdonly
+	fd := env.Open(name, readOnly, flags&oCreat != 0)
+	return cval.Int(int64(fd)), nil
+}
+
+func cRead(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	fd := arg(args, 0).Int32()
+	buf := arg(args, 1).Addr()
+	count := arg(args, 2).Uint32()
+	sp := env.Img.Space
+	var n uint32
+	if fd == 0 {
+		for n < count {
+			b, err := env.Stdin.ReadByte()
+			if err != nil {
+				break
+			}
+			if f := sp.WriteByteAt(buf+cmem.Addr(n), b); f != nil {
+				return 0, f
+			}
+			n++
+		}
+		return cval.Int(int64(n)), nil
+	}
+	sf, ok := env.File(fd)
+	if !ok {
+		env.Errno = cval.EBADF
+		return cval.Int(-1), nil
+	}
+	data := sf.Data.Bytes()
+	for n < count && sf.Pos < len(data) {
+		if f := sp.WriteByteAt(buf+cmem.Addr(n), data[sf.Pos]); f != nil {
+			return 0, f
+		}
+		sf.Pos++
+		n++
+	}
+	return cval.Int(int64(n)), nil
+}
+
+func cWrite(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	fd := arg(args, 0).Int32()
+	buf := arg(args, 1).Addr()
+	count := arg(args, 2).Uint32()
+	sp := env.Img.Space
+	emit, ok := writeToFd(env, fd)
+	if !ok {
+		env.Errno = cval.EBADF
+		return cval.Int(-1), nil
+	}
+	for i := uint32(0); i < count; i++ {
+		b, f := sp.ReadByteAt(buf + cmem.Addr(i))
+		if f != nil {
+			return 0, f
+		}
+		if f := emit(b); f != nil {
+			return 0, f
+		}
+	}
+	return cval.Int(int64(count)), nil
+}
+
+func cClose(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	if !env.Close(arg(args, 0).Int32()) {
+		return cval.Int(-1), nil
+	}
+	return cval.Int(0), nil
+}
+
+func cGetpid(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	return cval.Int(4242), nil // one simulated process, one pid
+}
+
+func cGetuid(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+	if env.Privileged {
+		return cval.Int(0), nil
+	}
+	return cval.Int(1000), nil
+}

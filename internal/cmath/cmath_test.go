@@ -1,0 +1,123 @@
+package cmath
+
+import (
+	"math"
+	"testing"
+
+	"healers/internal/cval"
+	"healers/internal/inject"
+	"healers/internal/simelf"
+)
+
+func newLibm(t *testing.T) *simelf.Library {
+	t.Helper()
+	lib, err := AsLibrary()
+	if err != nil {
+		t.Fatalf("AsLibrary: %v", err)
+	}
+	return lib
+}
+
+func callM(t *testing.T, lib *simelf.Library, env *cval.Env, name string, args ...cval.Value) cval.Value {
+	t.Helper()
+	fn, ok := lib.Lookup(name)
+	if !ok {
+		t.Fatalf("no %s in libm", name)
+	}
+	v, f := fn(env, args)
+	if f != nil {
+		t.Fatalf("%s faulted: %v", name, f)
+	}
+	return v
+}
+
+func TestMathFunctions(t *testing.T) {
+	lib := newLibm(t)
+	env := cval.NewEnv()
+	tests := []struct {
+		name string
+		args []cval.Value
+		want float64
+	}{
+		{"sqrt", []cval.Value{Bits(9)}, 3},
+		{"pow", []cval.Value{Bits(2), Bits(10)}, 1024},
+		{"log", []cval.Value{Bits(math.E)}, 1},
+		{"exp", []cval.Value{Bits(0)}, 1},
+		{"sin", []cval.Value{Bits(0)}, 0},
+		{"cos", []cval.Value{Bits(0)}, 1},
+		{"floor", []cval.Value{Bits(2.7)}, 2},
+		{"ceil", []cval.Value{Bits(2.1)}, 3},
+		{"fabs", []cval.Value{Bits(-5.5)}, 5.5},
+		{"fmod", []cval.Value{Bits(7), Bits(3)}, 1},
+		{"atan2", []cval.Value{Bits(0), Bits(1)}, 0},
+	}
+	for _, tt := range tests {
+		got := Float(callM(t, lib, env, tt.name, tt.args...))
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s = %g, want %g", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestMathDomainErrors(t *testing.T) {
+	lib := newLibm(t)
+	tests := []struct {
+		name      string
+		args      []cval.Value
+		wantErrno int32
+	}{
+		{"sqrt", []cval.Value{Bits(-1)}, cval.EDOM},
+		{"log", []cval.Value{Bits(0)}, cval.EDOM},
+		{"log", []cval.Value{Bits(-3)}, cval.EDOM},
+		{"pow", []cval.Value{Bits(-2), Bits(0.5)}, cval.EDOM},
+		{"pow", []cval.Value{Bits(10), Bits(1000)}, cval.ERANGE},
+		{"exp", []cval.Value{Bits(10000)}, cval.ERANGE},
+		{"fmod", []cval.Value{Bits(1), Bits(0)}, cval.EDOM},
+	}
+	for _, tt := range tests {
+		env := cval.NewEnv()
+		v := callM(t, lib, env, tt.name, tt.args...)
+		if env.Errno != tt.wantErrno {
+			t.Errorf("%s: errno = %d, want %d", tt.name, env.Errno, tt.wantErrno)
+		}
+		if tt.wantErrno == cval.EDOM {
+			nan := callM(t, lib, env, "isnan_d", v)
+			if nan == 0 {
+				t.Errorf("%s domain error did not return NaN", tt.name)
+			}
+		}
+	}
+}
+
+// TestLibmCampaignIsGraceful is the contrast class for the robustness
+// experiment: a library of scalar functions that signal errors through
+// errno has zero crash failures under fault injection — the well-behaved
+// end of the Ballista spectrum.
+func TestLibmCampaignIsGraceful(t *testing.T) {
+	sys := simelf.NewSystem()
+	lib := newLibm(t)
+	if err := sys.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	c, err := inject.New(sys, Soname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := c.RunLibrary()
+	if err != nil {
+		t.Fatalf("RunLibrary: %v", err)
+	}
+	if lr.TotalFailures != 0 {
+		t.Errorf("libm campaign found %d failures; scalar math must be graceful", lr.TotalFailures)
+	}
+	if lr.TotalProbes == 0 || len(lr.Funcs) != 12 {
+		t.Errorf("campaign shape: %d probes over %d functions", lr.TotalProbes, len(lr.Funcs))
+	}
+	for _, fr := range lr.Funcs {
+		for _, v := range fr.Verdicts {
+			if v.LevelName != "any" {
+				t.Errorf("%s param %s derived %q, want any", fr.Name, v.Name, v.LevelName)
+			}
+		}
+	}
+}

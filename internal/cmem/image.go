@@ -1,0 +1,141 @@
+package cmem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Image bundles a complete simulated process memory image: address space,
+// data segment allocator, heap, and stack. One Image backs one simulated
+// process; the fault injector creates a fresh Image per probe, standing in
+// for forking a probe child.
+type Image struct {
+	Space *Space
+	Heap  *Heap
+	Stack *Stack
+
+	dataCur Addr // bump pointer inside the data segment
+	dataEnd Addr
+	roCur   Addr // bump pointer inside the read-only segment
+	roEnd   Addr
+}
+
+// Segment sizing for the data/rodata bump allocators.
+const (
+	dataSegSize = 4 << 20
+	roSegSize   = 1 << 20
+	// RoBase is where the simulated read-only segment (string literals)
+	// begins. Kept below DataBase.
+	RoBase Addr = 0x04000000
+)
+
+// NewImage builds a canonical process image: a read-only literal segment, a
+// writable data segment, an empty heap, and a stack of DefaultStackSize.
+func NewImage() *Image {
+	sp := NewSpace()
+	if f := sp.Map(RoBase, roSegSize, ProtRead); f != nil {
+		panic(fmt.Sprintf("cmem: fresh space rejected rodata map: %v", f))
+	}
+	if f := sp.Map(DataBase, dataSegSize, ProtRW); f != nil {
+		panic(fmt.Sprintf("cmem: fresh space rejected data map: %v", f))
+	}
+	st, f := NewStack(sp, StackTop, DefaultStackSize)
+	if f != nil {
+		panic(fmt.Sprintf("cmem: fresh space rejected stack map: %v", f))
+	}
+	return &Image{
+		Space:   sp,
+		Heap:    NewHeap(sp, HeapBase, HeapLimit),
+		Stack:   st,
+		dataCur: DataBase,
+		dataEnd: DataBase + dataSegSize,
+		roCur:   RoBase,
+		roEnd:   RoBase + roSegSize,
+	}
+}
+
+// StaticAlloc reserves n bytes (8-aligned) in the writable data segment and
+// returns the base address. The loader places library globals here.
+func (im *Image) StaticAlloc(n uint32) (Addr, *Fault) {
+	n = round8(max32(n, 1))
+	if im.dataCur+Addr(n) > im.dataEnd {
+		return 0, abort("static", im.dataCur, "data segment exhausted")
+	}
+	a := im.dataCur
+	im.dataCur += Addr(n)
+	return a, nil
+}
+
+// StaticString places s as a NUL-terminated writable string in the data
+// segment and returns its address.
+func (im *Image) StaticString(s string) (Addr, *Fault) {
+	a, f := im.StaticAlloc(uint32(len(s)) + 1)
+	if f != nil {
+		return 0, f
+	}
+	if f := im.Space.WriteCString(a, s); f != nil {
+		return 0, f
+	}
+	return a, nil
+}
+
+// LiteralString places s as a NUL-terminated *read-only* string (a C string
+// literal) and returns its address. Writing through the returned pointer
+// faults, which is exactly what several injector probes check.
+func (im *Image) LiteralString(s string) (Addr, *Fault) {
+	n := round8(uint32(len(s)) + 1)
+	if im.roCur+Addr(n) > im.roEnd {
+		return 0, abort("literal", im.roCur, "rodata segment exhausted")
+	}
+	a := im.roCur
+	im.roCur += Addr(n)
+	// Temporarily raise protection to seed the bytes.
+	if f := im.Space.Protect(a&^Addr(pageMask), PageSize, ProtRW); f != nil {
+		return 0, f
+	}
+	if f := im.Space.WriteCString(a, s); f != nil {
+		return 0, f
+	}
+	if f := im.Space.Protect(a&^Addr(pageMask), PageSize, ProtRead); f != nil {
+		return 0, f
+	}
+	return a, nil
+}
+
+// CString is shorthand for reading a NUL-terminated string with a sane
+// upper bound for diagnostics.
+func (im *Image) CString(a Addr) (string, *Fault) {
+	return im.Space.ReadCString(a, 1<<20)
+}
+
+// HexDump renders n bytes starting at a in the classic 16-byte-row hex +
+// ASCII format. Unmapped bytes render as "..". Used by the attack demo and
+// by failing tests for legible context.
+func (im *Image) HexDump(a Addr, n uint32) string {
+	var b strings.Builder
+	for row := uint32(0); row < n; row += 16 {
+		fmt.Fprintf(&b, "%s  ", a+Addr(row))
+		var ascii [16]byte
+		for col := uint32(0); col < 16; col++ {
+			if row+col >= n {
+				b.WriteString("   ")
+				ascii[col] = ' '
+				continue
+			}
+			c, f := im.Space.ReadByteAt(a + Addr(row+col))
+			if f != nil {
+				b.WriteString(".. ")
+				ascii[col] = '.'
+				continue
+			}
+			fmt.Fprintf(&b, "%02x ", c)
+			if c >= 0x20 && c < 0x7f {
+				ascii[col] = c
+			} else {
+				ascii[col] = '.'
+			}
+		}
+		fmt.Fprintf(&b, " |%s|\n", string(ascii[:]))
+	}
+	return b.String()
+}

@@ -1,0 +1,401 @@
+package cmem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Addr is a simulated 32-bit virtual address. The zero value is the NULL
+// pointer, which is never mapped.
+type Addr uint32
+
+// String renders the address in the usual hexadecimal form.
+func (a Addr) String() string { return fmt.Sprintf("0x%08x", uint32(a)) }
+
+// IsNull reports whether the address is the NULL pointer.
+func (a Addr) IsNull() bool { return a == 0 }
+
+// PageSize is the granularity of the simulated MMU.
+const PageSize = 4096
+
+// pageShift and pageMask derive from PageSize.
+const (
+	pageShift = 12
+	pageMask  = PageSize - 1
+)
+
+// Prot is a page protection bit set.
+type Prot uint8
+
+const (
+	// ProtRead allows loads from the page.
+	ProtRead Prot = 1 << iota
+	// ProtWrite allows stores to the page.
+	ProtWrite
+)
+
+// ProtRW is the common read+write protection.
+const ProtRW = ProtRead | ProtWrite
+
+// String renders the protection like "r-", "rw", or "--".
+func (p Prot) String() string {
+	var b strings.Builder
+	if p&ProtRead != 0 {
+		b.WriteByte('r')
+	} else {
+		b.WriteByte('-')
+	}
+	if p&ProtWrite != 0 {
+		b.WriteByte('w')
+	} else {
+		b.WriteByte('-')
+	}
+	return b.String()
+}
+
+// page is one mapped page of the address space.
+// The backing bytes are allocated lazily on first store — a freshly
+// mapped page reads as zeros — so that creating a process image (the
+// fault injector makes thousands) costs map entries, not megabytes.
+type page struct {
+	data []byte
+	prot Prot
+}
+
+// Layout constants for the canonical process image. They match the
+// 32-bit Unix convention closely enough that diagnostic output is familiar.
+const (
+	// DataBase is where the simulated data segment (string literals,
+	// globals of loaded libraries) begins.
+	DataBase Addr = 0x08000000
+	// HeapBase is where the heap begins; it grows upward.
+	HeapBase Addr = 0x10000000
+	// HeapLimit caps heap growth.
+	HeapLimit Addr = 0x40000000
+	// StackTop is the highest stack address; the stack grows downward.
+	StackTop Addr = 0xc0000000
+	// DefaultStackSize is the default stack reservation.
+	DefaultStackSize = 1 << 20
+)
+
+// Space is a sparse simulated address space. The zero value is not usable;
+// construct with NewSpace. Space is not safe for concurrent use: each
+// simulated process owns exactly one and simulated execution is sequential,
+// matching a single-threaded probe child.
+type Space struct {
+	pages map[Addr]*page
+
+	// loads/stores count accesses, for the profiling demo's statistics.
+	loads  uint64
+	stores uint64
+
+	// fuel, when non-negative, is decremented on every access; hitting
+	// zero raises FaultHang. Negative means unlimited (the default).
+	fuel int64
+}
+
+// NewSpace returns an empty address space with no mappings (every access
+// faults until Map is called).
+func NewSpace() *Space {
+	return &Space{pages: make(map[Addr]*page), fuel: -1}
+}
+
+// SetFuel arms (n >= 0) or disarms (n < 0) the access budget. The fault
+// injector arms it per probe so that an argument combination that makes a
+// function loop forever is observed as a hang instead of wedging the
+// campaign — the simulation's equivalent of a probe-child timeout.
+func (s *Space) SetFuel(n int64) { s.fuel = n }
+
+// Fuel returns the remaining access budget (negative = unlimited).
+func (s *Space) Fuel() int64 { return s.fuel }
+
+// burn consumes one access of fuel.
+func (s *Space) burn(op string, a Addr) *Fault {
+	if s.fuel < 0 {
+		return nil
+	}
+	if s.fuel == 0 {
+		return &Fault{Kind: FaultHang, Addr: a, Op: op, Detail: "access budget exhausted"}
+	}
+	s.fuel--
+	return nil
+}
+
+// pageOf returns the page containing a, or nil if unmapped.
+func (s *Space) pageOf(a Addr) *page {
+	return s.pages[a>>pageShift]
+}
+
+// Map maps [base, base+size) with the given protection. Partial pages are
+// rounded out to page boundaries. Mapping over an existing mapping is an
+// abort fault (the simulated loader never does it; doing so indicates a
+// toolkit bug worth surfacing loudly).
+func (s *Space) Map(base Addr, size uint32, p Prot) *Fault {
+	if size == 0 {
+		return nil
+	}
+	first := base >> pageShift
+	last := (base + Addr(size) - 1) >> pageShift
+	if base+Addr(size)-1 < base {
+		return abort("map", base, "mapping wraps address space")
+	}
+	for pn := first; pn <= last; pn++ {
+		if _, ok := s.pages[pn]; ok {
+			return abort("map", pn<<pageShift, "page already mapped")
+		}
+	}
+	for pn := first; pn <= last; pn++ {
+		s.pages[pn] = &page{prot: p}
+	}
+	return nil
+}
+
+// Unmap removes every whole page covered by [base, base+size). Unmapping an
+// unmapped page is ignored, matching munmap semantics.
+func (s *Space) Unmap(base Addr, size uint32) {
+	if size == 0 {
+		return
+	}
+	first := base >> pageShift
+	last := (base + Addr(size) - 1) >> pageShift
+	for pn := first; pn <= last; pn++ {
+		delete(s.pages, pn)
+	}
+}
+
+// Protect changes the protection of every page covered by [base,
+// base+size). Unmapped pages fault.
+func (s *Space) Protect(base Addr, size uint32, p Prot) *Fault {
+	if size == 0 {
+		return nil
+	}
+	first := base >> pageShift
+	last := (base + Addr(size) - 1) >> pageShift
+	for pn := first; pn <= last; pn++ {
+		pg, ok := s.pages[pn]
+		if !ok {
+			return segv("mprotect", pn<<pageShift, "page not mapped")
+		}
+		pg.prot = p
+	}
+	return nil
+}
+
+// Mapped reports whether every byte of [a, a+size) is mapped with at least
+// the given protection. A zero size is trivially true.
+func (s *Space) Mapped(a Addr, size uint32, want Prot) bool {
+	if size == 0 {
+		return true
+	}
+	if a+Addr(size)-1 < a {
+		return false
+	}
+	first := a >> pageShift
+	last := (a + Addr(size) - 1) >> pageShift
+	for pn := first; pn <= last; pn++ {
+		pg, ok := s.pages[pn]
+		if !ok || pg.prot&want != want {
+			return false
+		}
+	}
+	return true
+}
+
+// MappedLen returns the number of contiguous bytes mapped with the given
+// protection starting at a, capped at max. It lets callers (for example the
+// robustness wrapper's string validation) probe how far a buffer extends
+// without faulting.
+func (s *Space) MappedLen(a Addr, want Prot, max uint32) uint32 {
+	var n uint32
+	for n < max {
+		pg := s.pageOf(a + Addr(n))
+		if pg == nil || pg.prot&want != want {
+			return n
+		}
+		// Skip to the end of this page in one step.
+		inPage := PageSize - uint32(a+Addr(n))&pageMask
+		if n+inPage > max {
+			inPage = max - n
+		}
+		n += inPage
+	}
+	return n
+}
+
+// ReadByte loads one byte.
+func (s *Space) ReadByteAt(a Addr) (byte, *Fault) {
+	if f := s.burn("read1", a); f != nil {
+		return 0, f
+	}
+	pg := s.pageOf(a)
+	if pg == nil {
+		return 0, segv("read1", a, "")
+	}
+	if pg.prot&ProtRead == 0 {
+		return 0, prot("read1", a, "")
+	}
+	s.loads++
+	if pg.data == nil {
+		return 0, nil
+	}
+	return pg.data[a&pageMask], nil
+}
+
+// WriteByte stores one byte.
+func (s *Space) WriteByteAt(a Addr, v byte) *Fault {
+	if f := s.burn("write1", a); f != nil {
+		return f
+	}
+	pg := s.pageOf(a)
+	if pg == nil {
+		return segv("write1", a, "")
+	}
+	if pg.prot&ProtWrite == 0 {
+		return prot("write1", a, "")
+	}
+	s.stores++
+	if pg.data == nil {
+		pg.data = make([]byte, PageSize)
+	}
+	pg.data[a&pageMask] = v
+	return nil
+}
+
+// Read copies len(dst) bytes starting at a into dst.
+func (s *Space) Read(a Addr, dst []byte) *Fault {
+	for i := range dst {
+		b, f := s.ReadByteAt(a + Addr(i))
+		if f != nil {
+			return f
+		}
+		dst[i] = b
+	}
+	return nil
+}
+
+// Write copies src into the address space starting at a.
+func (s *Space) Write(a Addr, src []byte) *Fault {
+	for i, b := range src {
+		if f := s.WriteByteAt(a+Addr(i), b); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// ReadU16 loads a little-endian 16-bit value. Misaligned wide accesses are
+// SIGBUS, matching strict-alignment hardware; the injector exercises this.
+func (s *Space) ReadU16(a Addr) (uint16, *Fault) {
+	if a&1 != 0 {
+		return 0, &Fault{Kind: FaultBus, Addr: a, Op: "read2", Detail: "misaligned"}
+	}
+	var buf [2]byte
+	if f := s.Read(a, buf[:]); f != nil {
+		return 0, f
+	}
+	return uint16(buf[0]) | uint16(buf[1])<<8, nil
+}
+
+// WriteU16 stores a little-endian 16-bit value.
+func (s *Space) WriteU16(a Addr, v uint16) *Fault {
+	if a&1 != 0 {
+		return &Fault{Kind: FaultBus, Addr: a, Op: "write2", Detail: "misaligned"}
+	}
+	return s.Write(a, []byte{byte(v), byte(v >> 8)})
+}
+
+// ReadU32 loads a little-endian 32-bit value.
+func (s *Space) ReadU32(a Addr) (uint32, *Fault) {
+	if a&3 != 0 {
+		return 0, &Fault{Kind: FaultBus, Addr: a, Op: "read4", Detail: "misaligned"}
+	}
+	var buf [4]byte
+	if f := s.Read(a, buf[:]); f != nil {
+		return 0, f
+	}
+	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24, nil
+}
+
+// WriteU32 stores a little-endian 32-bit value.
+func (s *Space) WriteU32(a Addr, v uint32) *Fault {
+	if a&3 != 0 {
+		return &Fault{Kind: FaultBus, Addr: a, Op: "write4", Detail: "misaligned"}
+	}
+	return s.Write(a, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+// ReadU64 loads a little-endian 64-bit value.
+func (s *Space) ReadU64(a Addr) (uint64, *Fault) {
+	if a&7 != 0 {
+		return 0, &Fault{Kind: FaultBus, Addr: a, Op: "read8", Detail: "misaligned"}
+	}
+	lo, f := s.ReadU32(a)
+	if f != nil {
+		return 0, f
+	}
+	hi, f := s.ReadU32(a + 4)
+	if f != nil {
+		return 0, f
+	}
+	return uint64(lo) | uint64(hi)<<32, nil
+}
+
+// WriteU64 stores a little-endian 64-bit value.
+func (s *Space) WriteU64(a Addr, v uint64) *Fault {
+	if a&7 != 0 {
+		return &Fault{Kind: FaultBus, Addr: a, Op: "write8", Detail: "misaligned"}
+	}
+	if f := s.WriteU32(a, uint32(v)); f != nil {
+		return f
+	}
+	return s.WriteU32(a+4, uint32(v>>32))
+}
+
+// ReadCString reads a NUL-terminated string starting at a, up to max bytes
+// (excluding the NUL). Exceeding max without a NUL is reported as a SEGV at
+// the first unread byte, modelling a runaway strlen walking off a mapping.
+func (s *Space) ReadCString(a Addr, max uint32) (string, *Fault) {
+	var b strings.Builder
+	for i := uint32(0); i < max; i++ {
+		c, f := s.ReadByteAt(a + Addr(i))
+		if f != nil {
+			return "", f
+		}
+		if c == 0 {
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+	}
+	return "", segv("readcstr", a+Addr(max), "no NUL within limit")
+}
+
+// WriteCString stores s followed by a NUL terminator at a.
+func (sp *Space) WriteCString(a Addr, s string) *Fault {
+	if f := sp.Write(a, []byte(s)); f != nil {
+		return f
+	}
+	return sp.WriteByteAt(a+Addr(len(s)), 0)
+}
+
+// CStrLen walks memory from a until a NUL byte, returning the length. It
+// faults exactly where C strlen would.
+func (s *Space) CStrLen(a Addr) (uint32, *Fault) {
+	for n := uint32(0); ; n++ {
+		c, f := s.ReadByteAt(a + Addr(n))
+		if f != nil {
+			return 0, f
+		}
+		if c == 0 {
+			return n, nil
+		}
+	}
+}
+
+// AccessCounts returns the cumulative (loads, stores) performed through the
+// space, for profiling reports.
+func (s *Space) AccessCounts() (loads, stores uint64) {
+	return s.loads, s.stores
+}
+
+// PageCount returns the number of mapped pages.
+func (s *Space) PageCount() int { return len(s.pages) }

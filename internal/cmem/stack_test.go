@@ -1,0 +1,256 @@
+package cmem
+
+import "testing"
+
+func newTestStack(t *testing.T) (*Space, *Stack) {
+	t.Helper()
+	sp := NewSpace()
+	st, f := NewStack(sp, StackTop, 64*PageSize)
+	if f != nil {
+		t.Fatalf("NewStack: %v", f)
+	}
+	return sp, st
+}
+
+func TestStackPushPop(t *testing.T) {
+	sp, st := newTestStack(t)
+	if st.Depth() != 0 {
+		t.Fatalf("fresh stack depth = %d", st.Depth())
+	}
+	locals, f := st.PushFrame(64, 0x401000)
+	if f != nil {
+		t.Fatalf("PushFrame: %v", f)
+	}
+	if !st.Contains(locals, 64) {
+		t.Error("locals outside stack region")
+	}
+	if f := sp.Write(locals, make([]byte, 64)); f != nil {
+		t.Errorf("write to locals: %v", f)
+	}
+	ret, f := st.PopFrame()
+	if f != nil {
+		t.Fatalf("PopFrame: %v", f)
+	}
+	if ret != 0x401000 {
+		t.Errorf("return address = %#x, want 0x401000", ret)
+	}
+	if st.Pointer() != StackTop {
+		t.Errorf("stack pointer after pop = %s, want %s", st.Pointer(), StackTop)
+	}
+}
+
+func TestStackNesting(t *testing.T) {
+	_, st := newTestStack(t)
+	var rets []uint64
+	for i := uint64(1); i <= 10; i++ {
+		if _, f := st.PushFrame(32, 0x400000+i); f != nil {
+			t.Fatalf("push %d: %v", i, f)
+		}
+		rets = append(rets, 0x400000+i)
+	}
+	if st.Depth() != 10 {
+		t.Fatalf("depth = %d, want 10", st.Depth())
+	}
+	for i := 9; i >= 0; i-- {
+		ret, f := st.PopFrame()
+		if f != nil {
+			t.Fatalf("pop %d: %v", i, f)
+		}
+		if ret != rets[i] {
+			t.Errorf("pop %d = %#x, want %#x", i, ret, rets[i])
+		}
+	}
+}
+
+func TestStackOverflowFaults(t *testing.T) {
+	sp := NewSpace()
+	st, f := NewStack(sp, StackTop, PageSize)
+	if f != nil {
+		t.Fatalf("NewStack: %v", f)
+	}
+	if _, f := st.PushFrame(2*PageSize, 0); f == nil || f.Kind != FaultSegv {
+		t.Errorf("oversized frame: fault = %v, want SIGSEGV", f)
+	}
+}
+
+func TestPopEmptyAborts(t *testing.T) {
+	_, st := newTestStack(t)
+	if _, f := st.PopFrame(); f == nil || f.Kind != FaultAbort {
+		t.Errorf("pop on empty: fault = %v, want SIGABRT", f)
+	}
+}
+
+func TestStackSmashDetectedByGuard(t *testing.T) {
+	sp, st := newTestStack(t)
+	st.SetGuards(true)
+	locals, f := st.PushFrame(16, 0x400123)
+	if f != nil {
+		t.Fatalf("PushFrame: %v", f)
+	}
+	fr, ok := st.TopFrame()
+	if !ok || fr.CanaryAddr == 0 {
+		t.Fatal("guarded frame has no canary")
+	}
+	// The canary must sit between locals and the return slot so a
+	// contiguous overflow hits it first.
+	if !(fr.CanaryAddr >= locals+16 && fr.CanaryAddr < fr.RetSlot) {
+		t.Fatalf("layout wrong: locals=%s canary=%s ret=%s", locals, fr.CanaryAddr, fr.RetSlot)
+	}
+	if f := st.CheckGuards(); f != nil {
+		t.Fatalf("pre-smash CheckGuards: %v", f)
+	}
+	// Simulated strcpy overflow: write past the 16-byte local buffer all
+	// the way over the return slot.
+	over := make([]byte, uint32(fr.RetSlot+8-locals))
+	for i := range over {
+		over[i] = 0x41
+	}
+	if f := sp.Write(locals, over); f != nil {
+		t.Fatalf("overflow write: %v", f)
+	}
+	if f := st.CheckGuards(); f == nil || f.Kind != FaultOverflow {
+		t.Errorf("CheckGuards after smash: fault = %v, want OVERFLOW", f)
+	}
+	if _, f := st.PopFrame(); f == nil || f.Kind != FaultOverflow {
+		t.Errorf("PopFrame after smash: fault = %v, want OVERFLOW", f)
+	}
+}
+
+func TestStackSmashUndetectedWithoutGuard(t *testing.T) {
+	sp, st := newTestStack(t)
+	locals, f := st.PushFrame(16, 0x400123)
+	if f != nil {
+		t.Fatalf("PushFrame: %v", f)
+	}
+	fr, _ := st.TopFrame()
+	if fr.CanaryAddr != 0 {
+		t.Fatal("unguarded frame has a canary")
+	}
+	// Overflow straight over the return slot; the attacker's value is
+	// returned — the undefended stack-smash baseline.
+	over := make([]byte, uint32(fr.RetSlot-locals))
+	for i := range over {
+		over[i] = 0x41
+	}
+	if f := sp.Write(locals, over); f != nil {
+		t.Fatalf("overflow write: %v", f)
+	}
+	if f := sp.WriteU64(fr.RetSlot, 0xbad00bad); f != nil {
+		t.Fatalf("ret overwrite: %v", f)
+	}
+	ret, f := st.PopFrame()
+	if f != nil {
+		t.Fatalf("PopFrame: %v", f)
+	}
+	if ret != 0xbad00bad {
+		t.Errorf("hijacked return = %#x, want 0xbad00bad", ret)
+	}
+}
+
+func TestStackContains(t *testing.T) {
+	_, st := newTestStack(t)
+	tests := []struct {
+		a    Addr
+		n    uint32
+		want bool
+	}{
+		{StackTop - 16, 16, true},
+		{StackTop - 16, 17, false},
+		{StackTop - 64*PageSize, 64 * PageSize, true},
+		{StackTop - 64*PageSize - 1, 8, false},
+		{0x1000, 8, false},
+	}
+	for _, tt := range tests {
+		if got := st.Contains(tt.a, tt.n); got != tt.want {
+			t.Errorf("Contains(%s,%d) = %v, want %v", tt.a, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestImageLayout(t *testing.T) {
+	im := NewImage()
+	p := im.Heap.Malloc(16)
+	if p < HeapBase || p >= HeapLimit {
+		t.Errorf("heap pointer %s outside heap segment", p)
+	}
+	a, f := im.StaticAlloc(100)
+	if f != nil {
+		t.Fatalf("StaticAlloc: %v", f)
+	}
+	if a < DataBase || a >= DataBase+dataSegSize {
+		t.Errorf("static alloc %s outside data segment", a)
+	}
+	s, f := im.StaticString("hello")
+	if f != nil {
+		t.Fatalf("StaticString: %v", f)
+	}
+	got, f := im.CString(s)
+	if f != nil || got != "hello" {
+		t.Errorf("CString = %q, %v", got, f)
+	}
+	// Static strings must be writable (they model globals).
+	if f := im.Space.WriteByteAt(s, 'H'); f != nil {
+		t.Errorf("write to static string: %v", f)
+	}
+}
+
+func TestLiteralStringReadOnly(t *testing.T) {
+	im := NewImage()
+	a, f := im.LiteralString("const")
+	if f != nil {
+		t.Fatalf("LiteralString: %v", f)
+	}
+	got, f := im.CString(a)
+	if f != nil || got != "const" {
+		t.Fatalf("CString = %q, %v", got, f)
+	}
+	if f := im.Space.WriteByteAt(a, 'X'); f == nil || f.Kind != FaultProt {
+		t.Errorf("write to literal: fault = %v, want prot fault", f)
+	}
+	// A second literal on the same page must not disturb the first.
+	b, f := im.LiteralString("second")
+	if f != nil {
+		t.Fatalf("second LiteralString: %v", f)
+	}
+	got, f = im.CString(a)
+	if f != nil || got != "const" {
+		t.Errorf("first literal after second placement = %q, %v", got, f)
+	}
+	got, f = im.CString(b)
+	if f != nil || got != "second" {
+		t.Errorf("second literal = %q, %v", got, f)
+	}
+}
+
+func TestHexDump(t *testing.T) {
+	im := NewImage()
+	a, f := im.StaticString("AB")
+	if f != nil {
+		t.Fatalf("StaticString: %v", f)
+	}
+	dump := im.HexDump(a, 16)
+	if len(dump) == 0 {
+		t.Fatal("empty hexdump")
+	}
+	wantSub := "41 42 00"
+	if !containsStr(dump, wantSub) {
+		t.Errorf("hexdump missing %q:\n%s", wantSub, dump)
+	}
+	if !containsStr(dump, "|AB.") {
+		t.Errorf("hexdump missing ASCII column:\n%s", dump)
+	}
+	// Dumping unmapped memory renders placeholders instead of faulting.
+	dump = im.HexDump(0x100, 16)
+	if !containsStr(dump, "..") {
+		t.Errorf("unmapped hexdump missing placeholder:\n%s", dump)
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

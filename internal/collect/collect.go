@@ -1,0 +1,236 @@
+// Package collect implements the HEALERS central collection service:
+// wrapped applications ship their self-describing XML documents to a
+// server which stores them for later processing ("the collection code is
+// called to send the gathered information to a central server", §2.3).
+//
+// The wire protocol is deliberately simple: a TCP connection carries one
+// or more documents, each prefixed by a 4-byte big-endian length. The
+// server sniffs each document's kind from its root element — nothing else
+// is needed, the documents are self-describing.
+package collect
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"healers/internal/xmlrep"
+)
+
+// MaxDocSize bounds one uploaded document; larger uploads are rejected to
+// keep a misbehaving client from exhausting the server.
+const MaxDocSize = 16 << 20
+
+// Received is one stored document.
+type Received struct {
+	// From is the uploading peer's address.
+	From string
+	// Kind is the sniffed document kind.
+	Kind xmlrep.DocKind
+	// Data is the raw XML.
+	Data []byte
+	// At is the server receive time.
+	At time.Time
+}
+
+// Server is the central collection daemon.
+type Server struct {
+	ln net.Listener
+
+	mu   sync.Mutex
+	docs []Received
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// Serve starts a collection server on addr (use "127.0.0.1:0" for an
+// ephemeral port) and begins accepting uploads in the background.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collect: listen: %w", err)
+	}
+	s := &Server{ln: ln, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				// Transient accept failure; keep serving.
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// handle drains one connection's documents.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	from := conn.RemoteAddr().String()
+	for {
+		data, err := readFrame(conn)
+		if err != nil {
+			return // EOF or a broken frame ends the session
+		}
+		kind, err := xmlrep.Kind(data)
+		if err != nil {
+			continue // unknown document; skip, keep the session
+		}
+		s.mu.Lock()
+		s.docs = append(s.docs, Received{From: from, Kind: kind, Data: data, At: time.Now()})
+		s.mu.Unlock()
+	}
+}
+
+// readFrame reads one length-prefixed document.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxDocSize {
+		return nil, fmt.Errorf("collect: bad frame length %d", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// writeFrame writes one length-prefixed document.
+func writeFrame(w io.Writer, data []byte) error {
+	if len(data) == 0 || len(data) > MaxDocSize {
+		return fmt.Errorf("collect: bad document size %d", len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// Count returns the number of stored documents.
+func (s *Server) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.docs)
+}
+
+// Docs returns stored documents of one kind ("" for all).
+func (s *Server) Docs(kind xmlrep.DocKind) []Received {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Received
+	for _, d := range s.docs {
+		if kind == "" || d.Kind == kind {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Profiles parses every stored profile document.
+func (s *Server) Profiles() ([]*xmlrep.ProfileLog, error) {
+	var out []*xmlrep.ProfileLog
+	for _, d := range s.Docs(xmlrep.KindProfile) {
+		log, err := xmlrep.Unmarshal[xmlrep.ProfileLog](d.Data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, log)
+	}
+	return out, nil
+}
+
+// AggregateCalls sums call counts per function across all stored
+// profiles — the server-side view the paper's Figure 5 renders.
+func (s *Server) AggregateCalls() (map[string]uint64, error) {
+	logs, err := s.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	agg := make(map[string]uint64)
+	for _, l := range logs {
+		for _, f := range l.Funcs {
+			agg[f.Name] += f.Calls
+		}
+	}
+	return agg, nil
+}
+
+// Client uploads documents to a collection server.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a collection server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("collect: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Send marshals and uploads one document.
+func (c *Client) Send(doc any) error {
+	data, err := xmlrep.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	return c.SendRaw(data)
+}
+
+// SendRaw uploads pre-marshalled XML.
+func (c *Client) SendRaw(data []byte) error {
+	return writeFrame(c.conn, data)
+}
+
+// Close ends the upload session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Upload is the one-shot convenience: dial, send, close.
+func Upload(addr string, doc any) error {
+	c, err := Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Send(doc); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package collect
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"healers/internal/ctypes"
+	"healers/internal/gen"
+	"healers/internal/xmlrep"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// waitCount polls until the server has stored n documents.
+func waitCount(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Count() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("server stored %d docs, want %d", s.Count(), n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func sampleProfile(app string, calls uint64) *xmlrep.ProfileLog {
+	st := gen.NewState("libhealers_prof.so")
+	i := st.Index("strlen")
+	st.CallCount[i] = calls
+	return xmlrep.NewProfileLog("testhost", app, st)
+}
+
+func TestUploadAndQuery(t *testing.T) {
+	s := startServer(t)
+	if err := Upload(s.Addr(), sampleProfile("app1", 10)); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	waitCount(t, s, 1)
+	docs := s.Docs(xmlrep.KindProfile)
+	if len(docs) != 1 || docs[0].Kind != xmlrep.KindProfile {
+		t.Fatalf("Docs = %+v", docs)
+	}
+	if docs[0].From == "" || docs[0].At.IsZero() {
+		t.Error("document metadata missing")
+	}
+	logs, err := s.Profiles()
+	if err != nil || len(logs) != 1 {
+		t.Fatalf("Profiles = %v, %v", logs, err)
+	}
+	if logs[0].App != "app1" || logs[0].TotalCalls() != 10 {
+		t.Errorf("profile = %+v", logs[0])
+	}
+}
+
+func TestMultipleDocsOneSession(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := c.Send(sampleProfile("app", uint64(i+1))); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	// A declaration document on the same session.
+	decl := xmlrep.NewDeclarations("libc.so.6", []*ctypes.Prototype{{Name: "f", Ret: ctypes.Int}})
+	if err := c.Send(decl); err != nil {
+		t.Fatalf("Send decl: %v", err)
+	}
+	waitCount(t, s, 4)
+	if n := len(s.Docs(xmlrep.KindProfile)); n != 3 {
+		t.Errorf("profiles = %d, want 3", n)
+	}
+	if n := len(s.Docs(xmlrep.KindDeclarations)); n != 1 {
+		t.Errorf("declarations = %d, want 1", n)
+	}
+	if n := len(s.Docs("")); n != 4 {
+		t.Errorf("all docs = %d, want 4", n)
+	}
+}
+
+func TestAggregateCalls(t *testing.T) {
+	s := startServer(t)
+	for i, app := range []string{"a", "b", "c"} {
+		if err := Upload(s.Addr(), sampleProfile(app, uint64(10*(i+1)))); err != nil {
+			t.Fatalf("Upload %s: %v", app, err)
+		}
+	}
+	waitCount(t, s, 3)
+	agg, err := s.AggregateCalls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg["strlen"] != 60 {
+		t.Errorf("aggregate strlen = %d, want 60", agg["strlen"])
+	}
+}
+
+func TestUnknownDocumentSkipped(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SendRaw([]byte("<mystery/>")); err != nil {
+		t.Fatalf("SendRaw: %v", err)
+	}
+	// A valid doc after the junk one must still land.
+	if err := c.Send(sampleProfile("late", 1)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	waitCount(t, s, 1)
+	if n := s.Count(); n != 1 {
+		t.Errorf("stored = %d, want 1 (junk skipped)", n)
+	}
+}
+
+func TestBadFrameEndsSession(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A zero-length frame is a protocol violation.
+	if _, err := conn.Write([]byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// The server must drop the session; a later upload on a fresh
+	// session still works.
+	if err := Upload(s.Addr(), sampleProfile("x", 1)); err != nil {
+		t.Fatalf("Upload after bad frame: %v", err)
+	}
+	waitCount(t, s, 1)
+}
+
+func TestClientSizeLimit(t *testing.T) {
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SendRaw(nil); err == nil {
+		t.Error("empty document accepted")
+	}
+	if err := c.SendRaw(make([]byte, MaxDocSize+1)); err == nil {
+		t.Error("oversized document accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if err := Upload("127.0.0.1:1", sampleProfile("x", 1)); err == nil {
+		t.Error("Upload to dead port succeeded")
+	}
+}
+
+func TestServerCloseStopsAccepting(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := Dial(addr); err == nil {
+		t.Error("Dial after Close succeeded")
+	}
+}

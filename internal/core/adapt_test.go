@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"healers/internal/cheader"
+	"healers/internal/cmem"
+	"healers/internal/cval"
+	"healers/internal/inject"
+	"healers/internal/simelf"
+)
+
+// TestAdaptToNewRelease exercises the paper's adaptivity requirement:
+// "due to the fast software update cycle ... the protection method should
+// be able to adapt quickly to new software releases" (§1). Version 1 of a
+// vendor library validates its input; version 2 ships a "faster" parser
+// that skips validation. The same automated pipeline — no manual work —
+// derives a stronger robust API for v2 and regenerates a wrapper that
+// removes the new failures.
+func TestAdaptToNewRelease(t *testing.T) {
+	proto, err := cheader.ParsePrototype("int parse_id(const char *s); // @s in_str")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// v1: defensive — checks its pointer before parsing.
+	v1 := func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		if len(args) == 0 || args[0].IsNull() ||
+			!env.Img.Space.Mapped(args[0].Addr(), 1, cmem.ProtRead) {
+			env.Errno = cval.EINVAL
+			return cval.Int(-1), nil
+		}
+		b, f := env.Img.Space.ReadByteAt(args[0].Addr())
+		if f != nil {
+			return 0, f
+		}
+		return cval.Int(int64(b)), nil
+	}
+	// v2: "optimized" — dereferences blindly and scans to the NUL.
+	v2 := func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		var a cmem.Addr
+		if len(args) > 0 {
+			a = args[0].Addr()
+		}
+		n, f := env.Img.Space.CStrLen(a)
+		if f != nil {
+			return 0, f
+		}
+		return cval.Int(int64(n)), nil
+	}
+
+	deriveFor := func(impl cval.CFunc) (*Toolkit, *inject.FuncReport) {
+		t.Helper()
+		tk, err := NewToolkit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib := simelf.NewLibrary("libutil.so.1")
+		lib.ExportWithProto(proto, impl)
+		if err := tk.System().AddLibrary(lib); err != nil {
+			t.Fatal(err)
+		}
+		fr, err := tk.InjectFunction("libutil.so.1", "parse_id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tk, fr
+	}
+
+	_, fr1 := deriveFor(v1)
+	if fr1.Failures != 0 {
+		t.Fatalf("v1 is defensive yet showed %d failures", fr1.Failures)
+	}
+	if got := fr1.Verdicts[0].LevelName; got != "any" {
+		t.Errorf("v1 derived %q, want any (no checks needed)", got)
+	}
+
+	tk2, fr2 := deriveFor(v2)
+	if fr2.Failures == 0 {
+		t.Fatal("v2 regression not detected by the campaign")
+	}
+	if got := fr2.Verdicts[0].LevelName; got != "cstring" {
+		t.Errorf("v2 derived %q, want cstring", got)
+	}
+
+	// Regenerate the wrapper for the new release from the new campaign
+	// and verify the regression is contained.
+	lr := &inject.LibReport{Funcs: []*inject.FuncReport{fr2}}
+	if _, err := tk2.GenerateRobustnessWrapper("libutil.so.1", lr.RobustAPI(), []string{"parse_id"}); err != nil {
+		t.Fatalf("GenerateRobustnessWrapper: %v", err)
+	}
+	after, err := tk2.InjectFunction("libutil.so.1", "parse_id",
+		inject.WithPreloads("libhealers_robust.so"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Failures != 0 {
+		t.Errorf("wrapped v2 still fails %d probes", after.Failures)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"healers/internal/inject"
+	"healers/internal/xmlrep"
+)
+
+// barWidth is the width of ASCII histogram bars in reports.
+const barWidth = 40
+
+// bar renders a proportional ASCII bar.
+func bar(value, max uint64) string {
+	if max == 0 {
+		return ""
+	}
+	n := int(value * barWidth / max)
+	if n == 0 && value > 0 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+// RenderProfile renders a profile document as the ASCII analogue of the
+// paper's Figure 5: call frequency, share of execution time, and errno
+// distribution per function.
+func RenderProfile(log *xmlrep.ProfileLog) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile of %s on %s (wrapper %s)\n", log.App, log.Host, log.Wrapper)
+
+	type row struct {
+		name   string
+		calls  uint64
+		execNS int64
+	}
+	var rows []row
+	var maxCalls uint64
+	var totalNS int64
+	for _, f := range log.Funcs {
+		if f.Calls == 0 {
+			continue
+		}
+		rows = append(rows, row{f.Name, f.Calls, f.ExecNS})
+		if f.Calls > maxCalls {
+			maxCalls = f.Calls
+		}
+		totalNS += f.ExecNS
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].calls != rows[j].calls {
+			return rows[i].calls > rows[j].calls
+		}
+		return rows[i].name < rows[j].name
+	})
+
+	b.WriteString("\ncall frequency:\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s %8d %s\n", r.name, r.calls, bar(r.calls, maxCalls))
+	}
+
+	b.WriteString("\nexecution time share:\n")
+	for _, r := range rows {
+		pct := 0.0
+		if totalNS > 0 {
+			pct = 100 * float64(r.execNS) / float64(totalNS)
+		}
+		fmt.Fprintf(&b, "  %-12s %7.2f%% %s\n", r.name, pct, bar(uint64(r.execNS), uint64(totalNS)))
+	}
+
+	hasErr := false
+	for _, f := range log.Funcs {
+		for _, e := range f.Errnos {
+			if !hasErr {
+				b.WriteString("\nerror distribution (by errno):\n")
+				hasErr = true
+			}
+			fmt.Fprintf(&b, "  %-12s %-10s %6d\n", f.Name, e.Errno, e.Count)
+		}
+	}
+	if len(log.Global) > 0 {
+		b.WriteString("\nglobal errno histogram:\n")
+		for _, e := range log.Global {
+			fmt.Fprintf(&b, "  %-10s %6d\n", e.Errno, e.Count)
+		}
+	}
+	if log.Overflows > 0 {
+		fmt.Fprintf(&b, "\noverflows detected: %d\n", log.Overflows)
+	}
+	return b.String()
+}
+
+// RenderCampaign renders a library campaign as the robustness table: one
+// row per function with probe and failure counts and the derived robust
+// types.
+func RenderCampaign(lr *inject.LibReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault-injection campaign against %s\n", lr.Library)
+	fmt.Fprintf(&b, "%-12s %7s %9s  %s\n", "function", "probes", "failures", "derived robust argument types")
+	for _, fr := range lr.Funcs {
+		types := strings.Join(fr.RobustLevelNames(), ", ")
+		if types == "" {
+			types = "-"
+		}
+		fmt.Fprintf(&b, "%-12s %7d %9d  %s\n", fr.Name, fr.Probes, fr.Failures, types)
+	}
+	fmt.Fprintf(&b, "\ntotal: %d/%d probes failed; %d of %d functions had at least one robustness failure\n",
+		lr.TotalFailures, lr.TotalProbes, lr.FuncsWithFailures(), len(lr.Funcs))
+	hist := lr.OutcomeHistogram()
+	b.WriteString("outcome histogram:")
+	for _, o := range []inject.Outcome{inject.OutcomeOK, inject.OutcomeErrno, inject.OutcomeCrash, inject.OutcomeAbort, inject.OutcomeHang, inject.OutcomeCorrupt, inject.OutcomeDenied} {
+		if hist[o] > 0 {
+			fmt.Fprintf(&b, " %s=%d", o, hist[o])
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderHardening renders the before/after comparison.
+func RenderHardening(h *HardeningResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "robustness hardening of %s\n", h.Before.Library)
+	fmt.Fprintf(&b, "%-12s %18s %18s\n", "function", "failures (before)", "failures (after)")
+	for _, fr := range h.Before.Funcs {
+		after := h.After.Func(fr.Name)
+		an := 0
+		if after != nil {
+			an = after.Failures
+		}
+		if fr.Failures == 0 && an == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %18d %18d\n", fr.Name, fr.Failures, an)
+	}
+	fmt.Fprintf(&b, "\ntotal failures: %d before, %d after (%d functions wrapped)\n",
+		h.Before.TotalFailures, h.After.TotalFailures, len(h.Before.Funcs))
+	return b.String()
+}
+
+// RenderAppScan renders the Figure 4 view of an application.
+func RenderAppScan(s *AppScan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "application: %s\n\nlinked libraries:\n", s.Name)
+	for _, l := range s.AllLibs {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	for _, l := range s.MissingLibs {
+		fmt.Fprintf(&b, "  %s (NOT FOUND)\n", l)
+	}
+	b.WriteString("\nundefined functions:\n")
+	for _, sym := range s.Undefined {
+		by := s.ResolvedBy[sym]
+		if by == "" {
+			by = "UNRESOLVED"
+		}
+		fmt.Fprintf(&b, "  %-16s -> %s\n", sym, by)
+	}
+	return b.String()
+}

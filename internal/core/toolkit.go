@@ -1,0 +1,402 @@
+// Package core is the HEALERS toolkit itself: the orchestration layer
+// that ties the substrates together into the paper's workflow.
+//
+//	scan    — enumerate libraries and applications, emit declaration
+//	          files (demos §3.1/§3.2, Fig. 4);
+//	inject  — run automated fault-injection campaigns and derive robust
+//	          APIs (§2.2, Fig. 2);
+//	generate— build robustness / security / profiling wrappers from
+//	          micro-generators and install them (§2.3, Fig. 3);
+//	run     — execute applications with wrappers preloaded, collect XML
+//	          profiles, ship them to a collection server (§3.3, Fig. 5);
+//	verify  — re-run the campaign with the wrapper preloaded and show
+//	          the failures are gone.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"healers/internal/clib"
+	"healers/internal/cmath"
+	"healers/internal/collect"
+	"healers/internal/ctypes"
+	"healers/internal/cval"
+	"healers/internal/dynlink"
+	"healers/internal/gen"
+	"healers/internal/inject"
+	"healers/internal/proc"
+	"healers/internal/simelf"
+	"healers/internal/victim"
+	"healers/internal/wrappers"
+	"healers/internal/xmlrep"
+)
+
+// Toolkit is one HEALERS instance bound to one simulated system.
+type Toolkit struct {
+	sys *simelf.System
+	// states remembers the statistics object behind each generated
+	// wrapper library.
+	states map[string]*gen.State
+}
+
+// NewToolkit creates a toolkit over a fresh system with the simulated C
+// library installed.
+func NewToolkit() (*Toolkit, error) {
+	sys := simelf.NewSystem()
+	reg, err := clib.NewRegistry()
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.AddLibrary(reg.AsLibrary()); err != nil {
+		return nil, err
+	}
+	libm, err := cmath.AsLibrary()
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.AddLibrary(libm); err != nil {
+		return nil, err
+	}
+	return &Toolkit{sys: sys, states: make(map[string]*gen.State)}, nil
+}
+
+// System exposes the underlying system registry.
+func (t *Toolkit) System() *simelf.System { return t.sys }
+
+// InstallSampleApps installs the victim applications (rootd, textutil,
+// stress).
+func (t *Toolkit) InstallSampleApps() error {
+	return victim.InstallAll(t.sys)
+}
+
+// WrapperState returns the statistics behind a generated wrapper.
+func (t *Toolkit) WrapperState(soname string) (*gen.State, bool) {
+	st, ok := t.states[soname]
+	return st, ok
+}
+
+// ---------------------------------------------------------------------
+// Scanning (demos §3.1 and §3.2)
+
+// LibraryScan is the library-centric scan result.
+type LibraryScan struct {
+	Soname string
+	// Functions lists every exported function, sorted.
+	Functions []string
+	// Protos carries the parsed prototype per function (nil when the
+	// symbol has no prototype information).
+	Protos map[string]*ctypes.Prototype
+}
+
+// Declarations renders the scan as the XML declaration file of demo §3.1.
+func (s *LibraryScan) Declarations() *xmlrep.Declarations {
+	var protos []*ctypes.Prototype
+	for _, fn := range s.Functions {
+		if p := s.Protos[fn]; p != nil {
+			protos = append(protos, p)
+		}
+	}
+	return xmlrep.NewDeclarations(s.Soname, protos)
+}
+
+// ListLibraries lists every installed library ("our toolkit can list all
+// libraries in the system").
+func (t *Toolkit) ListLibraries() []string { return t.sys.Libraries() }
+
+// ListApplications lists every installed executable.
+func (t *Toolkit) ListApplications() []string { return t.sys.Executables() }
+
+// ScanLibrary enumerates a library's functions and prototypes.
+func (t *Toolkit) ScanLibrary(soname string) (*LibraryScan, error) {
+	lib, ok := t.sys.Library(soname)
+	if !ok {
+		return nil, fmt.Errorf("core: no such library %q", soname)
+	}
+	scan := &LibraryScan{
+		Soname:    soname,
+		Functions: lib.Symbols(),
+		Protos:    make(map[string]*ctypes.Prototype),
+	}
+	for _, fn := range scan.Functions {
+		scan.Protos[fn] = lib.Proto(fn)
+	}
+	return scan, nil
+}
+
+// AppScan is the application-centric scan of Figure 4: the libraries an
+// executable links against and its undefined symbols.
+type AppScan struct {
+	Name string
+	// DirectLibs are the NEEDED entries.
+	DirectLibs []string
+	// AllLibs is the transitive closure, in load order.
+	AllLibs []string
+	// MissingLibs are NEEDED entries not installed.
+	MissingLibs []string
+	// Undefined are the symbols the application imports.
+	Undefined []string
+	// ResolvedBy maps each undefined symbol to the library that defines
+	// it ("" when unresolved).
+	ResolvedBy map[string]string
+}
+
+// ScanApplication extracts the linked-library list and undefined-function
+// list of an executable (demo §3.2, Fig. 4).
+func (t *Toolkit) ScanApplication(name string) (*AppScan, error) {
+	exe, ok := t.sys.Executable(name)
+	if !ok {
+		return nil, fmt.Errorf("core: no such application %q", name)
+	}
+	scan := &AppScan{
+		Name:       name,
+		DirectLibs: append([]string(nil), exe.Needed...),
+		Undefined:  append([]string(nil), exe.Undefined...),
+		ResolvedBy: make(map[string]string),
+	}
+	sort.Strings(scan.Undefined)
+	scan.AllLibs, scan.MissingLibs = t.sys.TransitiveDeps(exe.Needed)
+	for _, sym := range scan.Undefined {
+		scan.ResolvedBy[sym] = ""
+		for _, soname := range scan.AllLibs {
+			lib, _ := t.sys.Library(soname)
+			if _, ok := lib.Lookup(sym); ok {
+				scan.ResolvedBy[sym] = soname
+				break
+			}
+		}
+	}
+	return scan, nil
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (§2.2, Fig. 2)
+
+// Inject runs a fault-injection campaign against every function of a
+// library and returns the full report.
+func (t *Toolkit) Inject(soname string, opts ...inject.CampaignOption) (*inject.LibReport, error) {
+	c, err := inject.New(t.sys, soname, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunLibrary()
+}
+
+// CompareInjectionModes runs the single-fault and pairwise sweeps on one
+// function (the DESIGN.md §5 campaign-mode ablation).
+func (t *Toolkit) CompareInjectionModes(soname, fn string) (*inject.ModeComparison, error) {
+	c, err := inject.New(t.sys, soname)
+	if err != nil {
+		return nil, err
+	}
+	return c.CompareModes(fn)
+}
+
+// InjectFunction probes a single function.
+func (t *Toolkit) InjectFunction(soname, fn string, opts ...inject.CampaignOption) (*inject.FuncReport, error) {
+	c, err := inject.New(t.sys, soname, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunFunction(fn)
+}
+
+// LoadRobustAPIXML parses a robust-API document previously produced by a
+// campaign (healers-inject -xml), so a wrapper can be generated without
+// re-running injection — the "adapt quickly to new software releases"
+// workflow: campaigns run once per release, wrappers regenerate from the
+// stored artifact.
+func (t *Toolkit) LoadRobustAPIXML(data []byte) (ctypes.RobustAPI, error) {
+	doc, err := xmlrep.Unmarshal[xmlrep.RobustAPIDoc](data)
+	if err != nil {
+		return nil, err
+	}
+	return doc.API()
+}
+
+// DeriveRobustAPI runs the campaign and extracts the robust API.
+func (t *Toolkit) DeriveRobustAPI(soname string, opts ...inject.CampaignOption) (ctypes.RobustAPI, *inject.LibReport, error) {
+	lr, err := t.Inject(soname, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lr.RobustAPI(), lr, nil
+}
+
+// ---------------------------------------------------------------------
+// Wrapper generation (§2.3)
+
+// installWrapper registers a generated library and its state.
+func (t *Toolkit) installWrapper(lib *simelf.Library, st *gen.State) error {
+	if err := t.sys.AddLibrary(lib); err != nil {
+		return err
+	}
+	t.states[lib.Soname] = st
+	return nil
+}
+
+// GenerateRobustnessWrapper builds and installs the robustness wrapper
+// for target enforcing api. names == nil wraps the whole library.
+func (t *Toolkit) GenerateRobustnessWrapper(target string, api ctypes.RobustAPI, names []string) (*gen.State, error) {
+	lib, ok := t.sys.Library(target)
+	if !ok {
+		return nil, fmt.Errorf("core: no such library %q", target)
+	}
+	wrapper, st, err := wrappers.Robustness(lib, api, names)
+	if err != nil {
+		return nil, err
+	}
+	return st, t.installWrapper(wrapper, st)
+}
+
+// GenerateSecurityWrapper builds and installs the security wrapper.
+func (t *Toolkit) GenerateSecurityWrapper(target string, names []string) (*gen.State, error) {
+	lib, ok := t.sys.Library(target)
+	if !ok {
+		return nil, fmt.Errorf("core: no such library %q", target)
+	}
+	wrapper, st, err := wrappers.Security(lib, names)
+	if err != nil {
+		return nil, err
+	}
+	return st, t.installWrapper(wrapper, st)
+}
+
+// CollectorEnvVar is the environment variable through which a wrapped
+// process learns its collection server's address — configuration via the
+// process environment, like LD_PRELOAD itself.
+const CollectorEnvVar = "HEALERS_COLLECTOR"
+
+// GenerateProfilingWrapper builds and installs the profiling wrapper. Its
+// exit-flush hook uploads the XML profile to the address in the wrapped
+// process's HEALERS_COLLECTOR environment variable, if set.
+func (t *Toolkit) GenerateProfilingWrapper(target string, names []string) (*gen.State, error) {
+	lib, ok := t.sys.Library(target)
+	if !ok {
+		return nil, fmt.Errorf("core: no such library %q", target)
+	}
+	wrapper, st, err := wrappers.Profiling(lib, names)
+	if err != nil {
+		return nil, err
+	}
+	st.OnExit = func(env *cval.Env, st *gen.State) {
+		addr, ok := env.GetenvString(CollectorEnvVar)
+		if !ok {
+			return
+		}
+		app, _ := env.GetenvString("HEALERS_APP")
+		if app == "" {
+			app = "wrapped-app"
+		}
+		// Upload failures must not take down the wrapped application;
+		// the error lands on its stderr instead.
+		if err := collect.Upload(addr, xmlrep.NewProfileLog("sim-host", app, st)); err != nil {
+			fmt.Fprintf(&env.Stderr, "healers: profile upload failed: %v\n", err)
+		}
+	}
+	return st, t.installWrapper(wrapper, st)
+}
+
+// WrapperSource renders the generated C-like source of one function's
+// wrapper (Fig. 3). kind is "robustness", "security", or "profiling".
+func (t *Toolkit) WrapperSource(kind, target, fn string, api ctypes.RobustAPI) (string, error) {
+	lib, ok := t.sys.Library(target)
+	if !ok {
+		return "", fmt.Errorf("core: no such library %q", target)
+	}
+	proto := lib.Proto(fn)
+	if proto == nil {
+		return "", fmt.Errorf("core: %s has no prototype for %q", target, fn)
+	}
+	var g *gen.Generator
+	switch kind {
+	case "robustness":
+		g = wrappers.RobustnessGenerator(api)
+	case "security":
+		g = wrappers.SecurityGenerator()
+	case "profiling":
+		g = wrappers.ProfilingGenerator()
+	default:
+		return "", fmt.Errorf("core: unknown wrapper kind %q", kind)
+	}
+	return g.Source(proto), nil
+}
+
+// ---------------------------------------------------------------------
+// Running and profiling (§3.3)
+
+// RunResult couples a process result with the profile collected during
+// the run, when a profiling wrapper was preloaded.
+type RunResult struct {
+	Proc    proc.Result
+	Profile *xmlrep.ProfileLog
+}
+
+// RunProfiled executes an application with the profiling wrapper
+// preloaded (generating and installing it on first use) and returns the
+// run result plus the end-of-run profile document.
+func (t *Toolkit) RunProfiled(app, stdin string, argv ...string) (*RunResult, error) {
+	if _, ok := t.sys.Library(wrappers.ProfilingSoname); !ok {
+		if _, err := t.GenerateProfilingWrapper(clib.LibcSoname, nil); err != nil {
+			return nil, err
+		}
+	}
+	// Zero the counters so each profiled run reports only itself.
+	st := t.states[wrappers.ProfilingSoname]
+	st.Reset()
+	p, err := proc.Start(t.sys, app,
+		proc.WithPreloads(wrappers.ProfilingSoname),
+		proc.WithStdin(stdin))
+	if err != nil {
+		return nil, err
+	}
+	res := p.Run(argv...)
+	log := xmlrep.NewProfileLog("sim-host", app, st)
+	return &RunResult{Proc: res, Profile: log}, nil
+}
+
+// Run executes an application with arbitrary preloads.
+func (t *Toolkit) Run(app string, preloads []string, stdin string, argv ...string) (proc.Result, error) {
+	p, err := proc.Start(t.sys, app,
+		proc.WithPreloads(preloads...),
+		proc.WithStdin(stdin))
+	if err != nil {
+		return proc.Result{}, err
+	}
+	return p.Run(argv...), nil
+}
+
+// ---------------------------------------------------------------------
+// Verification (the before/after table)
+
+// HardeningResult compares campaign failures without and with the
+// robustness wrapper — the headline robustness table.
+type HardeningResult struct {
+	Before *inject.LibReport
+	After  *inject.LibReport
+}
+
+// VerifyHardening derives the robust API, installs the robustness
+// wrapper, and re-runs the whole campaign with the wrapper preloaded.
+func (t *Toolkit) VerifyHardening(target string) (*HardeningResult, ctypes.RobustAPI, error) {
+	api, before, err := t.DeriveRobustAPI(target)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, ok := t.sys.Library(wrappers.RobustnessSoname); !ok {
+		if _, err := t.GenerateRobustnessWrapper(target, api, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	after, err := t.Inject(target, inject.WithPreloads(wrappers.RobustnessSoname))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &HardeningResult{Before: before, After: after}, api, nil
+}
+
+// Linkmap builds the load map for an application without running it, for
+// scan tooling that wants search-order detail.
+func (t *Toolkit) Linkmap(app string, preloads []string) (*dynlink.Linkmap, error) {
+	return dynlink.Load(t.sys, app, preloads)
+}

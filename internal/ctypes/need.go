@@ -1,0 +1,119 @@
+package ctypes
+
+import (
+	"healers/internal/cmem"
+	"healers/internal/cval"
+)
+
+// NeedFor computes the contextual requirement for parameter i of proto
+// given the actual argument words of one call. This is the glue between
+// the per-parameter lattice and the cross-parameter reality of C APIs:
+//
+//   - a buffer bounded by a size parameter (memcpy dst, len=n) needs n
+//     bytes;
+//   - an output buffer fed from a source string (strcpy dst, src=src)
+//     needs strlen(src) bytes plus the terminator;
+//   - an append destination (strcat dst) additionally needs its own
+//     current length;
+//   - a size parameter that bounds a buffer (memcpy n, of=dest) carries
+//     that buffer's available mapped span, so the "bounded" level can
+//     compare against it.
+//
+// Both the fault injector (to decide which lattice level a probe value
+// satisfies) and the generated robustness wrapper (to validate real calls)
+// evaluate exactly this function, which is what makes the derived robust
+// API enforceable.
+func NeedFor(env *cval.Env, proto *Prototype, i int, args []cval.Value) Need {
+	if i >= len(proto.Params) {
+		return Need{}
+	}
+	p := proto.Params[i]
+	at := func(j int) cval.Value {
+		if j >= 0 && j < len(args) {
+			return args[j]
+		}
+		return 0
+	}
+
+	// A buffer that one or more size parameters are declared to bound
+	// (qsort's base is bounded by nmemb AND size) needs their product.
+	if p.Role == RoleOutBuf || p.Role == RoleInOutBuf || p.Role == RoleInBuf {
+		prod := uint64(1)
+		linked := false
+		for j, q := range proto.Params {
+			if q.Role == RoleSize && q.SizeOf == i {
+				linked = true
+				prod *= uint64(at(j).Uint32())
+				if prod > 0xffffffff {
+					prod = 0xffffffff
+				}
+			}
+		}
+		if linked {
+			return Need{Bytes: uint32(prod)}
+		}
+	}
+
+	switch {
+	case p.Role == RoleSize && p.SizeOf >= 0:
+		// Available span of the buffer this size bounds.
+		buf := at(p.SizeOf)
+		if buf.IsNull() {
+			return Need{}
+		}
+		want := cmem.ProtRead
+		if p.SizeOf < len(proto.Params) {
+			switch proto.Params[p.SizeOf].Role {
+			case RoleOutBuf, RoleInOutBuf:
+				want = cmem.ProtRead | cmem.ProtWrite
+			}
+		}
+		return Need{Bytes: env.Img.Space.MappedLen(buf.Addr(), want, maxScan)}
+
+	case p.LenBy >= 0:
+		return Need{Bytes: at(p.LenBy).Uint32()}
+
+	case p.SrcStr >= 0:
+		n, ok := CStringLen(env, at(p.SrcStr).Addr())
+		if !ok {
+			// Source is itself invalid; the source's own check will
+			// reject the call. Require at least one byte here.
+			return Need{Bytes: 1}
+		}
+		need := n
+		if p.NulTerm {
+			need++
+		}
+		if p.Role == RoleInOutBuf {
+			// Append: also needs the destination's current length.
+			if dlen, ok := CStringLen(env, at(i).Addr()); ok {
+				need += dlen
+			}
+		}
+		if need == 0 {
+			need = 1
+		}
+		return Need{Bytes: need}
+	}
+	return Need{}
+}
+
+// SatisfiedLevel returns the index of the strongest lattice level of
+// chain that value v satisfies for parameter i of proto in this call
+// context. Levels are ordered weak to strong and are supersets by
+// construction, so the answer is the last consecutive passing level.
+func SatisfiedLevel(env *cval.Env, proto *Prototype, i int, args []cval.Value, chain *Chain) int {
+	need := NeedFor(env, proto, i, args)
+	v := cval.Value(0)
+	if i < len(args) {
+		v = args[i]
+	}
+	sat := 0
+	for k := 1; k < len(chain.Levels); k++ {
+		if !chain.Levels[k].Check(env, v, need) {
+			break
+		}
+		sat = k
+	}
+	return sat
+}

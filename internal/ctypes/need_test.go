@@ -1,0 +1,125 @@
+package ctypes_test
+
+import (
+	"testing"
+
+	"healers/internal/cheader"
+	"healers/internal/cmem"
+	"healers/internal/ctypes"
+	"healers/internal/cval"
+)
+
+func proto(t *testing.T, src string) *ctypes.Prototype {
+	t.Helper()
+	p, err := cheader.ParsePrototype(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNeedForStrcpy(t *testing.T) {
+	env := cval.NewEnv()
+	p := proto(t, "char *strcpy(char *dest, const char *src); // @dest out_buf src=src nul @src in_str")
+	src, _ := env.Img.StaticString("hello")
+	dst := env.Img.Heap.Malloc(64)
+	args := []cval.Value{cval.Ptr(dst), cval.Ptr(src)}
+	need := ctypes.NeedFor(env, p, 0, args)
+	if need.Bytes != 6 { // strlen + NUL
+		t.Errorf("strcpy dest need = %d, want 6", need.Bytes)
+	}
+	// Invalid source degrades to 1 byte (the source's own check will
+	// reject the call).
+	args[1] = cval.Ptr(0xdead0000)
+	if need := ctypes.NeedFor(env, p, 0, args); need.Bytes != 1 {
+		t.Errorf("need with bad src = %d, want 1", need.Bytes)
+	}
+}
+
+func TestNeedForStrcatAddsDestLen(t *testing.T) {
+	env := cval.NewEnv()
+	p := proto(t, "char *strcat(char *dest, const char *src); // @dest inout_buf src=src nul @src in_str")
+	dst := env.Img.Heap.Malloc(64)
+	env.Img.Space.WriteCString(dst, "abcd")
+	src, _ := env.Img.StaticString("xyz")
+	need := ctypes.NeedFor(env, p, 0, []cval.Value{cval.Ptr(dst), cval.Ptr(src)})
+	if need.Bytes != 8 { // 4 existing + 3 new + NUL
+		t.Errorf("strcat dest need = %d, want 8", need.Bytes)
+	}
+}
+
+func TestNeedForMemcpy(t *testing.T) {
+	env := cval.NewEnv()
+	p := proto(t, "void *memcpy(void *dest, const void *src, size_t n); // @dest out_buf len=n @src in_buf len=n @n size of=dest")
+	dst := env.Img.Heap.Malloc(64)
+	src := env.Img.Heap.Malloc(64)
+	args := []cval.Value{cval.Ptr(dst), cval.Ptr(src), cval.Uint(48)}
+	if need := ctypes.NeedFor(env, p, 0, args); need.Bytes != 48 {
+		t.Errorf("dest need = %d, want 48", need.Bytes)
+	}
+	if need := ctypes.NeedFor(env, p, 1, args); need.Bytes != 48 {
+		t.Errorf("src need = %d, want 48", need.Bytes)
+	}
+	// The size param's need is the destination's available span.
+	need := ctypes.NeedFor(env, p, 2, args)
+	if need.Bytes == 0 {
+		t.Error("size param need = 0, want the mapped span of dest")
+	}
+}
+
+func TestNeedForQsortProduct(t *testing.T) {
+	env := cval.NewEnv()
+	p := proto(t, "void qsort(void *base, size_t nmemb, size_t size, int (*compar)(const void *, const void *)); // @base out_buf @nmemb size of=base @size size of=base")
+	base := env.Img.Heap.Malloc(256)
+	args := []cval.Value{cval.Ptr(base), cval.Uint(10), cval.Uint(16), cval.Ptr(0)}
+	if need := ctypes.NeedFor(env, p, 0, args); need.Bytes != 160 {
+		t.Errorf("qsort base need = %d, want nmemb*size = 160", need.Bytes)
+	}
+	// Product overflow saturates instead of wrapping.
+	args[1], args[2] = cval.Uint(0x10000), cval.Uint(0x10000)
+	if need := ctypes.NeedFor(env, p, 0, args); need.Bytes != 0xffffffff {
+		t.Errorf("overflowing product = %#x, want saturation", need.Bytes)
+	}
+}
+
+func TestNeedForNoLinks(t *testing.T) {
+	env := cval.NewEnv()
+	p := proto(t, "char *gets(char *s); // @s out_buf")
+	if need := ctypes.NeedFor(env, p, 0, []cval.Value{cval.Ptr(0x1000)}); need.Bytes != 0 {
+		t.Errorf("unlinked out_buf need = %d, want 0 (unknown)", need.Bytes)
+	}
+	// Out-of-range parameter index is harmless.
+	if need := ctypes.NeedFor(env, p, 5, nil); need.Bytes != 0 {
+		t.Errorf("out-of-range need = %d", need.Bytes)
+	}
+}
+
+func TestSatisfiedLevelConsecutive(t *testing.T) {
+	env := cval.NewEnv()
+	p := proto(t, "size_t strlen(const char *s); // @s in_str")
+	chain := ctypes.ChainFor(p.Params[0])
+
+	good, _ := env.Img.StaticString("terminated")
+	// Readable but unterminated: map a page, fill it, next unmapped.
+	if f := env.Img.Space.Map(0x00900000, cmem.PageSize, cmem.ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	for i := cmem.Addr(0); i < cmem.PageSize; i++ {
+		env.Img.Space.WriteByteAt(0x00900000+i, 'q')
+	}
+	tests := []struct {
+		name string
+		v    cval.Value
+		want int
+	}{
+		{"null", cval.Ptr(0), 0},
+		{"unmapped", cval.Ptr(0xdead0000), 1},
+		{"unterminated", cval.Ptr(0x00900000), 2},
+		{"valid", cval.Ptr(good), 3},
+	}
+	for _, tt := range tests {
+		if got := ctypes.SatisfiedLevel(env, p, 0, []cval.Value{tt.v}, chain); got != tt.want {
+			t.Errorf("%s: SatisfiedLevel = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package ctypes
+
+import "sort"
+
+// RobustParam records the derived weakest robust argument type for one
+// parameter: the chain it was searched in and the level index that the
+// fault-injection campaign found necessary. Level == len(chain levels)
+// (LevelName "uncontainable") means no argument check suffices and fault
+// containment is required.
+type RobustParam struct {
+	Name      string
+	Chain     string
+	Level     int
+	LevelName string
+}
+
+// RobustAPI maps function name to its per-parameter robust types — the
+// artifact Figure 2's pipeline produces and the robustness wrapper
+// enforces.
+type RobustAPI map[string][]RobustParam
+
+// Funcs returns the covered function names, sorted.
+func (api RobustAPI) Funcs() []string {
+	names := make([]string, 0, len(api))
+	for n := range api {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ChainByName resolves a chain name to the shared chain value.
+func ChainByName(name string) (*Chain, bool) {
+	for _, c := range []*Chain{
+		ChainInStr, ChainInBuf, ChainOutBuf, ChainInOutBuf, ChainFmt,
+		ChainSize, ChainFd, ChainFuncPtr, ChainScalar, ChainPtrOut, ChainHeapPtr,
+	} {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,145 @@
+// Package cval defines the value model and calling convention of the
+// simulated C world: 64-bit machine words that may carry integers or
+// pointers, the uniform CFunc signature every simulated C function and
+// every HEALERS wrapper implements, the errno table, and the per-process
+// call environment (Env) threaded through every call.
+//
+// Everything above this package — the C library, the dynamic linker, the
+// fault injector, the generated wrappers — speaks CFunc, which is what
+// makes transparent interception possible: a wrapper is just another CFunc
+// registered earlier in the symbol search order.
+package cval
+
+import (
+	"fmt"
+
+	"healers/internal/cmem"
+)
+
+// Value is one simulated machine word. Pointers occupy the low 32 bits
+// (the simulated address space is 32-bit); integer results use the full
+// word with two's-complement signedness handled by the accessors.
+type Value uint64
+
+// Ptr builds a Value carrying an address.
+func Ptr(a cmem.Addr) Value { return Value(uint32(a)) }
+
+// Int builds a Value carrying a signed integer.
+func Int(i int64) Value { return Value(uint64(i)) }
+
+// Uint builds a Value carrying an unsigned integer.
+func Uint(u uint64) Value { return Value(u) }
+
+// Bool builds a C boolean (1/0).
+func Bool(b bool) Value {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Addr extracts the pointer interpretation.
+func (v Value) Addr() cmem.Addr { return cmem.Addr(uint32(v)) }
+
+// Int extracts the signed-integer interpretation.
+func (v Value) Int() int64 { return int64(v) }
+
+// Int32 extracts the low word as a signed 32-bit integer, the way a C
+// callee reads an int argument.
+func (v Value) Int32() int32 { return int32(uint32(v)) }
+
+// Uint32 extracts the low word unsigned (size_t in the 32-bit model).
+func (v Value) Uint32() uint32 { return uint32(v) }
+
+// Byte extracts the low byte (a C char argument after integer promotion).
+func (v Value) Byte() byte { return byte(v) }
+
+// IsNull reports whether the pointer interpretation is NULL.
+func (v Value) IsNull() bool { return uint32(v) == 0 }
+
+// String renders the value in both interpretations for diagnostics.
+func (v Value) String() string {
+	return fmt.Sprintf("%#x", uint64(v))
+}
+
+// CFunc is the uniform simulated C calling convention. A function receives
+// the call environment and its argument words, and returns a result word
+// or a fault (the moral equivalent of the process taking a fatal signal).
+type CFunc func(env *Env, args []Value) (Value, *cmem.Fault)
+
+// Errno values, numerically aligned with Linux so profiling output reads
+// familiarly.
+const (
+	EOK          int32 = 0
+	EPERM        int32 = 1
+	ENOENT       int32 = 2
+	EINTR        int32 = 4
+	EIO          int32 = 5
+	EBADF        int32 = 9
+	ENOMEM       int32 = 12
+	EACCES       int32 = 13
+	EFAULT       int32 = 14
+	EEXIST       int32 = 17
+	EINVAL       int32 = 22
+	ENFILE       int32 = 23
+	EMFILE       int32 = 24
+	ENOSPC       int32 = 28
+	EDOM         int32 = 33
+	ERANGE       int32 = 34
+	ENOSYS       int32 = 38
+	ENAMETOOLONG int32 = 36
+)
+
+// MaxErrno bounds the errno histogram arrays in profiling wrappers,
+// mirroring the MAX_ERRNO constant in the paper's Figure 3 code.
+const MaxErrno = 64
+
+// EDenied is the errno a HEALERS robustness wrapper sets when it vetoes a
+// call whose arguments fail the robust-API checks. It is deliberately
+// outside the normal errno range so callers and the verification campaign
+// can tell "denied by wrapper" from an ordinary library error.
+const EDenied int32 = 1000
+
+// ErrnoName returns the symbolic name for an errno value, or "E?<n>".
+func ErrnoName(e int32) string {
+	switch e {
+	case EOK:
+		return "0"
+	case EPERM:
+		return "EPERM"
+	case ENOENT:
+		return "ENOENT"
+	case EINTR:
+		return "EINTR"
+	case EIO:
+		return "EIO"
+	case EBADF:
+		return "EBADF"
+	case ENOMEM:
+		return "ENOMEM"
+	case EACCES:
+		return "EACCES"
+	case EFAULT:
+		return "EFAULT"
+	case EEXIST:
+		return "EEXIST"
+	case EINVAL:
+		return "EINVAL"
+	case ENFILE:
+		return "ENFILE"
+	case EMFILE:
+		return "EMFILE"
+	case ENOSPC:
+		return "ENOSPC"
+	case EDOM:
+		return "EDOM"
+	case ERANGE:
+		return "ERANGE"
+	case ENOSYS:
+		return "ENOSYS"
+	case ENAMETOOLONG:
+		return "ENAMETOOLONG"
+	default:
+		return fmt.Sprintf("E?%d", e)
+	}
+}

@@ -1,0 +1,157 @@
+// Package dynlink is the simulated dynamic linker: it assembles a link
+// map for one executable (preloaded objects first, then the executable's
+// transitive NEEDED closure in breadth-first order) and performs symbol
+// resolution through that search order.
+//
+// The preload list is the HEALERS deployment mechanism: "a user interested
+// in using a wrapper can preload it by defining the LD_PRELOAD environment
+// variable" (§2.1). A wrapper library placed in the preload list wins the
+// symbol search for every function it exports, and reaches the original
+// definition through the RTLD_NEXT-style NextFunc handed to its OnLoad
+// hook.
+package dynlink
+
+import (
+	"fmt"
+
+	"healers/internal/cval"
+	"healers/internal/simelf"
+)
+
+// Linkmap is the loaded image of one process: the executable plus its
+// object search order.
+type Linkmap struct {
+	exe     *simelf.Executable
+	objects []*simelf.Library
+	// plt caches resolved symbols, like PLT binding after the first
+	// call. Interposition still applies: the cache is filled through
+	// the full search order.
+	plt map[string]cval.CFunc
+}
+
+// Load builds the link map for exeName in sys, honouring the preload list
+// (sonames resolved first, in the order given). It runs every object's
+// OnLoad hook with its RTLD_NEXT resolver. Missing executables, missing
+// libraries, or a failing OnLoad are errors — the program "does not
+// start", matching ld.so behaviour.
+func Load(sys *simelf.System, exeName string, preloads []string) (*Linkmap, error) {
+	exe, ok := sys.Executable(exeName)
+	if !ok {
+		return nil, fmt.Errorf("dynlink: no such executable %q", exeName)
+	}
+	lm := &Linkmap{exe: exe, plt: make(map[string]cval.CFunc)}
+
+	seen := make(map[string]bool)
+	appendLib := func(soname string) error {
+		if seen[soname] {
+			return nil
+		}
+		lib, ok := sys.Library(soname)
+		if !ok {
+			return fmt.Errorf("dynlink: %s: cannot open shared object %q", exeName, soname)
+		}
+		seen[soname] = true
+		lm.objects = append(lm.objects, lib)
+		return nil
+	}
+
+	for _, soname := range preloads {
+		if err := appendLib(soname); err != nil {
+			return nil, err
+		}
+	}
+	// Preloads may have NEEDED entries of their own; they join the
+	// queue after all preloads, then the executable's deps.
+	queue := append([]string(nil), exe.Needed...)
+	for _, p := range lm.objects {
+		queue = append(queue, p.Needed...)
+	}
+	for len(queue) > 0 {
+		soname := queue[0]
+		queue = queue[1:]
+		if seen[soname] {
+			continue
+		}
+		lib, ok := sys.Library(soname)
+		if !ok {
+			return nil, fmt.Errorf("dynlink: %s: cannot open shared object %q", exeName, soname)
+		}
+		seen[soname] = true
+		lm.objects = append(lm.objects, lib)
+		queue = append(queue, lib.Needed...)
+	}
+
+	// Run OnLoad hooks in search order, handing each object its
+	// RTLD_NEXT resolver.
+	for i, obj := range lm.objects {
+		if obj.OnLoad == nil {
+			continue
+		}
+		after := lm.objects[i+1:]
+		next := func(symbol string) (cval.CFunc, bool) {
+			for _, o := range after {
+				if fn, ok := o.Lookup(symbol); ok {
+					return fn, true
+				}
+			}
+			return nil, false
+		}
+		if err := obj.OnLoad(next); err != nil {
+			return nil, fmt.Errorf("dynlink: %s: initializing %s: %w", exeName, obj.Soname, err)
+		}
+	}
+
+	// Verify every undefined symbol of the executable resolves; a
+	// dynamically linked program with unresolved symbols fails at exec.
+	for _, sym := range exe.Undefined {
+		if _, ok := lm.lookup(sym); !ok {
+			return nil, fmt.Errorf("dynlink: %s: undefined symbol %q", exeName, sym)
+		}
+	}
+	return lm, nil
+}
+
+// lookup resolves a symbol through the full search order, uncached.
+func (lm *Linkmap) lookup(symbol string) (cval.CFunc, bool) {
+	for _, obj := range lm.objects {
+		if fn, ok := obj.Lookup(symbol); ok {
+			return fn, true
+		}
+	}
+	return nil, false
+}
+
+// Resolve resolves a symbol with PLT-style caching.
+func (lm *Linkmap) Resolve(symbol string) (cval.CFunc, bool) {
+	if fn, ok := lm.plt[symbol]; ok {
+		return fn, true
+	}
+	fn, ok := lm.lookup(symbol)
+	if ok {
+		lm.plt[symbol] = fn
+	}
+	return fn, ok
+}
+
+// DefiningObject returns the soname of the first object in search order
+// that defines symbol — which library "wins" the interposition.
+func (lm *Linkmap) DefiningObject(symbol string) (string, bool) {
+	for _, obj := range lm.objects {
+		if _, ok := obj.Lookup(symbol); ok {
+			return obj.Soname, true
+		}
+	}
+	return "", false
+}
+
+// Objects returns the sonames in search order.
+func (lm *Linkmap) Objects() []string {
+	names := make([]string, len(lm.objects))
+	for i, o := range lm.objects {
+		names[i] = o.Soname
+	}
+	return names
+}
+
+// Executable returns the program this link map was built for.
+func (lm *Linkmap) Executable() *simelf.Executable { return lm.exe }

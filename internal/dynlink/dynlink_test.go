@@ -1,0 +1,267 @@
+package dynlink
+
+import (
+	"errors"
+	"testing"
+
+	"healers/internal/cmem"
+	"healers/internal/cval"
+	"healers/internal/simelf"
+)
+
+// constFn returns a CFunc that returns a fixed value.
+func constFn(v int64) cval.CFunc {
+	return func(*cval.Env, []cval.Value) (cval.Value, *cmem.Fault) {
+		return cval.Int(v), nil
+	}
+}
+
+// buildSystem makes a small system: libbase defines f and g; libmid needs
+// libbase and defines h; app needs libmid and calls f, g, h.
+func buildSystem(t *testing.T) *simelf.System {
+	t.Helper()
+	sys := simelf.NewSystem()
+	base := simelf.NewLibrary("libbase.so")
+	base.Export("f", constFn(1))
+	base.Export("g", constFn(2))
+	mid := simelf.NewLibrary("libmid.so", "libbase.so")
+	mid.Export("h", constFn(3))
+	if err := sys.AddLibrary(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLibrary(mid); err != nil {
+		t.Fatal(err)
+	}
+	app := &simelf.Executable{
+		Name:      "app",
+		Needed:    []string{"libmid.so"},
+		Undefined: []string{"f", "g", "h"},
+		Main:      func(c simelf.Caller, argv []string) int32 { return 0 },
+	}
+	if err := sys.AddExecutable(app); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestLoadResolvesTransitively(t *testing.T) {
+	sys := buildSystem(t)
+	lm, err := Load(sys, "app", nil)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	objs := lm.Objects()
+	if len(objs) != 2 || objs[0] != "libmid.so" || objs[1] != "libbase.so" {
+		t.Errorf("Objects = %v, want [libmid.so libbase.so]", objs)
+	}
+	env := cval.NewEnv()
+	for sym, want := range map[string]int64{"f": 1, "g": 2, "h": 3} {
+		fn, ok := lm.Resolve(sym)
+		if !ok {
+			t.Fatalf("Resolve(%s) failed", sym)
+		}
+		v, fault := fn(env, nil)
+		if fault != nil || v.Int() != want {
+			t.Errorf("%s() = %v, %v; want %d", sym, v, fault, want)
+		}
+	}
+	if _, ok := lm.Resolve("nope"); ok {
+		t.Error("Resolve of unknown symbol succeeded")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	sys := buildSystem(t)
+	tests := []struct {
+		name     string
+		exe      string
+		preloads []string
+	}{
+		{"missing exe", "ghost", nil},
+		{"missing preload", "app", []string{"libwrap.so"}},
+	}
+	for _, tt := range tests {
+		if _, err := Load(sys, tt.exe, tt.preloads); err == nil {
+			t.Errorf("%s: Load succeeded, want error", tt.name)
+		}
+	}
+	// Missing NEEDED library.
+	bad := &simelf.Executable{Name: "bad", Needed: []string{"libnothere.so"}}
+	if err := sys.AddExecutable(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(sys, "bad", nil); err == nil {
+		t.Error("Load with missing dependency succeeded")
+	}
+	// Undefined symbol.
+	undef := &simelf.Executable{Name: "undef", Needed: []string{"libbase.so"}, Undefined: []string{"zz"}}
+	if err := sys.AddExecutable(undef); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(sys, "undef", nil); err == nil {
+		t.Error("Load with unresolvable undefined symbol succeeded")
+	}
+}
+
+func TestPreloadInterposes(t *testing.T) {
+	sys := buildSystem(t)
+	wrap := simelf.NewLibrary("libwrap.so")
+	wrap.Export("f", constFn(100))
+	if err := sys.AddLibrary(wrap); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := Load(sys, "app", []string{"libwrap.so"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	env := cval.NewEnv()
+	fn, _ := lm.Resolve("f")
+	if v, _ := fn(env, nil); v.Int() != 100 {
+		t.Errorf("interposed f() = %d, want 100", v.Int())
+	}
+	// Non-wrapped symbols fall through to the base library.
+	fn, _ = lm.Resolve("g")
+	if v, _ := fn(env, nil); v.Int() != 2 {
+		t.Errorf("g() = %d, want 2", v.Int())
+	}
+	if def, _ := lm.DefiningObject("f"); def != "libwrap.so" {
+		t.Errorf("DefiningObject(f) = %s", def)
+	}
+	if def, _ := lm.DefiningObject("g"); def != "libbase.so" {
+		t.Errorf("DefiningObject(g) = %s", def)
+	}
+	if _, ok := lm.DefiningObject("zz"); ok {
+		t.Error("DefiningObject of unknown symbol reported ok")
+	}
+}
+
+func TestRTLDNextReachesOriginal(t *testing.T) {
+	sys := buildSystem(t)
+	wrap := simelf.NewLibrary("libwrap.so")
+	var nextF cval.CFunc
+	wrap.OnLoad = func(next simelf.NextFunc) error {
+		fn, ok := next("f")
+		if !ok {
+			return errors.New("next(f) failed")
+		}
+		nextF = fn
+		return nil
+	}
+	// The wrapper doubles the original's result.
+	wrap.Export("f", func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		v, fault := nextF(env, args)
+		if fault != nil {
+			return 0, fault
+		}
+		return cval.Int(v.Int() * 2), nil
+	})
+	if err := sys.AddLibrary(wrap); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := Load(sys, "app", []string{"libwrap.so"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	fn, _ := lm.Resolve("f")
+	if v, _ := fn(cval.NewEnv(), nil); v.Int() != 2 {
+		t.Errorf("wrapped f() = %d, want 2 (1 doubled)", v.Int())
+	}
+}
+
+func TestOnLoadErrorAbortsLoad(t *testing.T) {
+	sys := buildSystem(t)
+	wrap := simelf.NewLibrary("libwrap.so")
+	wrap.OnLoad = func(next simelf.NextFunc) error { return errors.New("boom") }
+	if err := sys.AddLibrary(wrap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(sys, "app", []string{"libwrap.so"}); err == nil {
+		t.Error("Load with failing OnLoad succeeded")
+	}
+}
+
+func TestStackedPreloads(t *testing.T) {
+	// Two wrappers stack: the first in the preload list wins, and its
+	// RTLD_NEXT reaches the second, whose RTLD_NEXT reaches libbase.
+	sys := buildSystem(t)
+	mk := func(soname string, add int64) *simelf.Library {
+		lib := simelf.NewLibrary(soname)
+		var next cval.CFunc
+		lib.OnLoad = func(nf simelf.NextFunc) error {
+			fn, ok := nf("f")
+			if !ok {
+				return errors.New("next(f) failed in " + soname)
+			}
+			next = fn
+			return nil
+		}
+		lib.Export("f", func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+			v, fault := next(env, args)
+			if fault != nil {
+				return 0, fault
+			}
+			return cval.Int(v.Int()*10 + add), nil
+		})
+		return lib
+	}
+	if err := sys.AddLibrary(mk("libw1.so", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLibrary(mk("libw2.so", 9)); err != nil {
+		t.Fatal(err)
+	}
+	lm, err := Load(sys, "app", []string{"libw1.so", "libw2.so"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	fn, _ := lm.Resolve("f")
+	v, _ := fn(cval.NewEnv(), nil)
+	// base f=1; w2: 1*10+9=19; w1: 19*10+7=197.
+	if v.Int() != 197 {
+		t.Errorf("stacked f() = %d, want 197", v.Int())
+	}
+}
+
+func TestSystemQueries(t *testing.T) {
+	sys := buildSystem(t)
+	libs := sys.Libraries()
+	if len(libs) != 2 || libs[0] != "libbase.so" || libs[1] != "libmid.so" {
+		t.Errorf("Libraries = %v", libs)
+	}
+	if apps := sys.Executables(); len(apps) != 1 || apps[0] != "app" {
+		t.Errorf("Executables = %v", apps)
+	}
+	deps, missing := sys.TransitiveDeps([]string{"libmid.so", "libghost.so"})
+	if len(deps) != 2 || deps[0] != "libmid.so" || deps[1] != "libbase.so" {
+		t.Errorf("deps = %v", deps)
+	}
+	if len(missing) != 1 || missing[0] != "libghost.so" {
+		t.Errorf("missing = %v", missing)
+	}
+	// Duplicate installs error.
+	if err := sys.AddLibrary(simelf.NewLibrary("libbase.so")); err == nil {
+		t.Error("duplicate AddLibrary succeeded")
+	}
+	if err := sys.AddExecutable(&simelf.Executable{Name: "app"}); err == nil {
+		t.Error("duplicate AddExecutable succeeded")
+	}
+	lib, _ := sys.Library("libbase.so")
+	syms := lib.Symbols()
+	if len(syms) != 2 || syms[0] != "f" || syms[1] != "g" {
+		t.Errorf("Symbols = %v", syms)
+	}
+	if lib.NumSymbols() != 2 {
+		t.Errorf("NumSymbols = %d", lib.NumSymbols())
+	}
+}
+
+func TestDuplicateExportPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Export did not panic")
+		}
+	}()
+	lib := simelf.NewLibrary("x.so")
+	lib.Export("f", constFn(1))
+	lib.Export("f", constFn(2))
+}

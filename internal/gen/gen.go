@@ -1,0 +1,338 @@
+// Package gen implements the HEALERS flexible wrapper-generator
+// architecture (§2.3, Fig. 3): wrapper functionality is decomposed into
+// micro-generators, each contributing a fragment of prefix code and a
+// fragment of postfix code. Micro-generators compose in declaration
+// order — prefixes run first-to-last, postfixes last-to-first, exactly the
+// nesting visible in the paper's generated wctrans wrapper.
+//
+// Each micro-generator produces two artifacts kept in lockstep:
+//
+//   - C-like source text, so the toolkit can show the wrapper it built
+//     (the paper's Figure 3), and
+//   - a runtime hook pair, so the same wrapper actually executes inside
+//     the simulated process.
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"healers/internal/cmem"
+	"healers/internal/ctypes"
+	"healers/internal/cval"
+	"healers/internal/simelf"
+)
+
+// CallCtx is the per-call state threaded through a wrapper's hooks.
+type CallCtx struct {
+	Env   *cval.Env
+	Proto *ctypes.Prototype
+	// Args are the caller's argument words (fixed params then varargs).
+	Args []cval.Value
+	// Ret is the original function's return value, valid in postfix
+	// hooks (or the substitute value when the call was denied).
+	Ret cval.Value
+	// Denied is set by a checking prefix hook to veto the call to the
+	// original function.
+	Denied bool
+	// DenyReason explains a veto for logs.
+	DenyReason string
+	// FuncIndex is the wrapped function's index in the wrapper state's
+	// tables.
+	FuncIndex int
+	// start is the exectime micro-generator's timestamp.
+	start time.Time
+	// errnoAt tracks errno snapshots keyed by micro-generator name.
+	errnoAt map[string]int32
+}
+
+// Hook is one runtime action; returning a fault terminates the process
+// (the security wrapper's response to a detected overflow).
+type Hook func(ctx *CallCtx) *cmem.Fault
+
+// MicroGenerator produces one feature's code fragments and hooks.
+type MicroGenerator interface {
+	// Name identifies the micro-generator ("call counter", "caller"...).
+	Name() string
+	// PrefixSource renders the C-like prefix fragment lines.
+	PrefixSource(proto *ctypes.Prototype) []string
+	// PostfixSource renders the C-like postfix fragment lines.
+	PostfixSource(proto *ctypes.Prototype) []string
+	// PrefixHook returns the runtime prefix action, or nil.
+	PrefixHook(proto *ctypes.Prototype, st *State) Hook
+	// PostfixHook returns the runtime postfix action, or nil.
+	PostfixHook(proto *ctypes.Prototype, st *State) Hook
+}
+
+// State is the mutable statistics store shared by every wrapped function
+// of one generated wrapper library — the arrays the paper's generated code
+// indexes (call_counter_num_calls[1206] and friends). One State belongs to
+// one wrapper library instance; simulated execution is single-threaded.
+type State struct {
+	// Soname names the wrapper library this state belongs to.
+	Soname string
+
+	funcIndex map[string]int
+	funcNames []string
+
+	// CallCount counts calls per function index.
+	CallCount []uint64
+	// ExecTime accumulates time spent per function index.
+	ExecTime []time.Duration
+	// FuncErrno histograms errno changes per function.
+	FuncErrno [][]uint64
+	// GlobalErrno histograms errno changes across all functions.
+	GlobalErrno []uint64
+	// DeniedCount counts vetoed calls per function index.
+	DeniedCount []uint64
+	// Overflows counts canary/bound violations detected.
+	Overflows uint64
+	// DenyLog records human-readable veto reasons (bounded).
+	DenyLog []string
+
+	// OnExit, when set, runs once when a wrapped process calls exit()
+	// with the exit-flush micro-generator installed — the paper's "just
+	// before the application terminates, the collection code is called
+	// to send the gathered information to a central server". The core
+	// layer installs an XML-upload hook here; gen itself stays free of
+	// transport dependencies.
+	OnExit func(env *cval.Env, st *State)
+}
+
+// NewState creates an empty state for a wrapper library.
+func NewState(soname string) *State {
+	return &State{
+		Soname:      soname,
+		funcIndex:   make(map[string]int),
+		GlobalErrno: make([]uint64, cval.MaxErrno+1),
+	}
+}
+
+// Reset zeroes every counter while keeping the function index table, so
+// one generated wrapper library can profile several runs independently.
+func (st *State) Reset() {
+	for i := range st.CallCount {
+		st.CallCount[i] = 0
+		st.ExecTime[i] = 0
+		st.DeniedCount[i] = 0
+		for j := range st.FuncErrno[i] {
+			st.FuncErrno[i][j] = 0
+		}
+	}
+	for j := range st.GlobalErrno {
+		st.GlobalErrno[j] = 0
+	}
+	st.Overflows = 0
+	st.DenyLog = nil
+}
+
+// Index returns the stable index for a function name, allocating on first
+// use.
+func (st *State) Index(name string) int {
+	if i, ok := st.funcIndex[name]; ok {
+		return i
+	}
+	i := len(st.funcNames)
+	st.funcIndex[name] = i
+	st.funcNames = append(st.funcNames, name)
+	st.CallCount = append(st.CallCount, 0)
+	st.ExecTime = append(st.ExecTime, 0)
+	st.FuncErrno = append(st.FuncErrno, make([]uint64, cval.MaxErrno+1))
+	st.DeniedCount = append(st.DeniedCount, 0)
+	return i
+}
+
+// FuncNames returns the wrapped function names in index order.
+func (st *State) FuncNames() []string {
+	return append([]string(nil), st.funcNames...)
+}
+
+// Name returns the function name for an index.
+func (st *State) Name(i int) string { return st.funcNames[i] }
+
+// TotalCalls sums the call counters.
+func (st *State) TotalCalls() uint64 {
+	var n uint64
+	for _, c := range st.CallCount {
+		n += c
+	}
+	return n
+}
+
+// noteDeny records a veto.
+func (st *State) noteDeny(idx int, reason string) {
+	st.DeniedCount[idx]++
+	if len(st.DenyLog) < 1000 {
+		st.DenyLog = append(st.DenyLog, reason)
+	}
+}
+
+// errnoSlot clamps an errno to the histogram range, like the MAX_ERRNO
+// guard in the paper's Figure 3 code.
+func errnoSlot(e int32) int {
+	if e < 0 || e >= cval.MaxErrno {
+		return cval.MaxErrno
+	}
+	return int(e)
+}
+
+// Generator composes micro-generators into wrapper functions and wrapper
+// libraries.
+type Generator struct {
+	micros []MicroGenerator
+}
+
+// NewGenerator builds a generator from an ordered micro-generator list.
+// The caller micro-generator (MGCaller) must be present exactly once; it
+// marks where the original function is invoked.
+func NewGenerator(micros ...MicroGenerator) (*Generator, error) {
+	callers := 0
+	for _, m := range micros {
+		if _, ok := m.(*callerGen); ok {
+			callers++
+		}
+	}
+	if callers != 1 {
+		return nil, fmt.Errorf("gen: generator needs exactly one caller micro-generator, got %d", callers)
+	}
+	return &Generator{micros: micros}, nil
+}
+
+// MustGenerator is NewGenerator that panics on misconfiguration; for
+// package-level canonical wrapper definitions.
+func MustGenerator(micros ...MicroGenerator) *Generator {
+	g, err := NewGenerator(micros...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// MicroNames returns the composed micro-generator names in order.
+func (g *Generator) MicroNames() []string {
+	names := make([]string, len(g.micros))
+	for i, m := range g.micros {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// Build compiles the wrapper for one prototype. next is a cell resolved at
+// link time (RTLD_NEXT); st accumulates statistics.
+func (g *Generator) Build(proto *ctypes.Prototype, next *cval.CFunc, st *State) cval.CFunc {
+	idx := st.Index(proto.Name)
+	type hookPair struct {
+		pre, post Hook
+		isCaller  bool
+	}
+	pairs := make([]hookPair, len(g.micros))
+	for i, m := range g.micros {
+		_, isCaller := m.(*callerGen)
+		pairs[i] = hookPair{
+			pre:      m.PrefixHook(proto, st),
+			post:     m.PostfixHook(proto, st),
+			isCaller: isCaller,
+		}
+	}
+	return func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		ctx := &CallCtx{
+			Env:       env,
+			Proto:     proto,
+			Args:      args,
+			FuncIndex: idx,
+			errnoAt:   make(map[string]int32, 2),
+		}
+		for _, p := range pairs {
+			if p.pre == nil {
+				continue
+			}
+			if f := p.pre(ctx); f != nil {
+				return 0, f
+			}
+		}
+		if !ctx.Denied {
+			fn := *next
+			if fn == nil {
+				return 0, &cmem.Fault{Kind: cmem.FaultAbort, Op: "wrapper", Detail: fmt.Sprintf("RTLD_NEXT for %s unresolved", proto.Name)}
+			}
+			ret, fault := fn(env, args)
+			if fault != nil {
+				return 0, fault
+			}
+			ctx.Ret = ret
+		}
+		for i := len(pairs) - 1; i >= 0; i-- {
+			if pairs[i].post == nil || pairs[i].isCaller {
+				continue
+			}
+			if f := pairs[i].post(ctx); f != nil {
+				return 0, f
+			}
+		}
+		return ctx.Ret, nil
+	}
+}
+
+// Subst builds a replacement implementation for one wrapped symbol at
+// link time, with access to the RTLD_NEXT resolver — how HEALERS rewrites
+// an uncontainable call into a bounded equivalent (sprintf into snprintf
+// with the destination's actual capacity).
+type Subst func(next simelf.NextFunc, st *State) (cval.CFunc, error)
+
+// BuildLibrary generates a complete interposing wrapper library exporting
+// a wrapper for every given prototype. The library's OnLoad hook resolves
+// each symbol's RTLD_NEXT target; loading the library without a definition
+// of some wrapped symbol further down the search order is a link error.
+func (g *Generator) BuildLibrary(soname string, protos []*ctypes.Prototype, st *State) *simelf.Library {
+	return g.BuildLibrarySubst(soname, protos, st, nil)
+}
+
+// BuildLibrarySubst is BuildLibrary with per-symbol substitutions: a
+// symbol named in subst is exported as the substitute implementation
+// instead of the micro-generator composition.
+func (g *Generator) BuildLibrarySubst(soname string, protos []*ctypes.Prototype, st *State, subst map[string]Subst) *simelf.Library {
+	lib := simelf.NewLibrary(soname)
+	sorted := append([]*ctypes.Prototype(nil), protos...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	cells := make(map[string]*cval.CFunc, len(sorted))
+	substCells := make(map[string]*cval.CFunc)
+	for _, proto := range sorted {
+		if builder, ok := subst[proto.Name]; ok && builder != nil {
+			cell := new(cval.CFunc)
+			substCells[proto.Name] = cell
+			st.Index(proto.Name)
+			// Trampoline: the real implementation lands in the cell
+			// at link time.
+			lib.ExportWithProto(proto, func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+				fn := *cell
+				if fn == nil {
+					return 0, &cmem.Fault{Kind: cmem.FaultAbort, Op: "wrapper", Detail: "substitute unresolved"}
+				}
+				return fn(env, args)
+			})
+			continue
+		}
+		cell := new(cval.CFunc)
+		cells[proto.Name] = cell
+		lib.ExportWithProto(proto, g.Build(proto, cell, st))
+	}
+	lib.OnLoad = func(next simelf.NextFunc) error {
+		for name, cell := range cells {
+			fn, ok := next(name)
+			if !ok {
+				return fmt.Errorf("gen: %s: no next definition of %s", soname, name)
+			}
+			*cell = fn
+		}
+		for name, cell := range substCells {
+			fn, err := subst[name](next, st)
+			if err != nil {
+				return fmt.Errorf("gen: %s: building substitute for %s: %w", soname, name, err)
+			}
+			*cell = fn
+		}
+		return nil
+	}
+	return lib
+}

@@ -1,0 +1,452 @@
+package inject
+
+import (
+	"fmt"
+	"sort"
+
+	"healers/internal/cmem"
+	"healers/internal/ctypes"
+	"healers/internal/cval"
+	"healers/internal/proc"
+	"healers/internal/simelf"
+)
+
+// Outcome classifies how one probe call ended, following the Ballista
+// CRASH severity scale restricted to what a wrapper can observe.
+type Outcome int
+
+const (
+	// OutcomeOK: the call returned without fault and without errno.
+	OutcomeOK Outcome = iota
+	// OutcomeErrno: the call returned gracefully with errno set.
+	OutcomeErrno
+	// OutcomeCrash: SIGSEGV/SIGBUS — a robustness failure.
+	OutcomeCrash
+	// OutcomeAbort: SIGABRT — a robustness failure.
+	OutcomeAbort
+	// OutcomeDenied: a preloaded wrapper rejected the call instead of
+	// letting it reach the implementation (only seen in verify runs).
+	OutcomeDenied
+	// OutcomeHang: the call exhausted the probe's access budget — it
+	// would have run "forever" (probe-child timeout).
+	OutcomeHang
+	// OutcomeCorrupt: the call returned normally but silently modified
+	// memory it promised only to read (a const-qualified argument) —
+	// Ballista's "Silent" class, detected by snapshotting read-only
+	// golden arguments around the call.
+	OutcomeCorrupt
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeErrno:
+		return "errno"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeAbort:
+		return "abort"
+	case OutcomeDenied:
+		return "denied"
+	case OutcomeHang:
+		return "hang"
+	case OutcomeCorrupt:
+		return "silent"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Failure reports whether the outcome is a robustness failure — the
+// paper's "crashes, hangs, or aborts" triad.
+func (o Outcome) Failure() bool {
+	return o == OutcomeCrash || o == OutcomeAbort || o == OutcomeHang || o == OutcomeCorrupt
+}
+
+// DeniedErrno is the errno value HEALERS robustness wrappers set when they
+// reject a call; the campaign uses it to distinguish "denied by wrapper"
+// from an ordinary errno return.
+const DeniedErrno = cval.EDenied
+
+// ProbeResult is the record of one probe call.
+type ProbeResult struct {
+	// Param is the injected parameter index.
+	Param int
+	// Probe is the injected probe's name.
+	Probe string
+	// SatLevel is the strongest lattice level the injected value
+	// satisfied in this call's context (computed before the call).
+	SatLevel int
+	// Outcome classifies the call's ending.
+	Outcome Outcome
+	// Fault carries the fault for crash/abort outcomes.
+	Fault *cmem.Fault
+}
+
+// ParamVerdict is the derived robust type for one parameter.
+type ParamVerdict struct {
+	Name  string
+	Chain string
+	// Level is the index of the derived weakest robust level.
+	// Level == len(chain levels) means no lattice level suffices:
+	// argument checking cannot make the function robust (sprintf's
+	// destination), and fault containment (canaries) is required.
+	Level int
+	// LevelName is the derived level's name, or "uncontainable".
+	LevelName string
+}
+
+// FuncReport is the campaign's result for one function.
+type FuncReport struct {
+	Name    string
+	Proto   *ctypes.Prototype
+	Results []ProbeResult
+	// Verdicts holds the derived robust type per parameter.
+	Verdicts []ParamVerdict
+	// Probes and Failures count totals.
+	Probes   int
+	Failures int
+	// NeedsContainment is set when some parameter has no robust lattice
+	// level (see ParamVerdict.Level).
+	NeedsContainment bool
+}
+
+// RobustLevelNames returns the derived level names in parameter order.
+func (r *FuncReport) RobustLevelNames() []string {
+	names := make([]string, len(r.Verdicts))
+	for i, v := range r.Verdicts {
+		names[i] = v.LevelName
+	}
+	return names
+}
+
+// LibReport aggregates a whole library campaign.
+type LibReport struct {
+	Library string
+	Funcs   []*FuncReport
+	// TotalProbes and TotalFailures aggregate across functions.
+	TotalProbes   int
+	TotalFailures int
+}
+
+// OutcomeHistogram counts probe outcomes across the whole campaign — the
+// Ballista-style CRASH-scale summary (how many SEGV vs SIGABRT vs hang).
+func (lr *LibReport) OutcomeHistogram() map[Outcome]int {
+	h := make(map[Outcome]int)
+	for _, fr := range lr.Funcs {
+		for _, r := range fr.Results {
+			h[r.Outcome]++
+		}
+	}
+	return h
+}
+
+// FuncsWithFailures returns how many functions had at least one failure.
+func (lr *LibReport) FuncsWithFailures() int {
+	n := 0
+	for _, fr := range lr.Funcs {
+		if fr.Failures > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RobustAPI extracts the derived robust API from the campaign results —
+// the artifact Figure 2's pipeline hands to the wrapper generator.
+func (lr *LibReport) RobustAPI() ctypes.RobustAPI {
+	api := make(ctypes.RobustAPI, len(lr.Funcs))
+	for _, fr := range lr.Funcs {
+		api[fr.Name] = append([]ctypes.RobustParam(nil), verdictsToParams(fr.Verdicts)...)
+	}
+	return api
+}
+
+func verdictsToParams(vs []ParamVerdict) []ctypes.RobustParam {
+	out := make([]ctypes.RobustParam, len(vs))
+	for i, v := range vs {
+		out[i] = ctypes.RobustParam{Name: v.Name, Chain: v.Chain, Level: v.Level, LevelName: v.LevelName}
+	}
+	return out
+}
+
+// Func returns the report for one function, or nil.
+func (lr *LibReport) Func(name string) *FuncReport {
+	for _, fr := range lr.Funcs {
+		if fr.Name == name {
+			return fr
+		}
+	}
+	return nil
+}
+
+// Campaign drives fault injection against one library in one system
+// configuration. The zero value is not usable; construct with New.
+type Campaign struct {
+	sys      *simelf.System
+	target   string // soname of the library under test
+	preloads []string
+	stdin    string
+	hostname string
+}
+
+// CampaignOption configures a campaign.
+type CampaignOption func(*Campaign)
+
+// WithPreloads runs every probe process with the given wrapper libraries
+// preloaded — the verification mode that demonstrates hardening.
+func WithPreloads(sonames ...string) CampaignOption {
+	return func(c *Campaign) { c.preloads = append(c.preloads, sonames...) }
+}
+
+// WithStdin seeds each probe process's stdin (gets() needs input to be
+// dangerous).
+func WithStdin(data string) CampaignOption {
+	return func(c *Campaign) { c.stdin = data }
+}
+
+// probeFuel is the per-probe memory-access budget: generous enough for
+// any legitimate single libc call, small enough to flag a runaway loop —
+// the timeout a real injector puts on its probe children.
+const probeFuel = 64 << 20
+
+// probeHostName is the synthetic executable each probe runs in.
+const probeHostName = "healers-probe-host"
+
+// New builds a campaign against the library with the given soname in sys.
+// It installs (once) a minimal probe-host executable linked against the
+// target.
+func New(sys *simelf.System, soname string, opts ...CampaignOption) (*Campaign, error) {
+	if _, ok := sys.Library(soname); !ok {
+		return nil, fmt.Errorf("inject: no such library %q", soname)
+	}
+	c := &Campaign{sys: sys, target: soname, hostname: probeHostName + ":" + soname}
+	for _, o := range opts {
+		o(c)
+	}
+	if _, ok := sys.Executable(c.hostname); !ok {
+		host := &simelf.Executable{
+			Name:   c.hostname,
+			Interp: "sim-ld.so",
+			Needed: []string{soname},
+			Main:   func(simelf.Caller, []string) int32 { return 0 },
+		}
+		if err := sys.AddExecutable(host); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// runProbe executes one probe call in a fresh process: materialize every
+// argument (golden except for the injected parameter), compute the
+// satisfied lattice level, call, classify.
+func (c *Campaign) runProbe(proto *ctypes.Prototype, injected int, probe Probe) (ProbeResult, error) {
+	opts := []proc.Option{proc.WithPreloads(c.preloads...)}
+	if c.stdin != "" {
+		opts = append(opts, proc.WithStdin(c.stdin))
+	}
+	p, err := proc.Start(c.sys, c.hostname, opts...)
+	if err != nil {
+		return ProbeResult{}, fmt.Errorf("inject: starting probe host: %w", err)
+	}
+	env := p.Env()
+	if err := prepareProbeRegions(env); err != nil {
+		return ProbeResult{}, err
+	}
+	args := make([]cval.Value, len(proto.Params))
+	for i, prm := range proto.Params {
+		pr := GoldenProbe(prm)
+		if i == injected {
+			pr = probe
+		}
+		v, err := pr.Make(env)
+		if err != nil {
+			return ProbeResult{}, fmt.Errorf("inject: %s param %d probe %s: %w", proto.Name, i, pr.Name, err)
+		}
+		args[i] = v
+	}
+	chain := ctypes.ChainFor(proto.Params[injected])
+	sat := ctypes.SatisfiedLevel(env, proto, injected, args, chain)
+	snaps := snapshotReadOnlyArgs(env, proto, args, injected)
+
+	env.Errno = 0
+	env.Img.Space.SetFuel(probeFuel)
+	_, res := p.RunCall(proto.Name, args...)
+	env.Img.Space.SetFuel(-1)
+
+	out := ProbeResult{Param: injected, Probe: probe.Name, SatLevel: sat}
+	switch {
+	case res.Fault != nil && res.Fault.Kind == cmem.FaultHang:
+		out.Outcome, out.Fault = OutcomeHang, res.Fault
+	case res.Fault != nil && res.Fault.Kind == cmem.FaultAbort:
+		out.Outcome, out.Fault = OutcomeAbort, res.Fault
+	case res.Fault != nil:
+		out.Outcome, out.Fault = OutcomeCrash, res.Fault
+	case env.Errno == DeniedErrno:
+		out.Outcome = OutcomeDenied
+	case corruptedReadOnlyArg(env, snaps):
+		out.Outcome = OutcomeCorrupt
+	case env.Errno != 0:
+		out.Outcome = OutcomeErrno
+	default:
+		out.Outcome = OutcomeOK
+	}
+	return out, nil
+}
+
+// roSnapshot records the content of one read-only-role argument before a
+// probe call.
+type roSnapshot struct {
+	addr cmem.Addr
+	data []byte
+}
+
+// snapshotMax bounds per-argument snapshots; corruption beyond it goes
+// unnoticed, like any sampling detector.
+const snapshotMax = 256
+
+// snapshotReadOnlyArgs captures the golden arguments the function
+// promises not to write (in_str and in_buf roles). The injected
+// parameter is skipped — its value is deliberately invalid.
+func snapshotReadOnlyArgs(env *cval.Env, proto *ctypes.Prototype, args []cval.Value, injected int) []roSnapshot {
+	var snaps []roSnapshot
+	for i, prm := range proto.Params {
+		if i == injected || i >= len(args) {
+			continue
+		}
+		if prm.Role != ctypes.RoleInStr && prm.Role != ctypes.RoleInBuf {
+			continue
+		}
+		a := args[i].Addr()
+		if a.IsNull() {
+			continue
+		}
+		n := env.Img.Space.MappedLen(a, cmem.ProtRead, snapshotMax)
+		if n == 0 {
+			continue
+		}
+		buf := make([]byte, n)
+		if f := env.Img.Space.Read(a, buf); f != nil {
+			continue
+		}
+		snaps = append(snaps, roSnapshot{addr: a, data: buf})
+	}
+	return snaps
+}
+
+// corruptedReadOnlyArg reports whether any snapshotted argument changed
+// across the call.
+func corruptedReadOnlyArg(env *cval.Env, snaps []roSnapshot) bool {
+	for _, s := range snaps {
+		buf := make([]byte, len(s.data))
+		if f := env.Img.Space.Read(s.addr, buf); f != nil {
+			return true // became unreadable: also silent damage
+		}
+		for i := range buf {
+			if buf[i] != s.data[i] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunFunction sweeps every probe of every parameter of the named function
+// (single-fault mode) and derives the robust type per parameter.
+func (c *Campaign) RunFunction(name string) (*FuncReport, error) {
+	lib, _ := c.sys.Library(c.target)
+	proto := lib.Proto(name)
+	if proto == nil {
+		return nil, fmt.Errorf("inject: %s has no prototype for %q", c.target, name)
+	}
+	report := &FuncReport{Name: name, Proto: proto}
+
+	if len(proto.Params) == 0 {
+		// Niladic functions get one plain call.
+		p, err := proc.Start(c.sys, c.hostname, proc.WithPreloads(c.preloads...))
+		if err != nil {
+			return nil, err
+		}
+		_, res := p.RunCall(name)
+		r := ProbeResult{Param: -1, Probe: "call", Outcome: OutcomeOK, Fault: res.Fault}
+		if res.Fault != nil {
+			r.Outcome = OutcomeCrash
+			if res.Fault.Kind == cmem.FaultAbort {
+				r.Outcome = OutcomeAbort
+			}
+		}
+		// abort() aborting is its contract, not a robustness failure.
+		if name == "abort" && r.Outcome == OutcomeAbort {
+			r.Outcome = OutcomeOK
+			r.Fault = nil
+		}
+		report.Results = append(report.Results, r)
+		report.Probes = 1
+		if r.Outcome.Failure() {
+			report.Failures++
+		}
+		return report, nil
+	}
+
+	for i, prm := range proto.Params {
+		chain := ctypes.ChainFor(prm)
+		// worstFailing[sat] records whether any probe satisfying
+		// exactly level sat failed.
+		failedAtOrAbove := make([]bool, len(chain.Levels)+1)
+		for _, probe := range ProbesFor(prm) {
+			r, err := c.runProbe(proto, i, probe)
+			if err != nil {
+				return nil, err
+			}
+			report.Results = append(report.Results, r)
+			report.Probes++
+			if r.Outcome.Failure() {
+				report.Failures++
+				failedAtOrAbove[r.SatLevel] = true
+			}
+		}
+		// Derive the weakest robust level: the smallest L such that no
+		// failing probe satisfied a level >= L. A probe that satisfied
+		// level s and failed rules out all levels <= s.
+		derived := 0
+		for s := len(chain.Levels) - 1; s >= 0; s-- {
+			if failedAtOrAbove[s] {
+				derived = s + 1
+				break
+			}
+		}
+		v := ParamVerdict{Name: prm.Name, Chain: chain.Name, Level: derived}
+		if derived >= len(chain.Levels) {
+			v.LevelName = "uncontainable"
+			report.NeedsContainment = true
+		} else {
+			v.LevelName = chain.Levels[derived].Name
+		}
+		report.Verdicts = append(report.Verdicts, v)
+	}
+	return report, nil
+}
+
+// RunLibrary sweeps every exported function of the target library.
+func (c *Campaign) RunLibrary() (*LibReport, error) {
+	lib, _ := c.sys.Library(c.target)
+	lr := &LibReport{Library: c.target}
+	names := lib.Symbols()
+	sort.Strings(names)
+	for _, name := range names {
+		if lib.Proto(name) == nil {
+			continue // no prototype — not scannable, like a stripped symbol
+		}
+		fr, err := c.RunFunction(name)
+		if err != nil {
+			return nil, err
+		}
+		lr.Funcs = append(lr.Funcs, fr)
+		lr.TotalProbes += fr.Probes
+		lr.TotalFailures += fr.Failures
+	}
+	return lr, nil
+}

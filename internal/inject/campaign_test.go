@@ -1,0 +1,323 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/ctypes"
+	"healers/internal/simelf"
+	"healers/internal/wrappers"
+)
+
+// libcSystem builds a fresh system containing the simulated libc.
+func libcSystem(t *testing.T) *simelf.System {
+	t.Helper()
+	sys := simelf.NewSystem()
+	if err := sys.AddLibrary(clib.MustRegistry().AsLibrary()); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func newLibcCampaign(t *testing.T, opts ...CampaignOption) *Campaign {
+	t.Helper()
+	c, err := New(libcSystem(t), clib.LibcSoname, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func verdictByName(t *testing.T, fr *FuncReport, param string) ParamVerdict {
+	t.Helper()
+	for _, v := range fr.Verdicts {
+		if v.Name == param {
+			return v
+		}
+	}
+	t.Fatalf("%s: no verdict for parameter %q (have %v)", fr.Name, param, fr.Verdicts)
+	return ParamVerdict{}
+}
+
+func TestDeriveStrlen(t *testing.T) {
+	c := newLibcCampaign(t)
+	fr, err := c.RunFunction("strlen")
+	if err != nil {
+		t.Fatalf("RunFunction: %v", err)
+	}
+	if fr.Failures == 0 {
+		t.Fatal("strlen showed no robustness failures; NULL/wild probes must crash it")
+	}
+	v := verdictByName(t, fr, "s")
+	if v.LevelName != "cstring" {
+		t.Errorf("strlen s derived %q, want cstring", v.LevelName)
+	}
+	if fr.NeedsContainment {
+		t.Error("strlen flagged as needing containment")
+	}
+	// The golden probe must not be among the failures.
+	for _, r := range fr.Results {
+		if r.Probe == "valid_str" && r.Outcome.Failure() {
+			t.Errorf("golden probe crashed: %v", r.Fault)
+		}
+	}
+}
+
+// TestDeriveStrcpy pins the paper's worked example: "the prototype of the
+// strcpy function specifies its first argument to be char*. However, it
+// actually has to be a pointer to a writable buffer with enough space to
+// accommodate the source string." (§2.2)
+func TestDeriveStrcpy(t *testing.T) {
+	c := newLibcCampaign(t)
+	fr, err := c.RunFunction("strcpy")
+	if err != nil {
+		t.Fatalf("RunFunction: %v", err)
+	}
+	dest := verdictByName(t, fr, "dest")
+	if dest.LevelName != "writable_sized" {
+		t.Errorf("strcpy dest derived %q, want writable_sized", dest.LevelName)
+	}
+	src := verdictByName(t, fr, "src")
+	if src.LevelName != "cstring" {
+		t.Errorf("strcpy src derived %q, want cstring", src.LevelName)
+	}
+}
+
+func TestDeriveMemcpy(t *testing.T) {
+	c := newLibcCampaign(t)
+	fr, err := c.RunFunction("memcpy")
+	if err != nil {
+		t.Fatalf("RunFunction: %v", err)
+	}
+	if got := verdictByName(t, fr, "n").LevelName; got != "bounded" {
+		t.Errorf("memcpy n derived %q, want bounded", got)
+	}
+	if got := verdictByName(t, fr, "dest").LevelName; got != "writable_sized" {
+		t.Errorf("memcpy dest derived %q, want writable_sized", got)
+	}
+	if got := verdictByName(t, fr, "src").LevelName; got != "readable_sized" {
+		t.Errorf("memcpy src derived %q, want readable_sized", got)
+	}
+}
+
+func TestDeriveScalarFunctionIsRobust(t *testing.T) {
+	c := newLibcCampaign(t)
+	for _, name := range []string{"abs", "toupper", "isalpha"} {
+		fr, err := c.RunFunction(name)
+		if err != nil {
+			t.Fatalf("RunFunction(%s): %v", name, err)
+		}
+		if fr.Failures != 0 {
+			t.Errorf("%s had %d failures; scalar functions cannot crash", name, fr.Failures)
+		}
+		for _, v := range fr.Verdicts {
+			if v.LevelName != "any" {
+				t.Errorf("%s param %s derived %q, want any", name, v.Name, v.LevelName)
+			}
+		}
+	}
+}
+
+func TestDeriveFree(t *testing.T) {
+	c := newLibcCampaign(t)
+	fr, err := c.RunFunction("free")
+	if err != nil {
+		t.Fatalf("RunFunction: %v", err)
+	}
+	if got := verdictByName(t, fr, "ptr").LevelName; got != "null_or_chunk" {
+		t.Errorf("free ptr derived %q, want null_or_chunk", got)
+	}
+	// The abort on a wild free must be classified as abort, not crash.
+	var sawAbort bool
+	for _, r := range fr.Results {
+		if r.Probe == "unmapped" && r.Outcome == OutcomeAbort {
+			sawAbort = true
+		}
+	}
+	if !sawAbort {
+		t.Error("free(unmapped) did not produce an abort outcome")
+	}
+}
+
+func TestDeriveSprintfNeedsContainment(t *testing.T) {
+	// sprintf's destination has no bound anywhere in the argument list:
+	// no lattice level can make it robust. The injector must flag it for
+	// fault containment (the security wrapper's canaries).
+	c := newLibcCampaign(t)
+	fr, err := c.RunFunction("sprintf")
+	if err != nil {
+		t.Fatalf("RunFunction: %v", err)
+	}
+	if !fr.NeedsContainment {
+		t.Error("sprintf not flagged as needing containment")
+	}
+	if got := verdictByName(t, fr, "str").LevelName; got != "uncontainable" {
+		t.Errorf("sprintf str derived %q, want uncontainable", got)
+	}
+}
+
+func TestDeriveGetsWithHostileStdin(t *testing.T) {
+	c := newLibcCampaign(t, WithStdin(strings.Repeat("A", 256)+"\n"))
+	fr, err := c.RunFunction("gets")
+	if err != nil {
+		t.Fatalf("RunFunction: %v", err)
+	}
+	if !fr.NeedsContainment {
+		t.Error("gets with a long input line not flagged as needing containment")
+	}
+}
+
+func TestDeriveWctrans(t *testing.T) {
+	// The paper's Figure 3 function.
+	c := newLibcCampaign(t)
+	fr, err := c.RunFunction("wctrans")
+	if err != nil {
+		t.Fatalf("RunFunction: %v", err)
+	}
+	if got := verdictByName(t, fr, "name").LevelName; got != "cstring" {
+		t.Errorf("wctrans name derived %q, want cstring", got)
+	}
+}
+
+func TestNiladicFunctions(t *testing.T) {
+	c := newLibcCampaign(t)
+	for _, name := range []string{"rand", "getpid", "abort"} {
+		fr, err := c.RunFunction(name)
+		if err != nil {
+			t.Fatalf("RunFunction(%s): %v", name, err)
+		}
+		if fr.Failures != 0 {
+			t.Errorf("%s counted %d failures", name, fr.Failures)
+		}
+		if fr.Probes != 1 {
+			t.Errorf("%s probes = %d, want 1", name, fr.Probes)
+		}
+	}
+}
+
+func TestRunLibraryAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full library campaign in -short mode")
+	}
+	c := newLibcCampaign(t)
+	lr, err := c.RunLibrary()
+	if err != nil {
+		t.Fatalf("RunLibrary: %v", err)
+	}
+	if len(lr.Funcs) < 60 {
+		t.Errorf("campaign covered %d functions, want full libc", len(lr.Funcs))
+	}
+	if lr.TotalProbes < 200 {
+		t.Errorf("total probes = %d, suspiciously few", lr.TotalProbes)
+	}
+	// The paper's premise: a large fraction of libc functions exhibit
+	// robustness failures under invalid inputs.
+	frac := float64(lr.FuncsWithFailures()) / float64(len(lr.Funcs))
+	if frac < 0.4 {
+		t.Errorf("only %.0f%% of functions failed; expected the majority of pointer-taking libc to be brittle", frac*100)
+	}
+	if lr.Func("strcpy") == nil {
+		t.Error("library report missing strcpy")
+	}
+	if lr.Func("no_such") != nil {
+		t.Error("library report invented a function")
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	sys := libcSystem(t)
+	if _, err := New(sys, "libmissing.so"); err == nil {
+		t.Error("New with unknown library succeeded")
+	}
+	c, err := New(sys, clib.LibcSoname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunFunction("not_a_function"); err == nil {
+		t.Error("RunFunction of unknown name succeeded")
+	}
+	// Two campaigns against the same system share the probe host.
+	if _, err := New(sys, clib.LibcSoname); err != nil {
+		t.Errorf("second campaign on same system: %v", err)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{OutcomeOK, "ok"}, {OutcomeErrno, "errno"}, {OutcomeCrash, "crash"},
+		{OutcomeAbort, "abort"}, {OutcomeDenied, "denied"}, {OutcomeHang, "hang"},
+		{OutcomeCorrupt, "silent"}, {Outcome(9), "Outcome(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("Outcome(%d) = %q, want %q", int(tt.o), got, tt.want)
+		}
+	}
+	if !OutcomeCrash.Failure() || !OutcomeHang.Failure() || !OutcomeCorrupt.Failure() ||
+		OutcomeErrno.Failure() || OutcomeDenied.Failure() || OutcomeOK.Failure() {
+		t.Error("Failure() misclassifies")
+	}
+}
+
+func TestReportHelpersAndVerify(t *testing.T) {
+	c := newLibcCampaign(t)
+	fr, err := c.RunFunction("strcpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := fr.RobustLevelNames()
+	if len(names) != 2 || names[0] != "writable_sized" {
+		t.Errorf("RobustLevelNames = %v", names)
+	}
+	lr := &LibReport{Funcs: []*FuncReport{fr}, TotalProbes: fr.Probes, TotalFailures: fr.Failures}
+	hist := lr.OutcomeHistogram()
+	if hist[OutcomeCrash] == 0 {
+		t.Errorf("histogram = %v, want crashes", hist)
+	}
+	api := lr.RobustAPI()
+	if api["strcpy"][1].LevelName != "cstring" {
+		t.Errorf("RobustAPI = %+v", api["strcpy"])
+	}
+	if lr.FuncsWithFailures() != 1 {
+		t.Errorf("FuncsWithFailures = %d", lr.FuncsWithFailures())
+	}
+}
+
+// TestCampaignWithPreloadsSeesDenials runs the verify-mode campaign for a
+// single function and checks the denied outcome class appears.
+func TestCampaignWithPreloadsSeesDenials(t *testing.T) {
+	sys := libcSystem(t)
+	libc, _ := sys.Library(clib.LibcSoname)
+	api := ctypes.RobustAPI{"strlen": {{Name: "s", Chain: "in_str", Level: 3, LevelName: "cstring"}}}
+	wrapper, _, err := wrappers.Robustness(libc, api, []string{"strlen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLibrary(wrapper); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(sys, clib.LibcSoname, WithPreloads(wrappers.RobustnessSoname))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := c.RunFunction("strlen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Failures != 0 {
+		t.Errorf("wrapped strlen still failed %d probes", fr.Failures)
+	}
+	var denied int
+	for _, r := range fr.Results {
+		if r.Outcome == OutcomeDenied {
+			denied++
+		}
+	}
+	if denied == 0 {
+		t.Error("no probe was classified as denied")
+	}
+}

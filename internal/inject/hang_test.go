@@ -1,0 +1,129 @@
+package inject
+
+import (
+	"testing"
+
+	"healers/internal/cheader"
+	"healers/internal/cmem"
+	"healers/internal/cval"
+	"healers/internal/simelf"
+)
+
+// TestHangDetection verifies the probe-timeout stand-in: a function that
+// loops forever over valid memory exhausts its access budget and is
+// classified as a hang — the third member of the paper's "crashes, hangs,
+// or aborts" triad.
+func TestHangDetection(t *testing.T) {
+	sys := simelf.NewSystem()
+	lib := simelf.NewLibrary("libspin.so")
+	proto, err := cheader.ParsePrototype("int spin_if_negative(int n);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// spin_if_negative(n < 0) re-reads the same mapped byte forever; a
+	// real process would wedge and the injector would kill it on
+	// timeout.
+	lib.ExportWithProto(proto, func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		if len(args) > 0 && args[0].Int32() >= 0 {
+			return cval.Int(0), nil
+		}
+		a, f := env.Img.StaticString("x")
+		if f != nil {
+			return 0, f
+		}
+		for {
+			if _, f := env.Img.Space.ReadByteAt(a); f != nil {
+				return 0, f
+			}
+		}
+	})
+	if err := sys.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(sys, "libspin.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := c.RunFunction("spin_if_negative")
+	if err != nil {
+		t.Fatalf("RunFunction: %v", err)
+	}
+	var sawHang bool
+	for _, r := range fr.Results {
+		if r.Outcome == OutcomeHang {
+			sawHang = true
+			if r.Fault == nil || r.Fault.Kind != cmem.FaultHang {
+				t.Errorf("hang outcome without HANG fault: %v", r.Fault)
+			}
+		}
+	}
+	if !sawHang {
+		t.Fatalf("no hang detected; results: %+v", fr.Results)
+	}
+	if fr.Failures == 0 {
+		t.Error("hangs must count as robustness failures")
+	}
+}
+
+func TestFuelRestoredAfterProbe(t *testing.T) {
+	c := newLibcCampaign(t)
+	fr, err := c.RunFunction("strlen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ordinary probes never hit the budget.
+	for _, r := range fr.Results {
+		if r.Outcome == OutcomeHang {
+			t.Errorf("strlen probe %s classified as hang", r.Probe)
+		}
+	}
+}
+
+// TestSilentCorruptionDetection verifies the Ballista "Silent" class: a
+// buggy library function that writes through a const-qualified argument
+// returns normally, but the snapshot comparison catches the damage.
+func TestSilentCorruptionDetection(t *testing.T) {
+	sys := simelf.NewSystem()
+	lib := simelf.NewLibrary("libbuggy.so")
+	proto, err := cheader.ParsePrototype("int scramble(char *dst, const char *src); // @dst out_buf src=src nul @src in_str")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bug: "scramble" also increments the first byte of its const
+	// source.
+	lib.ExportWithProto(proto, func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		src := args[1].Addr()
+		b, f := env.Img.Space.ReadByteAt(src)
+		if f != nil {
+			return 0, f
+		}
+		if f := env.Img.Space.WriteByteAt(src, b+1); f != nil {
+			return 0, f
+		}
+		return cval.Int(0), nil
+	})
+	if err := sys.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(sys, "libbuggy.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := c.RunFunction("scramble")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probing dst (param 0) keeps src golden; its corruption must show.
+	var sawSilent bool
+	for _, r := range fr.Results {
+		if r.Param == 0 && r.Outcome == OutcomeCorrupt {
+			sawSilent = true
+		}
+	}
+	if !sawSilent {
+		t.Fatalf("silent corruption undetected; results: %+v", fr.Results)
+	}
+	if fr.Failures == 0 {
+		t.Error("silent corruption must count as a robustness failure")
+	}
+}

@@ -1,0 +1,150 @@
+package inject
+
+import (
+	"fmt"
+
+	"healers/internal/cmem"
+	"healers/internal/ctypes"
+	"healers/internal/cval"
+	"healers/internal/proc"
+)
+
+// Pairwise campaigns inject two parameters at once while the rest stay
+// golden. Full cartesian probing explodes combinatorially; pairwise
+// covers every two-way interaction at quadratic (not exponential) cost —
+// the classic covering-array argument. The ablation benchmark compares it
+// against the default single-fault sweep: how many extra failures do
+// interactions reveal, for how many extra probes?
+
+// PairResult is one two-parameter probe call.
+type PairResult struct {
+	ParamA, ParamB int
+	ProbeA, ProbeB string
+	Outcome        Outcome
+	Fault          *cmem.Fault
+}
+
+// PairReport aggregates a pairwise sweep of one function.
+type PairReport struct {
+	Name     string
+	Proto    *ctypes.Prototype
+	Results  []PairResult
+	Probes   int
+	Failures int
+}
+
+// RunFunctionPairwise probes every pair of parameters of the named
+// function with every probe combination.
+func (c *Campaign) RunFunctionPairwise(name string) (*PairReport, error) {
+	lib, _ := c.sys.Library(c.target)
+	proto := lib.Proto(name)
+	if proto == nil {
+		return nil, fmt.Errorf("inject: %s has no prototype for %q", c.target, name)
+	}
+	report := &PairReport{Name: name, Proto: proto}
+	n := len(proto.Params)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			probesI := ProbesFor(proto.Params[i])
+			probesJ := ProbesFor(proto.Params[j])
+			for _, pi := range probesI {
+				for _, pj := range probesJ {
+					r, err := c.runPairProbe(proto, i, pi, j, pj)
+					if err != nil {
+						return nil, err
+					}
+					report.Results = append(report.Results, r)
+					report.Probes++
+					if r.Outcome.Failure() {
+						report.Failures++
+					}
+				}
+			}
+		}
+	}
+	return report, nil
+}
+
+// runPairProbe executes one two-parameter injection in a fresh process.
+func (c *Campaign) runPairProbe(proto *ctypes.Prototype, i int, pi Probe, j int, pj Probe) (PairResult, error) {
+	opts := []proc.Option{proc.WithPreloads(c.preloads...)}
+	if c.stdin != "" {
+		opts = append(opts, proc.WithStdin(c.stdin))
+	}
+	p, err := proc.Start(c.sys, c.hostname, opts...)
+	if err != nil {
+		return PairResult{}, fmt.Errorf("inject: starting probe host: %w", err)
+	}
+	env := p.Env()
+	if err := prepareProbeRegions(env); err != nil {
+		return PairResult{}, err
+	}
+	args := make([]cval.Value, len(proto.Params))
+	for k, prm := range proto.Params {
+		pr := GoldenProbe(prm)
+		switch k {
+		case i:
+			pr = pi
+		case j:
+			pr = pj
+		}
+		v, err := pr.Make(env)
+		if err != nil {
+			return PairResult{}, fmt.Errorf("inject: %s pair (%d,%d): %w", proto.Name, i, j, err)
+		}
+		args[k] = v
+	}
+	env.Errno = 0
+	env.Img.Space.SetFuel(probeFuel)
+	_, res := p.RunCall(proto.Name, args...)
+	env.Img.Space.SetFuel(-1)
+	out := PairResult{ParamA: i, ParamB: j, ProbeA: pi.Name, ProbeB: pj.Name}
+	switch {
+	case res.Fault != nil && res.Fault.Kind == cmem.FaultHang:
+		out.Outcome, out.Fault = OutcomeHang, res.Fault
+	case res.Fault != nil && res.Fault.Kind == cmem.FaultAbort:
+		out.Outcome, out.Fault = OutcomeAbort, res.Fault
+	case res.Fault != nil:
+		out.Outcome, out.Fault = OutcomeCrash, res.Fault
+	case env.Errno == DeniedErrno:
+		out.Outcome = OutcomeDenied
+	case env.Errno != 0:
+		out.Outcome = OutcomeErrno
+	default:
+		out.Outcome = OutcomeOK
+	}
+	return out, nil
+}
+
+// CompareModes runs both sweep modes for one function and reports their
+// cost and detection power — the DESIGN.md §5 ablation.
+type ModeComparison struct {
+	Name            string
+	SingleProbes    int
+	SingleFailures  int
+	PairProbes      int
+	PairFailures    int
+	SingleDetects   bool // function flagged brittle by single-fault
+	PairwiseDetects bool // function flagged brittle by pairwise
+}
+
+// CompareModes runs the single-fault and pairwise sweeps on one function.
+func (c *Campaign) CompareModes(name string) (*ModeComparison, error) {
+	single, err := c.RunFunction(name)
+	if err != nil {
+		return nil, err
+	}
+	pair, err := c.RunFunctionPairwise(name)
+	if err != nil {
+		return nil, err
+	}
+	return &ModeComparison{
+		Name:            name,
+		SingleProbes:    single.Probes,
+		SingleFailures:  single.Failures,
+		PairProbes:      pair.Probes,
+		PairFailures:    pair.Failures,
+		SingleDetects:   single.Failures > 0,
+		PairwiseDetects: pair.Failures > 0,
+	}, nil
+}

@@ -1,0 +1,76 @@
+package inject
+
+import "testing"
+
+func TestPairwiseFindsAtLeastSingleFaultFailures(t *testing.T) {
+	c := newLibcCampaign(t)
+	for _, fn := range []string{"strcpy", "memcpy"} {
+		cmp, err := c.CompareModes(fn)
+		if err != nil {
+			t.Fatalf("CompareModes(%s): %v", fn, err)
+		}
+		if !cmp.SingleDetects || !cmp.PairwiseDetects {
+			t.Errorf("%s: detection single=%v pairwise=%v", fn, cmp.SingleDetects, cmp.PairwiseDetects)
+		}
+		if cmp.PairProbes <= cmp.SingleProbes {
+			t.Errorf("%s: pairwise probes (%d) should exceed single-fault probes (%d)",
+				fn, cmp.PairProbes, cmp.SingleProbes)
+		}
+		// Pairwise subsumes single-fault pairs where one side is
+		// golden, so it finds at least as many failing calls.
+		if cmp.PairFailures < cmp.SingleFailures {
+			t.Errorf("%s: pairwise failures %d < single failures %d",
+				fn, cmp.PairFailures, cmp.SingleFailures)
+		}
+	}
+}
+
+func TestPairwiseResultShape(t *testing.T) {
+	c := newLibcCampaign(t)
+	pr, err := c.RunFunctionPairwise("strncpy")
+	if err != nil {
+		t.Fatalf("RunFunctionPairwise: %v", err)
+	}
+	// strncpy has 3 params: pairs (0,1), (0,2), (1,2).
+	seenPairs := map[[2]int]bool{}
+	for _, r := range pr.Results {
+		if r.ParamA >= r.ParamB {
+			t.Fatalf("unordered pair (%d,%d)", r.ParamA, r.ParamB)
+		}
+		seenPairs[[2]int{r.ParamA, r.ParamB}] = true
+	}
+	if len(seenPairs) != 3 {
+		t.Errorf("covered pairs = %v, want 3", seenPairs)
+	}
+	if pr.Probes != len(pr.Results) || pr.Probes == 0 {
+		t.Errorf("probes = %d, results = %d", pr.Probes, len(pr.Results))
+	}
+	if _, err := c.RunFunctionPairwise("no_such"); err == nil {
+		t.Error("pairwise on unknown function succeeded")
+	}
+}
+
+// TestPairwiseCatchesInteractionSingleMisses demonstrates why pairwise
+// exists: memcpy with (dest=short_buf, n=large) crashes in combinations a
+// strict one-parameter sweep with golden partners cannot produce — e.g.
+// a barely-too-small buffer with a barely-too-big count.
+func TestPairwiseInteractionCoverage(t *testing.T) {
+	c := newLibcCampaign(t)
+	pr, err := c.RunFunctionPairwise("memcpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawInteraction bool
+	for _, r := range pr.Results {
+		// A failing probe where NEITHER side is a golden value is a
+		// genuine two-parameter interaction.
+		if r.Outcome.Failure() && r.ProbeA != "big_buf" && r.ProbeB != "modest" &&
+			r.ProbeA != "modest" && r.ProbeB != "big_buf" {
+			sawInteraction = true
+			break
+		}
+	}
+	if !sawInteraction {
+		t.Error("pairwise sweep found no two-parameter interaction failures")
+	}
+}

@@ -1,0 +1,221 @@
+package proc
+
+import (
+	"strings"
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/cmem"
+	"healers/internal/cval"
+	"healers/internal/simelf"
+)
+
+// newSystem builds a system with the real simulated libc plus the given
+// executables.
+func newSystem(t *testing.T, exes ...*simelf.Executable) *simelf.System {
+	t.Helper()
+	sys := simelf.NewSystem()
+	if err := sys.AddLibrary(clib.MustRegistry().AsLibrary()); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exes {
+		if err := sys.AddExecutable(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func TestRunHelloWorld(t *testing.T) {
+	hello := &simelf.Executable{
+		Name:      "hello",
+		Needed:    []string{clib.LibcSoname},
+		Undefined: []string{"puts"},
+		Main: func(c simelf.Caller, argv []string) int32 {
+			s, _ := c.Env().Img.StaticString("hello from " + argv[0])
+			p := c.(*Process)
+			p.MustCall("puts", cval.Ptr(s))
+			return 0
+		},
+	}
+	sys := newSystem(t, hello)
+	p, err := Start(sys, "hello")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if res.Crashed() {
+		t.Fatalf("crashed: %v", res.Fault)
+	}
+	if res.Status != 0 {
+		t.Errorf("status = %d", res.Status)
+	}
+	if res.Stdout != "hello from hello\n" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	if got := res.String(); got != "exit 0" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRunCrashingProgram(t *testing.T) {
+	crasher := &simelf.Executable{
+		Name:   "crasher",
+		Needed: []string{clib.LibcSoname},
+		Main: func(c simelf.Caller, argv []string) int32 {
+			c.(*Process).MustCall("strlen", cval.Ptr(0)) // segfault
+			return 0
+		},
+	}
+	sys := newSystem(t, crasher)
+	p, err := Start(sys, "crasher")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if !res.Crashed() || res.Fault.Kind != cmem.FaultSegv {
+		t.Fatalf("result = %v, want SIGSEGV crash", res)
+	}
+	if !strings.Contains(res.String(), "SIGSEGV") {
+		t.Errorf("String() = %q", res.String())
+	}
+}
+
+func TestRunExitingProgram(t *testing.T) {
+	exiter := &simelf.Executable{
+		Name:   "exiter",
+		Needed: []string{clib.LibcSoname},
+		Main: func(c simelf.Caller, argv []string) int32 {
+			p := c.(*Process)
+			p.MustCall("exit", cval.Int(42))
+			t.Error("control continued past exit()")
+			return 0
+		},
+	}
+	sys := newSystem(t, exiter)
+	p, err := Start(sys, "exiter")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if res.Crashed() || res.Status != 42 {
+		t.Errorf("result = %v, want exit 42", res)
+	}
+}
+
+func TestStartOptions(t *testing.T) {
+	reader := &simelf.Executable{
+		Name:   "reader",
+		Needed: []string{clib.LibcSoname},
+		Main: func(c simelf.Caller, argv []string) int32 {
+			p := c.(*Process)
+			buf, _ := c.Env().Img.StaticAlloc(64)
+			p.MustCall("gets", cval.Ptr(buf))
+			name, _ := c.Env().Img.StaticString("GREETING")
+			v := p.MustCall("getenv", cval.Ptr(name))
+			if v.IsNull() {
+				return 1
+			}
+			p.MustCall("puts", v)
+			p.MustCall("puts", cval.Ptr(buf))
+			return 0
+		},
+	}
+	sys := newSystem(t, reader)
+	p, err := Start(sys, "reader",
+		WithStdin("from stdin\n"),
+		WithEnvVar("GREETING", "hi"),
+	)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if res.Crashed() || res.Status != 0 {
+		t.Fatalf("result = %v", res)
+	}
+	if res.Stdout != "hi\nfrom stdin\n" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestCallUndefinedSymbol(t *testing.T) {
+	app := &simelf.Executable{
+		Name:   "app",
+		Needed: []string{clib.LibcSoname},
+		Main:   func(c simelf.Caller, argv []string) int32 { return 0 },
+	}
+	sys := newSystem(t, app)
+	p, err := Start(sys, "app")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if _, f := p.Call("no_such_fn"); f == nil || f.Kind != cmem.FaultAbort {
+		t.Errorf("call of undefined symbol: fault = %v, want SIGABRT", f)
+	}
+}
+
+func TestPrivilegedExecutable(t *testing.T) {
+	rootd := &simelf.Executable{
+		Name:       "rootd",
+		Needed:     []string{clib.LibcSoname},
+		Privileged: true,
+		Main: func(c simelf.Caller, argv []string) int32 {
+			return c.(*Process).MustCall("getuid").Int32()
+		},
+	}
+	sys := newSystem(t, rootd)
+	p, err := Start(sys, "rootd")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if res := p.Run(); res.Status != 0 {
+		t.Errorf("getuid in privileged process = %d, want 0", res.Status)
+	}
+}
+
+func TestRunCall(t *testing.T) {
+	app := &simelf.Executable{
+		Name:   "probe",
+		Needed: []string{clib.LibcSoname},
+		Main:   func(c simelf.Caller, argv []string) int32 { return 0 },
+	}
+	sys := newSystem(t, app)
+	p, err := Start(sys, "probe")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	s, _ := p.Env().Img.StaticString("abcd")
+	v, res := p.RunCall("strlen", cval.Ptr(s))
+	if res.Crashed() || v.Uint32() != 4 {
+		t.Errorf("RunCall strlen = %v, %v", v, res)
+	}
+	p2, _ := Start(sys, "probe")
+	_, res = p2.RunCall("strlen", cval.Ptr(0))
+	if !res.Crashed() {
+		t.Error("RunCall strlen(NULL) did not crash")
+	}
+	if p2.Calls != 1 {
+		t.Errorf("Calls = %d, want 1", p2.Calls)
+	}
+}
+
+func TestGoPanicPropagates(t *testing.T) {
+	app := &simelf.Executable{
+		Name:   "buggy",
+		Needed: []string{clib.LibcSoname},
+		Main: func(c simelf.Caller, argv []string) int32 {
+			panic("a real Go bug")
+		},
+	}
+	sys := newSystem(t, app)
+	p, err := Start(sys, "buggy")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Go panic was swallowed by Run")
+		}
+	}()
+	p.Run()
+}

@@ -1,0 +1,217 @@
+// Package simelf models the on-disk artifacts HEALERS operates on:
+// shared libraries with export tables and dependency lists, dynamically
+// linked executables with undefined-symbol tables, and the System registry
+// ("our toolkit can list all libraries in the system", §3.1).
+//
+// It plays the role ELF plays for the real toolkit. The structural
+// metadata is faithful — sonames, NEEDED entries, exported and undefined
+// symbol lists — while code is carried as Go closures in the simulated C
+// calling convention rather than machine code.
+package simelf
+
+import (
+	"fmt"
+	"sort"
+
+	"healers/internal/cmem"
+	"healers/internal/ctypes"
+	"healers/internal/cval"
+)
+
+// NextFunc resolves a symbol in the objects that come *after* the current
+// one in the link map's search order — the RTLD_NEXT lookup an interposing
+// wrapper uses to reach the real implementation.
+type NextFunc func(symbol string) (cval.CFunc, bool)
+
+// Library is one simulated shared object.
+type Library struct {
+	// Soname is the library's canonical name, e.g. "libc.so.6".
+	Soname string
+	// Needed lists sonames this library depends on.
+	Needed []string
+	// exports maps symbol name to implementation.
+	exports map[string]cval.CFunc
+	// protos carries prototype metadata for exported symbols when known
+	// (the toolkit's declaration files are generated from these).
+	protos map[string]*ctypes.Prototype
+	// OnLoad, if set, runs when the dynamic linker places the library
+	// in a link map. Interposing wrapper libraries use it to capture
+	// their RTLD_NEXT resolver. Returning an error aborts the load.
+	OnLoad func(next NextFunc) error
+}
+
+// NewLibrary creates an empty library with the given soname.
+func NewLibrary(soname string, needed ...string) *Library {
+	return &Library{
+		Soname:  soname,
+		Needed:  needed,
+		exports: make(map[string]cval.CFunc),
+		protos:  make(map[string]*ctypes.Prototype),
+	}
+}
+
+// Export defines a global function symbol. Redefining a symbol within one
+// library is a construction bug and panics.
+func (l *Library) Export(name string, fn cval.CFunc) {
+	if _, dup := l.exports[name]; dup {
+		panic(fmt.Sprintf("simelf: duplicate export %s in %s", name, l.Soname))
+	}
+	l.exports[name] = fn
+}
+
+// ExportWithProto defines a symbol together with its prototype.
+func (l *Library) ExportWithProto(p *ctypes.Prototype, fn cval.CFunc) {
+	l.Export(p.Name, fn)
+	l.protos[p.Name] = p
+}
+
+// Lookup returns the implementation of a symbol defined in this library.
+func (l *Library) Lookup(name string) (cval.CFunc, bool) {
+	fn, ok := l.exports[name]
+	return fn, ok
+}
+
+// Proto returns the recorded prototype for an exported symbol, if any.
+func (l *Library) Proto(name string) *ctypes.Prototype {
+	return l.protos[name]
+}
+
+// Symbols returns the exported symbol names, sorted — what `nm -D` would
+// print.
+func (l *Library) Symbols() []string {
+	names := make([]string, 0, len(l.exports))
+	for n := range l.exports {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumSymbols returns the number of exported symbols.
+func (l *Library) NumSymbols() int { return len(l.exports) }
+
+// Caller is the view of the running process an executable's code sees:
+// its environment plus dynamically resolved calls into the loaded
+// libraries. Every Call goes through the link map's full symbol search
+// order, which is precisely the interposition point LD_PRELOAD exploits.
+type Caller interface {
+	Env() *cval.Env
+	Call(symbol string, args ...cval.Value) (cval.Value, *cmem.Fault)
+	// MustCall is Call with C control flow: a fault kills the process
+	// (unwinding out of main), and a latched exit() stops execution.
+	MustCall(symbol string, args ...cval.Value) cval.Value
+	// Raise terminates the process with the given fault, as if the
+	// current instruction took that signal.
+	Raise(f *cmem.Fault)
+}
+
+// MainFunc is a simulated program's entry point. The returned value is the
+// process exit status (unless the program crashed or called exit()).
+type MainFunc func(c Caller, argv []string) int32
+
+// Executable is one simulated dynamically linked program.
+type Executable struct {
+	// Name is the program's path-like identifier.
+	Name string
+	// Interp names the dynamic linker (cosmetic, like PT_INTERP).
+	Interp string
+	// Needed lists the directly linked libraries.
+	Needed []string
+	// Undefined lists the symbols the program imports — what the
+	// application-centric scan (Fig. 4) reports.
+	Undefined []string
+	// Main is the entry point.
+	Main MainFunc
+	// Privileged marks a setuid-root program (the attack demo's rootd).
+	Privileged bool
+}
+
+// System is the registry of everything "installed": libraries and
+// executables, the universe the §3.1/§3.2 scans enumerate.
+type System struct {
+	libs map[string]*Library
+	apps map[string]*Executable
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{
+		libs: make(map[string]*Library),
+		apps: make(map[string]*Executable),
+	}
+}
+
+// AddLibrary installs a library. Installing two libraries with the same
+// soname is an error.
+func (s *System) AddLibrary(l *Library) error {
+	if _, dup := s.libs[l.Soname]; dup {
+		return fmt.Errorf("simelf: library %s already installed", l.Soname)
+	}
+	s.libs[l.Soname] = l
+	return nil
+}
+
+// AddExecutable installs a program.
+func (s *System) AddExecutable(e *Executable) error {
+	if _, dup := s.apps[e.Name]; dup {
+		return fmt.Errorf("simelf: executable %s already installed", e.Name)
+	}
+	s.apps[e.Name] = e
+	return nil
+}
+
+// Library returns an installed library by soname.
+func (s *System) Library(soname string) (*Library, bool) {
+	l, ok := s.libs[soname]
+	return l, ok
+}
+
+// Executable returns an installed program by name.
+func (s *System) Executable(name string) (*Executable, bool) {
+	e, ok := s.apps[name]
+	return e, ok
+}
+
+// Libraries returns all installed sonames, sorted.
+func (s *System) Libraries() []string {
+	names := make([]string, 0, len(s.libs))
+	for n := range s.libs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Executables returns all installed program names, sorted.
+func (s *System) Executables() []string {
+	names := make([]string, 0, len(s.apps))
+	for n := range s.apps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TransitiveDeps returns the breadth-first closure of NEEDED entries
+// starting from the given root sonames — `ldd` for the simulation.
+// Unknown sonames are returned in missing.
+func (s *System) TransitiveDeps(roots []string) (deps []string, missing []string) {
+	seen := make(map[string]bool)
+	queue := append([]string(nil), roots...)
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		lib, ok := s.libs[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		deps = append(deps, name)
+		queue = append(queue, lib.Needed...)
+	}
+	return deps, missing
+}

@@ -1,0 +1,132 @@
+package simelf
+
+import (
+	"testing"
+
+	"healers/internal/cheader"
+	"healers/internal/cmem"
+	"healers/internal/cval"
+)
+
+func TestLibraryExportsAndProtos(t *testing.T) {
+	lib := NewLibrary("libx.so", "libdep.so")
+	if lib.Soname != "libx.so" || len(lib.Needed) != 1 {
+		t.Fatalf("library = %+v", lib)
+	}
+	proto, err := cheader.ParsePrototype("int f(int a);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.ExportWithProto(proto, func(*cval.Env, []cval.Value) (cval.Value, *cmem.Fault) {
+		return cval.Int(7), nil
+	})
+	lib.Export("g", func(*cval.Env, []cval.Value) (cval.Value, *cmem.Fault) {
+		return cval.Int(8), nil
+	})
+	if lib.NumSymbols() != 2 {
+		t.Errorf("NumSymbols = %d", lib.NumSymbols())
+	}
+	if p := lib.Proto("f"); p == nil || p.Name != "f" {
+		t.Errorf("Proto(f) = %v", p)
+	}
+	if p := lib.Proto("g"); p != nil {
+		t.Errorf("Proto(g) = %v, want nil", p)
+	}
+	fn, ok := lib.Lookup("f")
+	if !ok {
+		t.Fatal("Lookup(f) failed")
+	}
+	if v, _ := fn(cval.NewEnv(), nil); v.Int32() != 7 {
+		t.Errorf("f() = %v", v)
+	}
+	if _, ok := lib.Lookup("missing"); ok {
+		t.Error("Lookup of missing symbol succeeded")
+	}
+	syms := lib.Symbols()
+	if len(syms) != 2 || syms[0] != "f" || syms[1] != "g" {
+		t.Errorf("Symbols = %v", syms)
+	}
+}
+
+func TestSystemRegistry(t *testing.T) {
+	sys := NewSystem()
+	if err := sys.AddLibrary(NewLibrary("liba.so")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLibrary(NewLibrary("liba.so")); err == nil {
+		t.Error("duplicate library accepted")
+	}
+	if _, ok := sys.Library("liba.so"); !ok {
+		t.Error("installed library not found")
+	}
+	if _, ok := sys.Library("nope.so"); ok {
+		t.Error("phantom library found")
+	}
+	exe := &Executable{Name: "prog", Needed: []string{"liba.so"}}
+	if err := sys.AddExecutable(exe); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddExecutable(exe); err == nil {
+		t.Error("duplicate executable accepted")
+	}
+	got, ok := sys.Executable("prog")
+	if !ok || got.Name != "prog" {
+		t.Errorf("Executable = %v, %v", got, ok)
+	}
+}
+
+func TestTransitiveDepsDiamond(t *testing.T) {
+	sys := NewSystem()
+	// Diamond: top needs left and right; both need base.
+	base := NewLibrary("base.so")
+	left := NewLibrary("left.so", "base.so")
+	right := NewLibrary("right.so", "base.so")
+	for _, l := range []*Library{base, left, right} {
+		if err := sys.AddLibrary(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deps, missing := sys.TransitiveDeps([]string{"left.so", "right.so"})
+	if len(missing) != 0 {
+		t.Errorf("missing = %v", missing)
+	}
+	// base appears exactly once, after both direct deps (BFS order).
+	if len(deps) != 3 || deps[0] != "left.so" || deps[1] != "right.so" || deps[2] != "base.so" {
+		t.Errorf("deps = %v", deps)
+	}
+	// Cycles terminate.
+	a := NewLibrary("cyc_a.so", "cyc_b.so")
+	bLib := NewLibrary("cyc_b.so", "cyc_a.so")
+	if err := sys.AddLibrary(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLibrary(bLib); err != nil {
+		t.Fatal(err)
+	}
+	deps, _ = sys.TransitiveDeps([]string{"cyc_a.so"})
+	if len(deps) != 2 {
+		t.Errorf("cyclic deps = %v", deps)
+	}
+}
+
+func TestSystemListings(t *testing.T) {
+	sys := NewSystem()
+	for _, n := range []string{"z.so", "a.so", "m.so"} {
+		if err := sys.AddLibrary(NewLibrary(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	libs := sys.Libraries()
+	if len(libs) != 3 || libs[0] != "a.so" || libs[2] != "z.so" {
+		t.Errorf("Libraries = %v, want sorted", libs)
+	}
+	for _, n := range []string{"prog2", "prog1"} {
+		if err := sys.AddExecutable(&Executable{Name: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apps := sys.Executables()
+	if len(apps) != 2 || apps[0] != "prog1" {
+		t.Errorf("Executables = %v, want sorted", apps)
+	}
+}

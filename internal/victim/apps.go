@@ -1,0 +1,231 @@
+package victim
+
+import (
+	"strconv"
+
+	"healers/internal/clib"
+	"healers/internal/cmath"
+	"healers/internal/cmem"
+	"healers/internal/cval"
+	"healers/internal/simelf"
+)
+
+// TextutilName is the text-processing sample program.
+const TextutilName = "textutil"
+
+// textutilMain reads text from stdin line by line, tokenizes each line,
+// and reports word statistics — a realistic string-heavy libc workload:
+// fgets_fd, strtok, strlen, strdup, toupper, snprintf, qsort, free.
+func textutilMain(c simelf.Caller, argv []string) int32 {
+	env := c.Env()
+	img := env.Img
+
+	mustStr := func(s string) cval.Value {
+		a, f := img.StaticString(s)
+		if f != nil {
+			c.Raise(f)
+		}
+		return cval.Ptr(a)
+	}
+	lineBuf, f := img.StaticAlloc(512)
+	if f != nil {
+		c.Raise(f)
+	}
+	delims := mustStr(" \t\n.,;:!?")
+
+	var words []cval.Value // strdup'ed tokens (heap pointers)
+	totalBytes := uint32(0)
+	lines := 0
+
+	for {
+		got := c.MustCall("fgets_fd", cval.Ptr(lineBuf), cval.Int(512), cval.Int(0))
+		if got.IsNull() {
+			break
+		}
+		lines++
+		tok := c.MustCall("strtok", cval.Ptr(lineBuf), delims)
+		for !tok.IsNull() {
+			words = append(words, c.MustCall("strdup", tok))
+			totalBytes += c.MustCall("strlen", tok).Uint32()
+			tok = c.MustCall("strtok", cval.Ptr(0), delims)
+		}
+	}
+
+	// Uppercase the first word in place, character by character.
+	if len(words) > 0 {
+		w := words[0].Addr()
+		for i := cmem.Addr(0); ; i++ {
+			b, f := img.Space.ReadByteAt(w + i)
+			if f != nil {
+				c.Raise(f)
+			}
+			if b == 0 {
+				break
+			}
+			up := c.MustCall("toupper", cval.Int(int64(b)))
+			if f := img.Space.WriteByteAt(w+i, up.Byte()); f != nil {
+				c.Raise(f)
+			}
+		}
+	}
+
+	// Sort the word pointers by first byte via qsort over an array of
+	// 4-byte pointers in simulated memory.
+	if n := uint32(len(words)); n > 1 {
+		arr, f := img.StaticAlloc(n * 4)
+		if f != nil {
+			c.Raise(f)
+		}
+		for i, w := range words {
+			if f := img.Space.WriteU32(arr+cmem.Addr(i*4), w.Uint32()); f != nil {
+				c.Raise(f)
+			}
+		}
+		cmp := env.RegisterText("word_cmp", func(e *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+			pa, f := e.Img.Space.ReadU32(args[0].Addr())
+			if f != nil {
+				return 0, f
+			}
+			pb, f := e.Img.Space.ReadU32(args[1].Addr())
+			if f != nil {
+				return 0, f
+			}
+			ba, f := e.Img.Space.ReadByteAt(cmem.Addr(pa))
+			if f != nil {
+				return 0, f
+			}
+			bb, f := e.Img.Space.ReadByteAt(cmem.Addr(pb))
+			if f != nil {
+				return 0, f
+			}
+			return cval.Int(int64(int32(ba) - int32(bb))), nil
+		})
+		c.MustCall("qsort", cval.Ptr(arr), cval.Uint(uint64(n)), cval.Uint(4), cval.Ptr(cmp))
+	}
+
+	// Report via bounded formatting.
+	report, f := img.StaticAlloc(128)
+	if f != nil {
+		c.Raise(f)
+	}
+	c.MustCall("snprintf", cval.Ptr(report), cval.Uint(128),
+		mustStr("%d lines, %d words, %u bytes\n"),
+		cval.Int(int64(lines)), cval.Int(int64(len(words))), cval.Uint(uint64(totalBytes)))
+	c.MustCall("puts", cval.Ptr(report))
+
+	for _, w := range words {
+		c.MustCall("free", w)
+	}
+	// Terminate through exit(), as real programs do — this is what
+	// triggers the profiling wrapper's end-of-run collection upload.
+	c.MustCall("exit", cval.Int(0))
+	return 0
+}
+
+// Textutil returns the text-processing executable.
+func Textutil() *simelf.Executable {
+	return &simelf.Executable{
+		Name:      TextutilName,
+		Interp:    "sim-ld.so",
+		Needed:    []string{clib.LibcSoname},
+		Undefined: []string{"fgets_fd", "strtok", "strdup", "strlen", "toupper", "qsort", "snprintf", "puts", "free"},
+		Main:      textutilMain,
+	}
+}
+
+// StressName is the mixed-workload sample program.
+const StressName = "stress"
+
+// stressMain runs argv[1] (default 100) deterministic iterations of a
+// mixed libc call pattern: allocation, string copies, conversion,
+// classification, formatted output to a file.
+func stressMain(c simelf.Caller, argv []string) int32 {
+	env := c.Env()
+	img := env.Img
+
+	iters := 100
+	if len(argv) > 1 {
+		if n, err := strconv.Atoi(argv[1]); err == nil && n > 0 {
+			iters = n
+		}
+	}
+	mustStr := func(s string) cval.Value {
+		a, f := img.StaticString(s)
+		if f != nil {
+			c.Raise(f)
+		}
+		return cval.Ptr(a)
+	}
+	src := mustStr("the quick brown fox jumps over the lazy dog")
+	numstr := mustStr("123456")
+	fmtStr := mustStr("iter %d: len=%u val=%d\n")
+
+	logName := mustStr("stress.log")
+	fd := c.MustCall("open", logName, cval.Int(int64(1|0x40))) // O_WRONLY|O_CREAT
+	if fd.Int32() < 0 {
+		return 1
+	}
+
+	c.MustCall("srand", cval.Uint(42))
+	var acc int64
+	for i := 0; i < iters; i++ {
+		buf := c.MustCall("malloc", cval.Uint(128))
+		if buf.IsNull() {
+			return 1
+		}
+		c.MustCall("strcpy", buf, src)
+		n := c.MustCall("strlen", buf)
+		val := c.MustCall("atoi", numstr)
+		acc += int64(c.MustCall("rand").Int32()) % 7
+		up := c.MustCall("toupper", cval.Int(int64('a'+i%26)))
+		acc += int64(up.Int32())
+		if c.MustCall("isalpha", up) == 0 {
+			return 2
+		}
+		c.MustCall("fprintf", fd, fmtStr, cval.Int(int64(i)), n, val)
+		c.MustCall("free", buf)
+	}
+	c.MustCall("close", fd)
+	return 0
+}
+
+// Stress returns the mixed-workload executable.
+func Stress() *simelf.Executable {
+	return &simelf.Executable{
+		Name:      StressName,
+		Interp:    "sim-ld.so",
+		Needed:    []string{clib.LibcSoname},
+		Undefined: []string{"malloc", "strcpy", "strlen", "atoi", "rand", "srand", "toupper", "isalpha", "fprintf", "open", "close", "free"},
+		Main:      stressMain,
+	}
+}
+
+// InstallAll installs every victim application plus the simulated libc
+// and libm into a system. It is the standard fixture the demos, examples,
+// and benchmarks start from.
+func InstallAll(sys *simelf.System) error {
+	if _, ok := sys.Library(clib.LibcSoname); !ok {
+		reg, err := clib.NewRegistry()
+		if err != nil {
+			return err
+		}
+		if err := sys.AddLibrary(reg.AsLibrary()); err != nil {
+			return err
+		}
+	}
+	if _, ok := sys.Library(cmath.Soname); !ok {
+		libm, err := cmath.AsLibrary()
+		if err != nil {
+			return err
+		}
+		if err := sys.AddLibrary(libm); err != nil {
+			return err
+		}
+	}
+	for _, exe := range []*simelf.Executable{Rootd(), Stackd(), Textutil(), Stress(), Calc()} {
+		if err := sys.AddExecutable(exe); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package victim
+
+import (
+	"healers/internal/clib"
+	"healers/internal/cmath"
+	"healers/internal/cval"
+	"healers/internal/simelf"
+)
+
+// CalcName is the two-library sample program: it links against both
+// libc.so.6 and libm.so.6, so the application-centric scan (Fig. 4) shows
+// a multi-library link map.
+const CalcName = "calc"
+
+// calcMain reads one number per line from stdin, then prints the count,
+// the mean, and the square root of the mean.
+func calcMain(c simelf.Caller, argv []string) int32 {
+	env := c.Env()
+	img := env.Img
+
+	lineBuf, f := img.StaticAlloc(128)
+	if f != nil {
+		c.Raise(f)
+	}
+	var sum float64
+	n := 0
+	for {
+		got := c.MustCall("fgets_fd", cval.Ptr(lineBuf), cval.Int(128), cval.Int(0))
+		if got.IsNull() {
+			break
+		}
+		v := c.MustCall("atof", cval.Ptr(lineBuf))
+		sum += cmath.Float(v)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	mean := sum / float64(n)
+	root := c.MustCall("sqrt", cmath.Bits(mean))
+
+	fmtStr, f := img.StaticString("n=%d mean=%.3f sqrt=%.3f\n")
+	if f != nil {
+		c.Raise(f)
+	}
+	out, f := img.StaticAlloc(128)
+	if f != nil {
+		c.Raise(f)
+	}
+	c.MustCall("snprintf", cval.Ptr(out), cval.Uint(128), cval.Ptr(fmtStr),
+		cval.Int(int64(n)), cmath.Bits(mean), root)
+	c.MustCall("puts", cval.Ptr(out))
+	return 0
+}
+
+// Calc returns the two-library executable image.
+func Calc() *simelf.Executable {
+	return &simelf.Executable{
+		Name:      CalcName,
+		Interp:    "sim-ld.so",
+		Needed:    []string{clib.LibcSoname, cmath.Soname},
+		Undefined: []string{"fgets_fd", "atof", "sqrt", "snprintf", "puts"},
+		Main:      calcMain,
+	}
+}

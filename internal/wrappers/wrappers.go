@@ -1,0 +1,164 @@
+// Package wrappers assembles the three canonical HEALERS wrapper types of
+// Figure 1 from the micro-generator architecture:
+//
+//   - the robustness wrapper denies calls whose arguments violate the
+//     fault-injection-derived robust API (crash/abort prevention for
+//     high-availability applications);
+//   - the security wrapper prevents and detects heap buffer overflows and
+//     rejects hostile format strings (for root-privileged processes);
+//   - the profiling wrapper counts calls, times them, and histograms
+//     errno values, exporting a self-describing XML document.
+//
+// Each builder returns an interposable shared library (preload it with
+// proc.WithPreloads) plus the live statistics State behind it.
+package wrappers
+
+import (
+	"fmt"
+
+	"healers/internal/ctypes"
+	"healers/internal/gen"
+	"healers/internal/simelf"
+)
+
+// Sonames of the generated wrapper libraries.
+const (
+	RobustnessSoname = "libhealers_robust.so"
+	SecuritySoname   = "libhealers_sec.so"
+	ProfilingSoname  = "libhealers_prof.so"
+)
+
+// protosOf collects the prototypes for the named functions from a target
+// library, failing on unknown names; nil names means every exported
+// symbol with a prototype.
+func protosOf(target *simelf.Library, names []string) ([]*ctypes.Prototype, error) {
+	if names == nil {
+		names = target.Symbols()
+	}
+	var protos []*ctypes.Prototype
+	for _, n := range names {
+		p := target.Proto(n)
+		if p == nil {
+			if _, exported := target.Lookup(n); !exported {
+				return nil, fmt.Errorf("wrappers: %s does not export %q", target.Soname, n)
+			}
+			continue // exported but prototype-less symbols cannot be wrapped
+		}
+		protos = append(protos, p)
+	}
+	return protos, nil
+}
+
+// Robustness builds the robustness wrapper for the given functions of
+// target, enforcing the supplied robust API. names == nil wraps the whole
+// library.
+func Robustness(target *simelf.Library, api ctypes.RobustAPI, names []string) (*simelf.Library, *gen.State, error) {
+	protos, err := protosOf(target, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := gen.MustGenerator(
+		gen.MGPrototype(),
+		gen.MGCallCounter(),
+		gen.MGArgCheck(api),
+		gen.MGCaller(),
+	)
+	st := gen.NewState(RobustnessSoname)
+	return g.BuildLibrarySubst(RobustnessSoname, protos, st, boundedSubstitutions()), st, nil
+}
+
+// Security builds the security wrapper: canary-based heap-smash detection
+// on every intercepted call, computable-bound overflow prevention, and
+// format-string rejection. names == nil wraps the whole library.
+func Security(target *simelf.Library, names []string) (*simelf.Library, *gen.State, error) {
+	protos, err := protosOf(target, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := gen.MustGenerator(
+		gen.MGPrototype(),
+		gen.MGCallCounter(),
+		gen.MGHeapCheck(),
+		gen.MGBoundCheck(),
+		gen.MGFmtCheck(),
+		gen.MGCaller(),
+	)
+	st := gen.NewState(SecuritySoname)
+	return g.BuildLibrary(SecuritySoname, protos, st), st, nil
+}
+
+// Profiling builds the profiling wrapper of Figure 3/Figure 5: call
+// counts, execution time, per-function and global errno histograms.
+// names == nil wraps the whole library.
+func Profiling(target *simelf.Library, names []string) (*simelf.Library, *gen.State, error) {
+	protos, err := protosOf(target, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := ProfilingGenerator()
+	st := gen.NewState(ProfilingSoname)
+	return g.BuildLibrary(ProfilingSoname, protos, st), st, nil
+}
+
+// ProfilingGenerator exposes the profiling micro-generator composition —
+// the exact stack of the paper's Figure 3 wctrans listing.
+func ProfilingGenerator() *gen.Generator {
+	return gen.MustGenerator(
+		gen.MGPrototype(),
+		// Declared right after the prototype so its postfix runs last:
+		// the flush sees every other micro-generator's final counters.
+		gen.MGExitFlush(),
+		gen.MGExectime(),
+		gen.MGCollectErrors(),
+		gen.MGFuncErrors(),
+		gen.MGCallCounter(),
+		gen.MGCaller(),
+	)
+}
+
+// RobustnessGenerator exposes the robustness composition for source
+// rendering.
+func RobustnessGenerator(api ctypes.RobustAPI) *gen.Generator {
+	return gen.MustGenerator(
+		gen.MGPrototype(),
+		gen.MGCallCounter(),
+		gen.MGArgCheck(api),
+		gen.MGCaller(),
+	)
+}
+
+// SecurityGenerator exposes the security composition for source
+// rendering.
+func SecurityGenerator() *gen.Generator {
+	return gen.MustGenerator(
+		gen.MGPrototype(),
+		gen.MGCallCounter(),
+		gen.MGHeapCheck(),
+		gen.MGBoundCheck(),
+		gen.MGFmtCheck(),
+		gen.MGCaller(),
+	)
+}
+
+// StrongestAPI builds a robust API that demands the strongest lattice
+// level for every parameter of every prototype — the "assume the worst"
+// configuration used before a campaign has run, and the baseline for the
+// ablation benchmarks.
+func StrongestAPI(protos []*ctypes.Prototype) ctypes.RobustAPI {
+	api := make(ctypes.RobustAPI, len(protos))
+	for _, p := range protos {
+		params := make([]ctypes.RobustParam, len(p.Params))
+		for i, prm := range p.Params {
+			chain := ctypes.ChainFor(prm)
+			lvl := chain.Strongest()
+			params[i] = ctypes.RobustParam{
+				Name:      prm.Name,
+				Chain:     chain.Name,
+				Level:     lvl,
+				LevelName: chain.Levels[lvl].Name,
+			}
+		}
+		api[p.Name] = params
+	}
+	return api
+}

@@ -1,0 +1,264 @@
+// Package xmlrep defines the self-describing XML documents the HEALERS
+// toolkit exchanges (§2.3: "the gathered information sent to the server is
+// in form of a self-describing XML document"):
+//
+//   - Declaration files: every function of a library with its prototype
+//     (demo §3.1 "create a XML-style declaration file that describes the
+//     prototype of each function in the library");
+//   - Robust-API files: the fault-injection-derived weakest robust types;
+//   - Profile logs: the profiling wrapper's call counts, execution times
+//     and errno distributions (demo §3.3, Fig. 5), shipped to the central
+//     collection server.
+//
+// Every document carries enough metadata for the server to "extract from
+// the document which functions were wrapped and what kind of information
+// was collected" without out-of-band knowledge.
+package xmlrep
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"time"
+
+	"healers/internal/ctypes"
+	"healers/internal/cval"
+	"healers/internal/gen"
+)
+
+// DocKind discriminates document types for the collection server.
+type DocKind string
+
+// The document kinds.
+const (
+	KindDeclarations DocKind = "declarations"
+	KindRobustAPI    DocKind = "robust-api"
+	KindProfile      DocKind = "profile"
+)
+
+// ParamDecl is one parameter in a declaration file.
+type ParamDecl struct {
+	Name string `xml:"name,attr,omitempty"`
+	Type string `xml:"type,attr"`
+	Role string `xml:"role,attr,omitempty"`
+}
+
+// FuncDecl is one function's prototype.
+type FuncDecl struct {
+	Name     string      `xml:"name,attr"`
+	Returns  string      `xml:"returns,attr"`
+	Variadic bool        `xml:"variadic,attr,omitempty"`
+	Header   string      `xml:"header,attr,omitempty"`
+	Params   []ParamDecl `xml:"param"`
+}
+
+// Declarations is the library declaration file.
+type Declarations struct {
+	XMLName   xml.Name   `xml:"healers-declarations"`
+	Library   string     `xml:"library,attr"`
+	Generated string     `xml:"generated,attr,omitempty"`
+	Funcs     []FuncDecl `xml:"function"`
+}
+
+// NewDeclarations builds a declaration document from prototypes.
+func NewDeclarations(library string, protos []*ctypes.Prototype) *Declarations {
+	d := &Declarations{Library: library, Generated: timestamp()}
+	for _, p := range protos {
+		fd := FuncDecl{
+			Name:     p.Name,
+			Returns:  p.Ret.String(),
+			Variadic: p.Variadic,
+			Header:   p.Header,
+		}
+		for _, prm := range p.Params {
+			fd.Params = append(fd.Params, ParamDecl{
+				Name: prm.Name,
+				Type: prm.Type.String(),
+				Role: prm.Role.String(),
+			})
+		}
+		d.Funcs = append(d.Funcs, fd)
+	}
+	return d
+}
+
+// RobustParamXML is one derived robust parameter type.
+type RobustParamXML struct {
+	Name  string `xml:"name,attr,omitempty"`
+	Chain string `xml:"chain,attr"`
+	Level string `xml:"level,attr"`
+}
+
+// RobustFuncXML is one function's derived robust API.
+type RobustFuncXML struct {
+	Name   string           `xml:"name,attr"`
+	Params []RobustParamXML `xml:"param"`
+}
+
+// RobustAPIDoc is the robust-API file of Figure 2's output stage.
+type RobustAPIDoc struct {
+	XMLName   xml.Name        `xml:"healers-robust-api"`
+	Library   string          `xml:"library,attr"`
+	Generated string          `xml:"generated,attr,omitempty"`
+	Funcs     []RobustFuncXML `xml:"function"`
+}
+
+// NewRobustAPIDoc converts a derived robust API to its document form.
+func NewRobustAPIDoc(library string, api ctypes.RobustAPI) *RobustAPIDoc {
+	doc := &RobustAPIDoc{Library: library, Generated: timestamp()}
+	for _, fn := range api.Funcs() {
+		fx := RobustFuncXML{Name: fn}
+		for _, p := range api[fn] {
+			fx.Params = append(fx.Params, RobustParamXML{Name: p.Name, Chain: p.Chain, Level: p.LevelName})
+		}
+		doc.Funcs = append(doc.Funcs, fx)
+	}
+	return doc
+}
+
+// API reconstructs the in-memory robust API from the document.
+func (doc *RobustAPIDoc) API() (ctypes.RobustAPI, error) {
+	api := make(ctypes.RobustAPI, len(doc.Funcs))
+	for _, fx := range doc.Funcs {
+		params := make([]ctypes.RobustParam, len(fx.Params))
+		for i, p := range fx.Params {
+			chain, ok := ctypes.ChainByName(p.Chain)
+			if !ok {
+				return nil, fmt.Errorf("xmlrep: unknown chain %q in %s", p.Chain, fx.Name)
+			}
+			lvl := chain.LevelIndex(p.Level)
+			if lvl < 0 {
+				if p.Level == "uncontainable" {
+					lvl = len(chain.Levels)
+				} else {
+					return nil, fmt.Errorf("xmlrep: unknown level %q of chain %q in %s", p.Level, p.Chain, fx.Name)
+				}
+			}
+			params[i] = ctypes.RobustParam{Name: p.Name, Chain: p.Chain, Level: lvl, LevelName: p.Level}
+		}
+		api[fx.Name] = params
+	}
+	return api, nil
+}
+
+// ErrnoCount is one errno histogram bucket.
+type ErrnoCount struct {
+	Errno string `xml:"errno,attr"`
+	Count uint64 `xml:"count,attr"`
+}
+
+// FuncProfile is one wrapped function's statistics in a profile log.
+type FuncProfile struct {
+	Name   string       `xml:"name,attr"`
+	Calls  uint64       `xml:"calls,attr"`
+	ExecNS int64        `xml:"exec_ns,attr"`
+	Denied uint64       `xml:"denied,attr,omitempty"`
+	Errnos []ErrnoCount `xml:"error"`
+}
+
+// ProfileLog is the profiling wrapper's end-of-run document (Fig. 5).
+type ProfileLog struct {
+	XMLName   xml.Name      `xml:"healers-profile"`
+	Host      string        `xml:"host,attr"`
+	App       string        `xml:"app,attr"`
+	Wrapper   string        `xml:"wrapper,attr"`
+	Generated string        `xml:"generated,attr,omitempty"`
+	Funcs     []FuncProfile `xml:"function"`
+	Global    []ErrnoCount  `xml:"global-error"`
+	Overflows uint64        `xml:"overflows,attr,omitempty"`
+}
+
+// NewProfileLog snapshots a wrapper State into its document form.
+func NewProfileLog(host, app string, st *gen.State) *ProfileLog {
+	log := &ProfileLog{
+		Host:      host,
+		App:       app,
+		Wrapper:   st.Soname,
+		Generated: timestamp(),
+		Overflows: st.Overflows,
+	}
+	for i, name := range st.FuncNames() {
+		fp := FuncProfile{
+			Name:   name,
+			Calls:  st.CallCount[i],
+			ExecNS: st.ExecTime[i].Nanoseconds(),
+			Denied: st.DeniedCount[i],
+		}
+		for e, cnt := range st.FuncErrno[i] {
+			if cnt > 0 {
+				fp.Errnos = append(fp.Errnos, ErrnoCount{Errno: errnoLabel(int32(e)), Count: cnt})
+			}
+		}
+		log.Funcs = append(log.Funcs, fp)
+	}
+	for e, cnt := range st.GlobalErrno {
+		if cnt > 0 {
+			log.Global = append(log.Global, ErrnoCount{Errno: errnoLabel(int32(e)), Count: cnt})
+		}
+	}
+	return log
+}
+
+// TotalCalls sums the per-function call counts.
+func (l *ProfileLog) TotalCalls() uint64 {
+	var n uint64
+	for _, f := range l.Funcs {
+		n += f.Calls
+	}
+	return n
+}
+
+func errnoLabel(e int32) string {
+	if e == cval.MaxErrno {
+		return "OTHER"
+	}
+	return cval.ErrnoName(e)
+}
+
+// Marshal renders any of the package's documents with the standard XML
+// header and indentation.
+func Marshal(doc any) ([]byte, error) {
+	body, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("xmlrep: marshal: %w", err)
+	}
+	return append([]byte(xml.Header), append(body, '\n')...), nil
+}
+
+// Kind sniffs a marshalled document's kind from its root element.
+func Kind(data []byte) (DocKind, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", fmt.Errorf("xmlrep: sniffing document kind: %w", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			switch se.Name.Local {
+			case "healers-declarations":
+				return KindDeclarations, nil
+			case "healers-robust-api":
+				return KindRobustAPI, nil
+			case "healers-profile":
+				return KindProfile, nil
+			default:
+				return "", fmt.Errorf("xmlrep: unknown document root %q", se.Name.Local)
+			}
+		}
+	}
+}
+
+// Unmarshal parses a document of the expected type.
+func Unmarshal[T any](data []byte) (*T, error) {
+	var doc T
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("xmlrep: unmarshal: %w", err)
+	}
+	return &doc, nil
+}
+
+// timestamp renders the generation time; overridable for reproducible
+// golden tests.
+var now = time.Now
+
+func timestamp() string { return now().UTC().Format(time.RFC3339) }

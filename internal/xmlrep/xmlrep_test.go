@@ -1,0 +1,164 @@
+package xmlrep
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"healers/internal/cheader"
+	"healers/internal/ctypes"
+	"healers/internal/cval"
+	"healers/internal/gen"
+)
+
+func fixedNow(t *testing.T) {
+	t.Helper()
+	old := now
+	now = func() time.Time { return time.Date(2003, 6, 22, 12, 0, 0, 0, time.UTC) }
+	t.Cleanup(func() { now = old })
+}
+
+func TestDeclarationsRoundTrip(t *testing.T) {
+	fixedNow(t)
+	strcpy, err := cheader.ParsePrototype("char *strcpy(char *dest, const char *src); // @dest out_buf src=src nul @src in_str")
+	if err != nil {
+		t.Fatal(err)
+	}
+	strcpy.Header = "string.h"
+	randp, err := cheader.ParsePrototype("int rand(void);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := NewDeclarations("libc.so.6", []*ctypes.Prototype{strcpy, randp})
+	data, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`<healers-declarations library="libc.so.6"`,
+		`<function name="strcpy" returns="char*" header="string.h">`,
+		`<param name="dest" type="char*" role="out_buf">`,
+		`<param name="src" type="const char*" role="in_str">`,
+		`<function name="rand" returns="int">`,
+		`generated="2003-06-22T12:00:00Z"`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("declaration XML missing %q:\n%s", want, data)
+		}
+	}
+	back, err := Unmarshal[Declarations](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Library != "libc.so.6" || len(back.Funcs) != 2 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if back.Funcs[0].Params[1].Role != "in_str" {
+		t.Errorf("src role = %q", back.Funcs[0].Params[1].Role)
+	}
+	kind, err := Kind(data)
+	if err != nil || kind != KindDeclarations {
+		t.Errorf("Kind = %v, %v", kind, err)
+	}
+}
+
+func TestRobustAPIRoundTrip(t *testing.T) {
+	fixedNow(t)
+	api := ctypes.RobustAPI{
+		"strcpy": {
+			{Name: "dest", Chain: "out_buf", Level: 3, LevelName: "writable_sized"},
+			{Name: "src", Chain: "in_str", Level: 3, LevelName: "cstring"},
+		},
+		"sprintf": {
+			{Name: "str", Chain: "out_buf", Level: 4, LevelName: "uncontainable"},
+			{Name: "format", Chain: "fmt", Level: 3, LevelName: "fmt_no_percent_n"},
+		},
+	}
+	doc := NewRobustAPIDoc("libc.so.6", api)
+	data, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, _ := Kind(data); kind != KindRobustAPI {
+		t.Errorf("Kind = %v", kind)
+	}
+	back, err := Unmarshal[RobustAPIDoc](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api2, err := back.API()
+	if err != nil {
+		t.Fatalf("API(): %v", err)
+	}
+	if len(api2) != 2 {
+		t.Fatalf("api funcs = %v", api2.Funcs())
+	}
+	d := api2["strcpy"][0]
+	if d.Chain != "out_buf" || d.Level != 3 || d.LevelName != "writable_sized" {
+		t.Errorf("strcpy dest = %+v", d)
+	}
+	u := api2["sprintf"][0]
+	if u.LevelName != "uncontainable" || u.Level != len(ctypes.ChainOutBuf.Levels) {
+		t.Errorf("sprintf str = %+v", u)
+	}
+}
+
+func TestRobustAPIBadDoc(t *testing.T) {
+	bad := &RobustAPIDoc{Funcs: []RobustFuncXML{{Name: "f", Params: []RobustParamXML{{Chain: "nope", Level: "any"}}}}}
+	if _, err := bad.API(); err == nil {
+		t.Error("unknown chain accepted")
+	}
+	bad = &RobustAPIDoc{Funcs: []RobustFuncXML{{Name: "f", Params: []RobustParamXML{{Chain: "in_str", Level: "nope"}}}}}
+	if _, err := bad.API(); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestProfileLog(t *testing.T) {
+	fixedNow(t)
+	st := gen.NewState("libhealers_prof.so")
+	i := st.Index("strlen")
+	st.CallCount[i] = 42
+	st.ExecTime[i] = 1500 * time.Nanosecond
+	st.FuncErrno[i][cval.EINVAL] = 3
+	st.GlobalErrno[cval.EINVAL] = 3
+	st.GlobalErrno[cval.MaxErrno] = 1
+	st.Overflows = 2
+
+	log := NewProfileLog("node1", "textutil", st)
+	data, err := Marshal(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`host="node1"`, `app="textutil"`, `wrapper="libhealers_prof.so"`,
+		`<function name="strlen" calls="42" exec_ns="1500">`,
+		`<error errno="EINVAL" count="3">`,
+		`<global-error errno="EINVAL" count="3">`,
+		`<global-error errno="OTHER" count="1">`,
+		`overflows="2"`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("profile XML missing %q:\n%s", want, data)
+		}
+	}
+	back, err := Unmarshal[ProfileLog](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalCalls() != 42 {
+		t.Errorf("TotalCalls = %d", back.TotalCalls())
+	}
+	if kind, _ := Kind(data); kind != KindProfile {
+		t.Errorf("Kind = %v", kind)
+	}
+}
+
+func TestKindErrors(t *testing.T) {
+	if _, err := Kind([]byte("<unknown-root/>")); err == nil {
+		t.Error("unknown root accepted")
+	}
+	if _, err := Kind([]byte("not xml at all")); err == nil {
+		t.Error("non-XML accepted")
+	}
+}
