@@ -1,0 +1,14 @@
+.PHONY: check build test bench
+
+# Tier-1 gate: build + vet + full test suite under the race detector.
+check:
+	sh scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem .

@@ -15,6 +15,7 @@ package healers
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"healers/internal/clib"
@@ -147,6 +148,35 @@ func BenchmarkF2_Campaign(b *testing.B) {
 				if _, err := c.RunFunction(fn); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkF2_CampaignParallel measures the whole-library sweep at
+// several worker counts — the campaign scaling curve of EXPERIMENTS.md.
+// The parallel engine fans (function × parameter × probe) units across a
+// worker pool; on a multi-core runner the -j variants show near-linear
+// speedup, while reports stay byte-identical to the sequential engine.
+func BenchmarkF2_CampaignParallel(b *testing.B) {
+	workers := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	for _, j := range workers {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			sys := simelf.NewSystem()
+			if err := sys.AddLibrary(clib.MustRegistry().AsLibrary()); err != nil {
+				b.Fatal(err)
+			}
+			c, err := inject.New(sys, clib.LibcSoname, inject.WithWorkers(j))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lr, err := c.RunLibrary()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(lr.TotalProbes), "probes/op")
 			}
 		})
 	}

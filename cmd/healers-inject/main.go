@@ -9,6 +9,7 @@
 //	healers-inject -func strcpy         # probe a single function
 //	healers-inject -xml                 # emit the robust-API XML file
 //	healers-inject -verify              # before/after hardening table
+//	healers-inject -j 4 -stats          # parallel campaign + throughput
 package main
 
 import (
@@ -18,45 +19,92 @@ import (
 	"strings"
 
 	"healers"
+	"healers/internal/inject"
 	"healers/internal/xmlrep"
 )
 
 func main() {
-	lib := flag.String("lib", healers.Libc, "library to probe")
-	fn := flag.String("func", "", "probe only this function")
-	asXML := flag.Bool("xml", false, "emit the derived robust API as XML")
-	verify := flag.Bool("verify", false, "re-run the campaign with the robustness wrapper preloaded")
-	pairwise := flag.Bool("pairwise", false, "with -func: also run the pairwise (two-parameter) sweep")
+	var o options
+	flag.StringVar(&o.lib, "lib", healers.Libc, "library to probe")
+	flag.StringVar(&o.fn, "func", "", "probe only this function")
+	flag.BoolVar(&o.asXML, "xml", false, "emit the derived robust API as XML")
+	flag.BoolVar(&o.verify, "verify", false, "re-run the campaign with the robustness wrapper preloaded")
+	flag.BoolVar(&o.pairwise, "pairwise", false, "with -func: also run the pairwise (two-parameter) sweep")
+	flag.IntVar(&o.jobs, "j", 1, "parallel probe workers (0 = one per CPU)")
+	flag.BoolVar(&o.stats, "stats", false, "print campaign throughput statistics to stderr")
+	flag.BoolVar(&o.progress, "progress", false, "print per-function campaign progress to stderr")
 	flag.Parse()
 
-	if *pairwise && *fn == "" {
+	if o.pairwise && o.fn == "" {
 		fmt.Fprintln(os.Stderr, "healers-inject: -pairwise requires -func")
 		os.Exit(2)
 	}
-	if err := run(*lib, *fn, *asXML, *verify, *pairwise); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-inject:", err)
 		os.Exit(1)
 	}
 }
 
-func run(lib, fn string, asXML, verify, pairwise bool) error {
+// options bundles the command's flags.
+type options struct {
+	lib, fn  string
+	asXML    bool
+	verify   bool
+	pairwise bool
+	jobs     int
+	stats    bool
+	progress bool
+}
+
+// campaignOpts translates the flags into campaign options. Collected
+// stats land in *sink (one entry per library sweep — two for -verify).
+func (o options) campaignOpts(sink *[]*inject.CampaignStats) []inject.CampaignOption {
+	opts := []inject.CampaignOption{inject.WithWorkers(o.jobs)}
+	if o.progress {
+		opts = append(opts, inject.WithProgress(func(p inject.Progress) {
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-20s %3d probes (%d/%d total)\n",
+				p.DoneFuncs, p.TotalFuncs, p.Func, p.FuncProbes, p.DoneProbes, p.TotalProbes)
+		}))
+	}
+	if o.stats {
+		opts = append(opts, inject.WithStatsSink(func(s *inject.CampaignStats) {
+			*sink = append(*sink, s)
+		}))
+	}
+	return opts
+}
+
+func printStats(stats []*inject.CampaignStats) {
+	labels := []string{"", ""}
+	if len(stats) == 2 {
+		labels = []string{"before hardening: ", "after hardening: "}
+	}
+	for i, s := range stats {
+		fmt.Fprint(os.Stderr, labels[i%len(labels)], healers.RenderCampaignStats(s))
+	}
+}
+
+func run(o options) error {
 	tk, err := healers.NewToolkit()
 	if err != nil {
 		return err
 	}
+	var stats []*inject.CampaignStats
+	copts := o.campaignOpts(&stats)
+	defer func() { printStats(stats) }()
 
-	if fn != "" {
-		fr, err := tk.InjectFunction(lib, fn)
+	if o.fn != "" {
+		fr, err := tk.InjectFunction(o.lib, o.fn)
 		if err != nil {
 			return err
 		}
-		if pairwise {
-			cmp, err := tk.CompareInjectionModes(lib, fn)
+		if o.pairwise {
+			cmp, err := tk.CompareInjectionModes(o.lib, o.fn)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("%s: single-fault %d probes / %d failures; pairwise %d probes / %d failures\n",
-				fn, cmp.SingleProbes, cmp.SingleFailures, cmp.PairProbes, cmp.PairFailures)
+				o.fn, cmp.SingleProbes, cmp.SingleFailures, cmp.PairProbes, cmp.PairFailures)
 		}
 		fmt.Printf("%s: %d probes, %d failures\n", fr.Proto, fr.Probes, fr.Failures)
 		for _, r := range fr.Results {
@@ -75,8 +123,8 @@ func run(lib, fn string, asXML, verify, pairwise bool) error {
 		return nil
 	}
 
-	if verify {
-		h, _, err := tk.VerifyHardening(lib)
+	if o.verify {
+		h, _, err := tk.VerifyHardening(o.lib, copts...)
 		if err != nil {
 			return err
 		}
@@ -84,12 +132,12 @@ func run(lib, fn string, asXML, verify, pairwise bool) error {
 		return nil
 	}
 
-	api, report, err := tk.DeriveRobustAPI(lib)
+	api, report, err := tk.DeriveRobustAPI(o.lib, copts...)
 	if err != nil {
 		return err
 	}
-	if asXML {
-		data, err := xmlrep.Marshal(xmlrep.NewRobustAPIDoc(lib, api))
+	if o.asXML {
+		data, err := xmlrep.Marshal(xmlrep.NewRobustAPIDoc(o.lib, api))
 		if err != nil {
 			return err
 		}

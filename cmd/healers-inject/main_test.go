@@ -3,26 +3,34 @@ package main
 import "testing"
 
 func TestRunSingleFunction(t *testing.T) {
-	if err := run("libc.so.6", "strcpy", false, false, false); err != nil {
+	if err := run(options{lib: "libc.so.6", fn: "strcpy"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("libc.so.6", "strncpy", false, false, true); err != nil {
+	if err := run(options{lib: "libc.so.6", fn: "strncpy", pairwise: true}); err != nil {
 		t.Fatalf("pairwise run: %v", err)
 	}
-	if err := run("libc.so.6", "no_such", false, false, false); err == nil {
+	if err := run(options{lib: "libc.so.6", fn: "no_such"}); err == nil {
 		t.Error("unknown function accepted")
 	}
-	if err := run("libmissing.so", "", false, false, false); err == nil {
+	if err := run(options{lib: "libmissing.so"}); err == nil {
 		t.Error("unknown library accepted")
 	}
 }
 
 func TestRunLibmCampaignAndXML(t *testing.T) {
 	// libm is small, so the whole-library paths stay fast in tests.
-	if err := run("libm.so.6", "", false, false, false); err != nil {
+	if err := run(options{lib: "libm.so.6"}); err != nil {
 		t.Fatalf("campaign: %v", err)
 	}
-	if err := run("libm.so.6", "", true, false, false); err != nil {
+	if err := run(options{lib: "libm.so.6", asXML: true}); err != nil {
 		t.Fatalf("xml: %v", err)
+	}
+}
+
+func TestRunParallelVerifyWithStats(t *testing.T) {
+	// The full -verify path at -j 2 with stats and progress exercises
+	// the parallel engine end to end through the toolkit layer.
+	if err := run(options{lib: "libm.so.6", verify: true, jobs: 2, stats: true, progress: true}); err != nil {
+		t.Fatalf("verify -j 2: %v", err)
 	}
 }

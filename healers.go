@@ -55,6 +55,9 @@ type (
 	LibReport = inject.LibReport
 	// FuncReport is a single-function fault-injection report.
 	FuncReport = inject.FuncReport
+	// CampaignStats is a campaign throughput summary (probes/sec,
+	// per-function wall time, worker utilization).
+	CampaignStats = inject.CampaignStats
 	// ProcResult describes how a simulated process ended.
 	ProcResult = proc.Result
 	// ProfileLog is the profiling wrapper's XML document (Fig. 5).
@@ -101,6 +104,8 @@ var (
 	RenderCampaign = core.RenderCampaign
 	// RenderHardening renders the before/after hardening comparison.
 	RenderHardening = core.RenderHardening
+	// RenderCampaignStats renders campaign throughput statistics.
+	RenderCampaignStats = core.RenderCampaignStats
 	// RenderAppScan renders the Fig. 4 application view.
 	RenderAppScan = core.RenderAppScan
 )

@@ -372,8 +372,39 @@ func cQsort(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
 	}
 	sp := env.Img.Space
 	elem := func(i uint32) cmem.Addr { return base + cmem.Addr(i*size) }
-	tmp := make([]byte, size)
-	tmp2 := make([]byte, size)
+	// Swap through page-sized scratch chunks: size is caller-controlled
+	// and may be absurd (the injector passes 4 GB), so materializing a
+	// whole element as a Go buffer is gigabytes of allocation per call —
+	// the simulated reads fault long before such a buffer fills.
+	const chunk = cmem.PageSize
+	scratch := size
+	if scratch > chunk {
+		scratch = chunk
+	}
+	tmp := make([]byte, scratch)
+	tmp2 := make([]byte, scratch)
+	swap := func(a, b cmem.Addr) *cmem.Fault {
+		for off := uint32(0); off < size; off += chunk {
+			n := size - off
+			if n > chunk {
+				n = chunk
+			}
+			ac, bc := a+cmem.Addr(off), b+cmem.Addr(off)
+			if f := sp.Read(ac, tmp[:n]); f != nil {
+				return f
+			}
+			if f := sp.Read(bc, tmp2[:n]); f != nil {
+				return f
+			}
+			if f := sp.Write(ac, tmp2[:n]); f != nil {
+				return f
+			}
+			if f := sp.Write(bc, tmp[:n]); f != nil {
+				return f
+			}
+		}
+		return nil
+	}
 	// Insertion sort: quadratic but calls the comparator the way C does,
 	// and the injector only needs the memory behaviour to be authentic.
 	for i := uint32(1); i < nmemb; i++ {
@@ -386,16 +417,7 @@ func cQsort(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
 			if r.Int32() <= 0 {
 				break
 			}
-			if f := sp.Read(elem(j-1), tmp); f != nil {
-				return 0, f
-			}
-			if f := sp.Read(elem(j), tmp2); f != nil {
-				return 0, f
-			}
-			if f := sp.Write(elem(j-1), tmp2); f != nil {
-				return 0, f
-			}
-			if f := sp.Write(elem(j), tmp); f != nil {
+			if f := swap(elem(j-1), elem(j)); f != nil {
 				return 0, f
 			}
 			j--

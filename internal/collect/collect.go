@@ -11,6 +11,7 @@ package collect
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -71,8 +72,17 @@ func (s *Server) Close() error {
 	return err
 }
 
+// acceptBackoff bounds the retry delay after transient Accept failures
+// (fd exhaustion and friends), so a persistent error condition does not
+// hot-spin the accept goroutine on a core.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := acceptBackoffMin
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -80,10 +90,26 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				// Transient accept failure; keep serving.
-				continue
 			}
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Temporary() {
+				// The listener is permanently broken; no session will
+				// ever arrive, so spinning on it helps nobody.
+				return
+			}
+			// Transient accept failure (e.g. EMFILE): back off and
+			// retry, doubling up to the cap.
+			select {
+			case <-s.closed:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
+		backoff = acceptBackoffMin
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -194,15 +220,24 @@ func (s *Server) AggregateCalls() (map[string]uint64, error) {
 // Client uploads documents to a collection server.
 type Client struct {
 	conn net.Conn
+	// WriteTimeout bounds each frame write. A wrapped process flushes
+	// its profile from the exit path; without a deadline a stalled
+	// collector would block that process's exit forever. Zero disables
+	// the deadline.
+	WriteTimeout time.Duration
 }
+
+// dialTimeout bounds connection establishment and, by default, each
+// frame write.
+const dialTimeout = 5 * time.Second
 
 // Dial connects to a collection server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("collect: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, WriteTimeout: dialTimeout}, nil
 }
 
 // Send marshals and uploads one document.
@@ -214,8 +249,17 @@ func (c *Client) Send(doc any) error {
 	return c.SendRaw(data)
 }
 
-// SendRaw uploads pre-marshalled XML.
+// SendRaw uploads pre-marshalled XML. The write runs under the client's
+// per-frame WriteTimeout: a collector that accepts the connection but
+// stops draining it produces a timeout error here instead of wedging the
+// caller.
 func (c *Client) SendRaw(data []byte) error {
+	if c.WriteTimeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.WriteTimeout)); err != nil {
+			return fmt.Errorf("collect: setting write deadline: %w", err)
+		}
+		defer c.conn.SetWriteDeadline(time.Time{})
+	}
 	return writeFrame(c.conn, data)
 }
 

@@ -1,6 +1,7 @@
 package collect
 
 import (
+	"errors"
 	"net"
 	"testing"
 	"time"
@@ -164,6 +165,93 @@ func TestClientSizeLimit(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if err := Upload("127.0.0.1:1", sampleProfile("x", 1)); err == nil {
 		t.Error("Upload to dead port succeeded")
+	}
+}
+
+func TestWriteDeadlineOnStalledCollector(t *testing.T) {
+	// A "collector" that accepts the session but never reads a byte:
+	// once the kernel socket buffers fill, writes block — the per-frame
+	// deadline must surface a timeout instead of wedging the client.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stalled := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		stalled <- conn // hold the connection open, never read
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defer func() {
+		if conn := <-stalled; conn != nil {
+			conn.Close()
+		}
+	}()
+	c.WriteTimeout = 200 * time.Millisecond
+	frame := make([]byte, 1<<20)
+	start := time.Now()
+	var sendErr error
+	for i := 0; i < 64 && sendErr == nil; i++ {
+		sendErr = c.SendRaw(frame)
+	}
+	if sendErr == nil {
+		t.Fatal("64 MB into a non-reading collector succeeded")
+	}
+	var ne net.Error
+	if !errors.As(sendErr, &ne) || !ne.Timeout() {
+		t.Fatalf("SendRaw error = %v, want a timeout", sendErr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline took %v to fire, want well under 5s", elapsed)
+	}
+}
+
+func TestSendAfterDeadlineRecovers(t *testing.T) {
+	// The deadline is per frame: a successful send must clear it so a
+	// later slow-but-fine send is not killed by a stale deadline.
+	s := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.WriteTimeout = 50 * time.Millisecond
+	if err := c.Send(sampleProfile("a", 1)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	time.Sleep(120 * time.Millisecond) // well past the first deadline
+	if err := c.Send(sampleProfile("b", 2)); err != nil {
+		t.Fatalf("Send after idle: %v", err)
+	}
+	waitCount(t, s, 2)
+}
+
+func TestAcceptLoopBailsOnClosedListener(t *testing.T) {
+	// A permanently broken listener (closed out from under the server,
+	// without Server.Close being called) must end the accept loop
+	// instead of hot-spinning on the dead fd.
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ln.Close() // not s.Close: the closed channel stays open
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept loop still running 5s after listener death")
 	}
 }
 

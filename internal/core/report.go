@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"healers/internal/inject"
 	"healers/internal/xmlrep"
@@ -116,6 +117,30 @@ func RenderCampaign(lr *inject.LibReport) string {
 		}
 	}
 	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderCampaignStats renders a campaign throughput summary — the
+// healers-inject -stats view: probes/sec, worker utilization, and the
+// functions that dominated the sweep's wall time.
+func RenderCampaignStats(s *inject.CampaignStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign throughput: %d probes in %v (%.0f probes/s), %d worker(s)\n",
+		s.Probes, s.Elapsed.Round(time.Millisecond), s.ProbesPerSec, s.Workers)
+	if s.Workers > 1 {
+		fmt.Fprintf(&b, "worker utilization: %.0f%%\n", s.Utilization*100)
+	}
+	top := append([]inject.FuncTiming(nil), s.FuncWall...)
+	sort.Slice(top, func(i, j int) bool { return top[i].Wall > top[j].Wall })
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	if len(top) > 0 {
+		fmt.Fprintf(&b, "slowest functions:\n")
+		for _, f := range top {
+			fmt.Fprintf(&b, "  %-16s %3d probes  %v\n", f.Name, f.Probes, f.Wall.Round(time.Microsecond))
+		}
+	}
 	return b.String()
 }
 

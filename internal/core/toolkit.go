@@ -378,8 +378,10 @@ type HardeningResult struct {
 
 // VerifyHardening derives the robust API, installs the robustness
 // wrapper, and re-runs the whole campaign with the wrapper preloaded.
-func (t *Toolkit) VerifyHardening(target string) (*HardeningResult, ctypes.RobustAPI, error) {
-	api, before, err := t.DeriveRobustAPI(target)
+// Campaign options (worker count, progress, stats sinks) apply to both
+// the before and after sweeps.
+func (t *Toolkit) VerifyHardening(target string, opts ...inject.CampaignOption) (*HardeningResult, ctypes.RobustAPI, error) {
+	api, before, err := t.DeriveRobustAPI(target, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -388,7 +390,8 @@ func (t *Toolkit) VerifyHardening(target string) (*HardeningResult, ctypes.Robus
 			return nil, nil, err
 		}
 	}
-	after, err := t.Inject(target, inject.WithPreloads(wrappers.RobustnessSoname))
+	afterOpts := append(append([]inject.CampaignOption(nil), opts...), inject.WithPreloads(wrappers.RobustnessSoname))
+	after, err := t.Inject(target, afterOpts...)
 	if err != nil {
 		return nil, nil, err
 	}

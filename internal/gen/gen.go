@@ -16,6 +16,8 @@ package gen
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"healers/internal/cmem"
@@ -68,10 +70,19 @@ type MicroGenerator interface {
 // State is the mutable statistics store shared by every wrapped function
 // of one generated wrapper library — the arrays the paper's generated code
 // indexes (call_counter_num_calls[1206] and friends). One State belongs to
-// one wrapper library instance; simulated execution is single-threaded.
+// one wrapper library instance. A single simulated process is
+// single-threaded, but a parallel fault-injection campaign runs many
+// probe processes against the same preloaded wrapper library at once, so
+// every counter mutation goes through the locked helpers below; direct
+// field access is safe only once execution has quiesced (rendering a
+// profile, test assertions).
 type State struct {
 	// Soname names the wrapper library this state belongs to.
 	Soname string
+
+	// mu guards every counter and the index tables against concurrent
+	// probe processes.
+	mu sync.Mutex
 
 	funcIndex map[string]int
 	funcNames []string
@@ -112,6 +123,8 @@ func NewState(soname string) *State {
 // Reset zeroes every counter while keeping the function index table, so
 // one generated wrapper library can profile several runs independently.
 func (st *State) Reset() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	for i := range st.CallCount {
 		st.CallCount[i] = 0
 		st.ExecTime[i] = 0
@@ -130,6 +143,8 @@ func (st *State) Reset() {
 // Index returns the stable index for a function name, allocating on first
 // use.
 func (st *State) Index(name string) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if i, ok := st.funcIndex[name]; ok {
 		return i
 	}
@@ -145,14 +160,22 @@ func (st *State) Index(name string) int {
 
 // FuncNames returns the wrapped function names in index order.
 func (st *State) FuncNames() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return append([]string(nil), st.funcNames...)
 }
 
 // Name returns the function name for an index.
-func (st *State) Name(i int) string { return st.funcNames[i] }
+func (st *State) Name(i int) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.funcNames[i]
+}
 
 // TotalCalls sums the call counters.
 func (st *State) TotalCalls() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	var n uint64
 	for _, c := range st.CallCount {
 		n += c
@@ -160,12 +183,49 @@ func (st *State) TotalCalls() uint64 {
 	return n
 }
 
+// addCall bumps a function's call counter.
+func (st *State) addCall(idx int) {
+	st.mu.Lock()
+	st.CallCount[idx]++
+	st.mu.Unlock()
+}
+
+// addExecTime accumulates time spent in a wrapped function.
+func (st *State) addExecTime(idx int, d time.Duration) {
+	st.mu.Lock()
+	st.ExecTime[idx] += d
+	st.mu.Unlock()
+}
+
+// addGlobalErrno bumps the cross-function errno histogram.
+func (st *State) addGlobalErrno(slot int) {
+	st.mu.Lock()
+	st.GlobalErrno[slot]++
+	st.mu.Unlock()
+}
+
+// addFuncErrno bumps one function's errno histogram.
+func (st *State) addFuncErrno(idx, slot int) {
+	st.mu.Lock()
+	st.FuncErrno[idx][slot]++
+	st.mu.Unlock()
+}
+
+// addOverflow counts a detected canary/bound violation.
+func (st *State) addOverflow() {
+	st.mu.Lock()
+	st.Overflows++
+	st.mu.Unlock()
+}
+
 // noteDeny records a veto.
 func (st *State) noteDeny(idx int, reason string) {
+	st.mu.Lock()
 	st.DeniedCount[idx]++
 	if len(st.DenyLog) < 1000 {
 		st.DenyLog = append(st.DenyLog, reason)
 	}
+	st.mu.Unlock()
 }
 
 // errnoSlot clamps an errno to the histogram range, like the MAX_ERRNO
@@ -221,6 +281,13 @@ func (g *Generator) MicroNames() []string {
 // Build compiles the wrapper for one prototype. next is a cell resolved at
 // link time (RTLD_NEXT); st accumulates statistics.
 func (g *Generator) Build(proto *ctypes.Prototype, next *cval.CFunc, st *State) cval.CFunc {
+	return g.build(proto, func() cval.CFunc { return *next }, st)
+}
+
+// build compiles the wrapper with a caller-supplied RTLD_NEXT resolver;
+// resolve is invoked on every call, so the cell behind it may be rebound
+// by later loads (and may be an atomic cell when loads run concurrently).
+func (g *Generator) build(proto *ctypes.Prototype, resolve func() cval.CFunc, st *State) cval.CFunc {
 	idx := st.Index(proto.Name)
 	type hookPair struct {
 		pre, post Hook
@@ -252,7 +319,7 @@ func (g *Generator) Build(proto *ctypes.Prototype, next *cval.CFunc, st *State) 
 			}
 		}
 		if !ctx.Denied {
-			fn := *next
+			fn := resolve()
 			if fn == nil {
 				return 0, &cmem.Fault{Kind: cmem.FaultAbort, Op: "wrapper", Detail: fmt.Sprintf("RTLD_NEXT for %s unresolved", proto.Name)}
 			}
@@ -288,6 +355,25 @@ func (g *Generator) BuildLibrary(soname string, protos []*ctypes.Prototype, st *
 	return g.BuildLibrarySubst(soname, protos, st, nil)
 }
 
+// nextCell is an atomically rebindable RTLD_NEXT slot. A wrapper library
+// object is registered once in a simelf.System but loaded by every
+// process that maps it; a parallel campaign loads it from many probe
+// processes at once, so the link-time write and the call-time read must
+// not race. Identical search orders resolve to identical targets, so
+// concurrent rebinding is value-idempotent.
+type nextCell struct {
+	fn atomic.Pointer[cval.CFunc]
+}
+
+func (c *nextCell) load() cval.CFunc {
+	if p := c.fn.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (c *nextCell) store(fn cval.CFunc) { c.fn.Store(&fn) }
+
 // BuildLibrarySubst is BuildLibrary with per-symbol substitutions: a
 // symbol named in subst is exported as the substitute implementation
 // instead of the micro-generator composition.
@@ -295,17 +381,17 @@ func (g *Generator) BuildLibrarySubst(soname string, protos []*ctypes.Prototype,
 	lib := simelf.NewLibrary(soname)
 	sorted := append([]*ctypes.Prototype(nil), protos...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
-	cells := make(map[string]*cval.CFunc, len(sorted))
-	substCells := make(map[string]*cval.CFunc)
+	cells := make(map[string]*nextCell, len(sorted))
+	substCells := make(map[string]*nextCell)
 	for _, proto := range sorted {
 		if builder, ok := subst[proto.Name]; ok && builder != nil {
-			cell := new(cval.CFunc)
+			cell := new(nextCell)
 			substCells[proto.Name] = cell
 			st.Index(proto.Name)
 			// Trampoline: the real implementation lands in the cell
 			// at link time.
 			lib.ExportWithProto(proto, func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
-				fn := *cell
+				fn := cell.load()
 				if fn == nil {
 					return 0, &cmem.Fault{Kind: cmem.FaultAbort, Op: "wrapper", Detail: "substitute unresolved"}
 				}
@@ -313,9 +399,9 @@ func (g *Generator) BuildLibrarySubst(soname string, protos []*ctypes.Prototype,
 			})
 			continue
 		}
-		cell := new(cval.CFunc)
+		cell := new(nextCell)
 		cells[proto.Name] = cell
-		lib.ExportWithProto(proto, g.Build(proto, cell, st))
+		lib.ExportWithProto(proto, g.build(proto, cell.load, st))
 	}
 	lib.OnLoad = func(next simelf.NextFunc) error {
 		for name, cell := range cells {
@@ -323,14 +409,14 @@ func (g *Generator) BuildLibrarySubst(soname string, protos []*ctypes.Prototype,
 			if !ok {
 				return fmt.Errorf("gen: %s: no next definition of %s", soname, name)
 			}
-			*cell = fn
+			cell.store(fn)
 		}
 		for name, cell := range substCells {
 			fn, err := subst[name](next, st)
 			if err != nil {
 				return fmt.Errorf("gen: %s: building substitute for %s: %w", soname, name, err)
 			}
-			*cell = fn
+			cell.store(fn)
 		}
 		return nil
 	}

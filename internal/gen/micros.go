@@ -106,7 +106,7 @@ func (callCounterGen) PostfixSource(*ctypes.Prototype) []string { return nil }
 
 func (callCounterGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
-		st.CallCount[ctx.FuncIndex]++
+		st.addCall(ctx.FuncIndex)
 		return nil
 	}
 }
@@ -153,7 +153,7 @@ func (exectimeGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 
 func (exectimeGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
-		st.ExecTime[ctx.FuncIndex] += time.Since(ctx.start)
+		st.addExecTime(ctx.FuncIndex, time.Since(ctx.start))
 		return nil
 	}
 }
@@ -192,7 +192,7 @@ func (collectErrorsGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 func (collectErrorsGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
 		if ctx.Env.Errno != ctx.errnoAt["collect"] {
-			st.GlobalErrno[errnoSlot(ctx.Env.Errno)]++
+			st.addGlobalErrno(errnoSlot(ctx.Env.Errno))
 		}
 		return nil
 	}
@@ -229,7 +229,7 @@ func (funcErrorsGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 func (funcErrorsGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
 		if ctx.Env.Errno != ctx.errnoAt["func"] {
-			st.FuncErrno[ctx.FuncIndex][errnoSlot(ctx.Env.Errno)]++
+			st.addFuncErrno(ctx.FuncIndex, errnoSlot(ctx.Env.Errno))
 		}
 		return nil
 	}
@@ -410,11 +410,11 @@ func (heapCheckGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 			ctx.Env.Img.Stack.SetGuards(true)
 		}
 		if f := heap.CheckIntegrity(); f != nil {
-			st.Overflows++
+			st.addOverflow()
 			return f
 		}
 		if f := ctx.Env.Img.Stack.CheckGuards(); f != nil {
-			st.Overflows++
+			st.addOverflow()
 			return f
 		}
 		return nil
@@ -424,14 +424,14 @@ func (heapCheckGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 func (heapCheckGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
 		if f := ctx.Env.Img.Heap.CheckIntegrity(); f != nil {
-			st.Overflows++
+			st.addOverflow()
 			return f
 		}
 		// A library call that wrote through a stack buffer (read into
 		// a local, gets into a local) is detected here, before the
 		// caller can return through the smashed frame.
 		if f := ctx.Env.Img.Stack.CheckGuards(); f != nil {
-			st.Overflows++
+			st.addOverflow()
 			return f
 		}
 		return nil
@@ -496,7 +496,7 @@ func (boundCheckGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 				room = 0
 			}
 			if need.Bytes > room {
-				st.Overflows++
+				st.addOverflow()
 				return &cmem.Fault{
 					Kind: cmem.FaultOverflow, Addr: dst, Op: ctx.Proto.Name,
 					Detail: fmt.Sprintf("write of %d bytes into %d-byte chunk prevented", need.Bytes, room),

@@ -3,6 +3,7 @@ package inject
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"healers/internal/cmem"
 	"healers/internal/ctypes"
@@ -190,6 +191,15 @@ type Campaign struct {
 	preloads []string
 	stdin    string
 	hostname string
+	// workers is the library-sweep parallelism: 1 = strictly sequential
+	// (the default), 0 = GOMAXPROCS, n > 1 = a fixed worker pool.
+	workers int
+	// progress, when set, receives a snapshot after every completed
+	// function sweep.
+	progress func(Progress)
+	// statsSink, when set, receives the throughput statistics of every
+	// library sweep.
+	statsSink func(*CampaignStats)
 }
 
 // CampaignOption configures a campaign.
@@ -207,6 +217,30 @@ func WithStdin(data string) CampaignOption {
 	return func(c *Campaign) { c.stdin = data }
 }
 
+// WithWorkers sets the library-sweep parallelism: every probe still runs
+// in its own fresh process, but up to n probe processes execute
+// concurrently. n == 1 (the default) keeps the sweep strictly sequential;
+// n <= 0 uses GOMAXPROCS. Reports are merged deterministically, so any
+// worker count produces an identical LibReport.
+func WithWorkers(n int) CampaignOption {
+	return func(c *Campaign) { c.workers = n }
+}
+
+// WithProgress installs a progress callback invoked after each function
+// sweep completes (from a single goroutine; the callback need not be
+// thread-safe). Completion order is nondeterministic under parallel runs.
+func WithProgress(fn func(Progress)) CampaignOption {
+	return func(c *Campaign) { c.progress = fn }
+}
+
+// WithStatsSink installs a callback that receives the throughput
+// statistics of every library sweep the campaign runs — the hook through
+// which the CLI surfaces probes/sec without the numbers contaminating the
+// deterministic LibReport.
+func WithStatsSink(fn func(*CampaignStats)) CampaignOption {
+	return func(c *Campaign) { c.statsSink = fn }
+}
+
 // probeFuel is the per-probe memory-access budget: generous enough for
 // any legitimate single libc call, small enough to flag a runaway loop —
 // the timeout a real injector puts on its probe children.
@@ -222,7 +256,7 @@ func New(sys *simelf.System, soname string, opts ...CampaignOption) (*Campaign, 
 	if _, ok := sys.Library(soname); !ok {
 		return nil, fmt.Errorf("inject: no such library %q", soname)
 	}
-	c := &Campaign{sys: sys, target: soname, hostname: probeHostName + ":" + soname}
+	c := &Campaign{sys: sys, target: soname, hostname: probeHostName + ":" + soname, workers: 1}
 	for _, o := range opts {
 		o(c)
 	}
@@ -242,7 +276,9 @@ func New(sys *simelf.System, soname string, opts ...CampaignOption) (*Campaign, 
 
 // runProbe executes one probe call in a fresh process: materialize every
 // argument (golden except for the injected parameter), compute the
-// satisfied lattice level, call, classify.
+// satisfied lattice level, call, classify. injected < 0 is the niladic
+// "plain call" probe: no arguments, but the same fuel budget, stdin
+// seeding, and outcome classification as every parameterized probe.
 func (c *Campaign) runProbe(proto *ctypes.Prototype, injected int, probe Probe) (ProbeResult, error) {
 	opts := []proc.Option{proc.WithPreloads(c.preloads...)}
 	if c.stdin != "" {
@@ -268,8 +304,11 @@ func (c *Campaign) runProbe(proto *ctypes.Prototype, injected int, probe Probe) 
 		}
 		args[i] = v
 	}
-	chain := ctypes.ChainFor(proto.Params[injected])
-	sat := ctypes.SatisfiedLevel(env, proto, injected, args, chain)
+	sat := 0
+	if injected >= 0 {
+		chain := ctypes.ChainFor(proto.Params[injected])
+		sat = ctypes.SatisfiedLevel(env, proto, injected, args, chain)
+	}
 	snaps := snapshotReadOnlyArgs(env, proto, args, injected)
 
 	env.Errno = 0
@@ -293,6 +332,10 @@ func (c *Campaign) runProbe(proto *ctypes.Prototype, injected int, probe Probe) 
 		out.Outcome = OutcomeErrno
 	default:
 		out.Outcome = OutcomeOK
+	}
+	// abort() aborting is its contract, not a robustness failure.
+	if injected < 0 && proto.Name == "abort" && out.Outcome == OutcomeAbort {
+		out.Outcome, out.Fault = OutcomeOK, nil
 	}
 	return out, nil
 }
@@ -354,57 +397,50 @@ func corruptedReadOnlyArg(env *cval.Env, snaps []roSnapshot) bool {
 	return false
 }
 
-// RunFunction sweeps every probe of every parameter of the named function
-// (single-fault mode) and derives the robust type per parameter.
-func (c *Campaign) RunFunction(name string) (*FuncReport, error) {
-	lib, _ := c.sys.Library(c.target)
-	proto := lib.Proto(name)
-	if proto == nil {
-		return nil, fmt.Errorf("inject: %s has no prototype for %q", c.target, name)
-	}
-	report := &FuncReport{Name: name, Proto: proto}
+// probeSpec is one planned probe call: the injected parameter index (-1
+// for the niladic plain-call probe) and the probe value.
+type probeSpec struct {
+	param int
+	probe Probe
+}
 
+// planFunction enumerates the probe calls a single-fault sweep of proto
+// makes, in canonical order: parameters first to last, each parameter's
+// probe catalog in catalog order. Niladic functions get one plain call.
+func planFunction(proto *ctypes.Prototype) []probeSpec {
 	if len(proto.Params) == 0 {
-		// Niladic functions get one plain call.
-		p, err := proc.Start(c.sys, c.hostname, proc.WithPreloads(c.preloads...))
-		if err != nil {
-			return nil, err
+		return []probeSpec{{param: -1, probe: Probe{Name: "call"}}}
+	}
+	var specs []probeSpec
+	for i, prm := range proto.Params {
+		for _, probe := range ProbesFor(prm) {
+			specs = append(specs, probeSpec{param: i, probe: probe})
 		}
-		_, res := p.RunCall(name)
-		r := ProbeResult{Param: -1, Probe: "call", Outcome: OutcomeOK, Fault: res.Fault}
-		if res.Fault != nil {
-			r.Outcome = OutcomeCrash
-			if res.Fault.Kind == cmem.FaultAbort {
-				r.Outcome = OutcomeAbort
-			}
-		}
-		// abort() aborting is its contract, not a robustness failure.
-		if name == "abort" && r.Outcome == OutcomeAbort {
-			r.Outcome = OutcomeOK
-			r.Fault = nil
-		}
-		report.Results = append(report.Results, r)
-		report.Probes = 1
+	}
+	return specs
+}
+
+// buildReport derives a function report from the ordered probe results of
+// one planFunction sweep. It is shared by the sequential and parallel
+// engines; because it only depends on the canonical result order, both
+// produce identical reports.
+func buildReport(name string, proto *ctypes.Prototype, results []ProbeResult) *FuncReport {
+	report := &FuncReport{Name: name, Proto: proto, Results: results, Probes: len(results)}
+	for _, r := range results {
 		if r.Outcome.Failure() {
 			report.Failures++
 		}
-		return report, nil
 	}
-
+	if len(proto.Params) == 0 {
+		return report
+	}
 	for i, prm := range proto.Params {
 		chain := ctypes.ChainFor(prm)
-		// worstFailing[sat] records whether any probe satisfying
+		// failedAtOrAbove[sat] records whether any probe satisfying
 		// exactly level sat failed.
 		failedAtOrAbove := make([]bool, len(chain.Levels)+1)
-		for _, probe := range ProbesFor(prm) {
-			r, err := c.runProbe(proto, i, probe)
-			if err != nil {
-				return nil, err
-			}
-			report.Results = append(report.Results, r)
-			report.Probes++
-			if r.Outcome.Failure() {
-				report.Failures++
+		for _, r := range results {
+			if r.Param == i && r.Outcome.Failure() {
 				failedAtOrAbove[r.SatLevel] = true
 			}
 		}
@@ -427,26 +463,133 @@ func (c *Campaign) RunFunction(name string) (*FuncReport, error) {
 		}
 		report.Verdicts = append(report.Verdicts, v)
 	}
-	return report, nil
+	return report
 }
 
-// RunLibrary sweeps every exported function of the target library.
-func (c *Campaign) RunLibrary() (*LibReport, error) {
+// RunFunction sweeps every probe of every parameter of the named function
+// (single-fault mode) and derives the robust type per parameter.
+func (c *Campaign) RunFunction(name string) (*FuncReport, error) {
 	lib, _ := c.sys.Library(c.target)
-	lr := &LibReport{Library: c.target}
+	proto := lib.Proto(name)
+	if proto == nil {
+		return nil, fmt.Errorf("inject: %s has no prototype for %q", c.target, name)
+	}
+	specs := planFunction(proto)
+	results := make([]ProbeResult, 0, len(specs))
+	for _, sp := range specs {
+		r, err := c.runProbe(proto, sp.param, sp.probe)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return buildReport(name, proto, results), nil
+}
+
+// scannableFuncs returns the target's probe-able function names in
+// canonical (sorted) order.
+func (c *Campaign) scannableFuncs() []string {
+	lib, _ := c.sys.Library(c.target)
 	names := lib.Symbols()
 	sort.Strings(names)
+	out := names[:0]
 	for _, name := range names {
 		if lib.Proto(name) == nil {
 			continue // no prototype — not scannable, like a stripped symbol
 		}
-		fr, err := c.RunFunction(name)
-		if err != nil {
-			return nil, err
+		out = append(out, name)
+	}
+	return out
+}
+
+// RunLibrary sweeps every exported function of the target library. With a
+// WithWorkers option other than 1 the sweep runs on the parallel engine;
+// the report is identical either way.
+func (c *Campaign) RunLibrary() (*LibReport, error) {
+	lr, _, err := c.RunLibraryStats()
+	return lr, err
+}
+
+// RunLibraryStats is RunLibrary with the run's throughput statistics.
+func (c *Campaign) RunLibraryStats() (*LibReport, *CampaignStats, error) {
+	if c.workers != 1 {
+		return c.runLibraryParallel(c.workers)
+	}
+	return c.runLibrarySequential()
+}
+
+// RunLibraryParallel sweeps the library on a pool of the given number of
+// workers (<= 0 means GOMAXPROCS), regardless of the campaign's
+// WithWorkers configuration. The merged report is byte-identical to the
+// sequential RunLibrary's.
+func (c *Campaign) RunLibraryParallel(workers int) (*LibReport, error) {
+	lr, _, err := c.runLibraryParallel(workers)
+	return lr, err
+}
+
+// runLibrarySequential is the strictly sequential engine: one probe
+// process at a time, in canonical order.
+func (c *Campaign) runLibrarySequential() (*LibReport, *CampaignStats, error) {
+	plan := c.planLibrary()
+	lr := &LibReport{Library: c.target}
+	stats := newCampaignStats(1, len(plan.funcs))
+	start := time.Now()
+	for fi, fp := range plan.funcs {
+		results := make([]ProbeResult, 0, len(fp.specs))
+		fnStart := time.Now()
+		for _, sp := range fp.specs {
+			r, err := c.runProbe(fp.proto, sp.param, sp.probe)
+			if err != nil {
+				return nil, nil, err
+			}
+			results = append(results, r)
 		}
+		fr := buildReport(fp.name, fp.proto, results)
 		lr.Funcs = append(lr.Funcs, fr)
 		lr.TotalProbes += fr.Probes
 		lr.TotalFailures += fr.Failures
+		wall := time.Since(fnStart)
+		stats.noteFunc(fp.name, fr.Probes, wall)
+		stats.WorkerBusy[0] += wall
+		if c.progress != nil {
+			c.progress(Progress{
+				Func: fp.name, FuncProbes: fr.Probes,
+				DoneFuncs: fi + 1, TotalFuncs: len(plan.funcs),
+				DoneProbes: lr.TotalProbes, TotalProbes: plan.totalProbes,
+			})
+		}
 	}
-	return lr, nil
+	stats.finish(lr.TotalProbes, time.Since(start))
+	if c.statsSink != nil {
+		c.statsSink(stats)
+	}
+	return lr, stats, nil
+}
+
+// funcPlan is one function's planned sweep.
+type funcPlan struct {
+	name  string
+	proto *ctypes.Prototype
+	specs []probeSpec
+}
+
+// libPlan is a whole library sweep, planned up front so both engines work
+// from the same canonical probe order.
+type libPlan struct {
+	funcs       []funcPlan
+	totalProbes int
+}
+
+// planLibrary plans the sweep of every scannable function, in canonical
+// order.
+func (c *Campaign) planLibrary() *libPlan {
+	lib, _ := c.sys.Library(c.target)
+	plan := &libPlan{}
+	for _, name := range c.scannableFuncs() {
+		proto := lib.Proto(name)
+		specs := planFunction(proto)
+		plan.funcs = append(plan.funcs, funcPlan{name: name, proto: proto, specs: specs})
+		plan.totalProbes += len(specs)
+	}
+	return plan
 }

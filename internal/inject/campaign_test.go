@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"healers/internal/clib"
+	"healers/internal/cmem"
 	"healers/internal/ctypes"
+	"healers/internal/cval"
 	"healers/internal/simelf"
 	"healers/internal/wrappers"
 )
@@ -177,6 +179,85 @@ func TestDeriveWctrans(t *testing.T) {
 	}
 	if got := verdictByName(t, fr, "name").LevelName; got != "cstring" {
 		t.Errorf("wctrans name derived %q, want cstring", got)
+	}
+}
+
+// TestNiladicProbePath pins the unified runProbe path for functions
+// without parameters: the fuel budget turns an infinite loop into
+// OutcomeHang instead of wedging the campaign forever, an errno-setting
+// return classifies as OutcomeErrno, and WithStdin reaches the niladic
+// probe process.
+func TestNiladicProbePath(t *testing.T) {
+	sys := simelf.NewSystem()
+	lib := simelf.NewLibrary("libnil.so")
+	scratch := cmem.Addr(0x00900000)
+	lib.ExportWithProto(&ctypes.Prototype{Name: "spin", Ret: ctypes.Int},
+		func(env *cval.Env, _ []cval.Value) (cval.Value, *cmem.Fault) {
+			if f := env.Img.Space.Map(scratch, cmem.PageSize, cmem.ProtRW); f != nil {
+				return 0, f
+			}
+			for {
+				if _, f := env.Img.Space.ReadByteAt(scratch); f != nil {
+					return 0, f
+				}
+			}
+		})
+	lib.ExportWithProto(&ctypes.Prototype{Name: "grumble", Ret: ctypes.Int},
+		func(env *cval.Env, _ []cval.Value) (cval.Value, *cmem.Fault) {
+			env.Errno = 42
+			return cval.Int(-1), nil
+		})
+	lib.ExportWithProto(&ctypes.Prototype{Name: "gulp", Ret: ctypes.Int},
+		func(env *cval.Env, _ []cval.Value) (cval.Value, *cmem.Fault) {
+			if env.Stdin.Len() == 0 {
+				env.Errno = 9
+				return cval.Int(-1), nil
+			}
+			return cval.Int(int64(env.Stdin.Len())), nil
+		})
+	if err := sys.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := New(sys, "libnil.so", WithStdin("hello\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct {
+		outcome  Outcome
+		failures int
+	}{
+		"spin":    {OutcomeHang, 1},
+		"grumble": {OutcomeErrno, 0},
+		"gulp":    {OutcomeOK, 0},
+	}
+	for name, w := range want {
+		fr, err := c.RunFunction(name)
+		if err != nil {
+			t.Fatalf("RunFunction(%s): %v", name, err)
+		}
+		if fr.Probes != 1 {
+			t.Errorf("%s probes = %d, want 1", name, fr.Probes)
+		}
+		if got := fr.Results[0].Outcome; got != w.outcome {
+			t.Errorf("%s outcome = %s, want %s", name, got, w.outcome)
+		}
+		if fr.Failures != w.failures {
+			t.Errorf("%s failures = %d, want %d", name, fr.Failures, w.failures)
+		}
+	}
+
+	// Without stdin seeding, gulp takes its errno path instead.
+	c2, err := New(sys, "libnil.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := c2.RunFunction("gulp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fr.Results[0].Outcome; got != OutcomeErrno {
+		t.Errorf("gulp without stdin = %s, want %s", got, OutcomeErrno)
 	}
 }
 

@@ -1,0 +1,182 @@
+package inject
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"healers/internal/clib"
+	"healers/internal/cmath"
+	"healers/internal/simelf"
+	"healers/internal/xmlrep"
+)
+
+func libmSystem(t *testing.T) *simelf.System {
+	t.Helper()
+	sys := libcSystem(t)
+	libm, err := cmath.AsLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLibrary(libm); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// runBoth sweeps one library sequentially and with the given worker
+// count against fresh systems, returning both reports.
+func runBoth(t *testing.T, mkSys func(*testing.T) *simelf.System, soname string, workers int) (seq, par *LibReport) {
+	t.Helper()
+	cs, err := New(mkSys(t), soname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err = cs.RunLibrary()
+	if err != nil {
+		t.Fatalf("sequential sweep: %v", err)
+	}
+	cp, err := New(mkSys(t), soname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err = cp.RunLibraryParallel(workers)
+	if err != nil {
+		t.Fatalf("parallel sweep (%d workers): %v", workers, err)
+	}
+	return seq, par
+}
+
+// assertIdentical requires the two reports to match byte for byte: same
+// verdicts, probe counts, outcomes, and an identical rendered robust-API
+// document.
+func assertIdentical(t *testing.T, seq, par *LibReport) {
+	t.Helper()
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel LibReport differs from sequential")
+		if seq.TotalProbes != par.TotalProbes || seq.TotalFailures != par.TotalFailures {
+			t.Errorf("totals: seq %d probes/%d failures, par %d probes/%d failures",
+				seq.TotalProbes, seq.TotalFailures, par.TotalProbes, par.TotalFailures)
+		}
+		for i := range seq.Funcs {
+			if i < len(par.Funcs) && !reflect.DeepEqual(seq.Funcs[i], par.Funcs[i]) {
+				t.Errorf("first differing function: %s", seq.Funcs[i].Name)
+				break
+			}
+		}
+	}
+	sx, err := xmlrep.Marshal(xmlrep.NewRobustAPIDoc(seq.Library, seq.RobustAPI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, err := xmlrep.Marshal(xmlrep.NewRobustAPIDoc(par.Library, par.RobustAPI()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sx) != string(px) {
+		t.Error("rendered robust-API XML differs between engines")
+	}
+}
+
+func TestParallelDeterminismLibm(t *testing.T) {
+	for _, workers := range []int{2, 4, 0} {
+		seq, par := runBoth(t, libmSystem, cmath.Soname, workers)
+		assertIdentical(t, seq, par)
+	}
+}
+
+func TestParallelDeterminismLibc(t *testing.T) {
+	seq, par := runBoth(t, libcSystem, clib.LibcSoname, 4)
+	assertIdentical(t, seq, par)
+}
+
+// TestParallelStatsAndProgress checks the throughput layer: probe
+// totals, per-worker busy time, and monotonic progress callbacks.
+func TestParallelStatsAndProgress(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		calls []Progress
+		stats *CampaignStats
+	)
+	c, err := New(libcSystem(t), clib.LibcSoname,
+		WithWorkers(3),
+		WithProgress(func(p Progress) {
+			mu.Lock()
+			calls = append(calls, p)
+			mu.Unlock()
+		}),
+		WithStatsSink(func(s *CampaignStats) { stats = s }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := c.RunLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats == nil {
+		t.Fatal("stats sink never called")
+	}
+	if stats.Workers != 3 {
+		t.Errorf("stats.Workers = %d, want 3", stats.Workers)
+	}
+	if stats.Probes != lr.TotalProbes {
+		t.Errorf("stats.Probes = %d, report says %d", stats.Probes, lr.TotalProbes)
+	}
+	if len(stats.WorkerBusy) != 3 {
+		t.Errorf("WorkerBusy has %d entries, want 3", len(stats.WorkerBusy))
+	}
+	if stats.ProbesPerSec <= 0 || stats.Elapsed <= 0 {
+		t.Errorf("throughput not measured: %v elapsed, %.1f probes/s", stats.Elapsed, stats.ProbesPerSec)
+	}
+	if len(stats.FuncWall) != len(lr.Funcs) {
+		t.Errorf("FuncWall has %d entries, report has %d functions", len(stats.FuncWall), len(lr.Funcs))
+	}
+	if len(calls) != len(lr.Funcs) {
+		t.Fatalf("progress fired %d times, want once per function (%d)", len(calls), len(lr.Funcs))
+	}
+	last := calls[len(calls)-1]
+	if last.DoneFuncs != len(lr.Funcs) || last.DoneProbes != lr.TotalProbes {
+		t.Errorf("final progress = %+v, want all %d funcs / %d probes done", last, len(lr.Funcs), lr.TotalProbes)
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i].DoneProbes < calls[i-1].DoneProbes || calls[i].DoneFuncs != calls[i-1].DoneFuncs+1 {
+			t.Fatalf("progress not monotonic at %d: %+v -> %+v", i, calls[i-1], calls[i])
+		}
+	}
+}
+
+// TestSequentialStats checks the stats layer on the one-worker engine.
+func TestSequentialStats(t *testing.T) {
+	var stats *CampaignStats
+	c, err := New(libmSystem(t), cmath.Soname, WithStatsSink(func(s *CampaignStats) { stats = s }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := c.RunLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats == nil || stats.Workers != 1 || stats.Probes != lr.TotalProbes {
+		t.Fatalf("sequential stats = %+v", stats)
+	}
+	if len(stats.WorkerBusy) != 1 || stats.WorkerBusy[0] <= 0 {
+		t.Errorf("sequential WorkerBusy = %v", stats.WorkerBusy)
+	}
+}
+
+// TestWorkersDefault pins WithWorkers(0) to one worker per CPU.
+func TestWorkersDefault(t *testing.T) {
+	var stats *CampaignStats
+	c, err := New(libmSystem(t), cmath.Soname, WithWorkers(0), WithStatsSink(func(s *CampaignStats) { stats = s }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunLibrary(); err != nil {
+		t.Fatal(err)
+	}
+	if want := runtime.GOMAXPROCS(0); stats.Workers != want {
+		t.Errorf("WithWorkers(0) ran %d workers, want GOMAXPROCS=%d", stats.Workers, want)
+	}
+}

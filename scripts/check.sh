@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 gate: build everything, vet everything, and run the full test
+# suite under the race detector. CI and pre-commit both call this.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
