@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"healers/internal/clib"
 	"healers/internal/cmem"
+	"healers/internal/collect"
 	"healers/internal/ctypes"
 	"healers/internal/cval"
 	"healers/internal/dynlink"
@@ -29,6 +31,7 @@ import (
 	"healers/internal/simelf"
 	"healers/internal/victim"
 	"healers/internal/wrappers"
+	"healers/internal/xmlrep"
 )
 
 // benchSystem builds a system with libc, the victim apps, and all three
@@ -489,6 +492,105 @@ func BenchmarkAblation_PLTCache(b *testing.B) {
 			}
 			if _, ok := lm.Resolve("strlen"); !ok {
 				b.Fatal("unresolved")
+			}
+		}
+	})
+}
+
+// benchProfileDoc builds one marshalled profile document for the ingest
+// benchmarks — a realistic multi-function log, a few KB of XML.
+func benchProfileDoc(b *testing.B) []byte {
+	b.Helper()
+	st := gen.NewState("libhealers_prof.so")
+	for i, fn := range []string{"strlen", "malloc", "free", "memcpy", "strtok", "toupper"} {
+		st.CallCount[st.Index(fn)] = uint64(100 + 13*i)
+	}
+	data, err := xmlrep.Marshal(xmlrep.NewProfileLog("bench-host", "bench-app", st))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+// waitIngested blocks until the server has ingested n documents.
+func waitIngested(b *testing.B, srv *collect.Server, n uint64) {
+	b.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.Stats().DocsReceived < n {
+		if time.Now().After(deadline) {
+			b.Fatalf("server ingested %d docs, want %d", srv.Stats().DocsReceived, n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// BenchmarkCollectIngest measures end-to-end upload throughput over
+// loopback TCP into a budget-bounded store: one persistent client
+// streaming length-prefixed profile documents, the server sniffing,
+// parsing, aggregating, and evicting as it goes. Memory stays bounded by
+// the 1024-document budget no matter how large b.N grows.
+func BenchmarkCollectIngest(b *testing.B) {
+	srv, err := collect.Serve("127.0.0.1:0", collect.WithMaxDocs(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := collect.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	doc := benchProfileDoc(b)
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SendRaw(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	waitIngested(b, srv, uint64(b.N))
+	b.StopTimer()
+	if st := srv.Stats(); st.DocsRetained > 1024 {
+		b.Fatalf("retention budget violated: %d docs retained", st.DocsRetained)
+	}
+}
+
+// BenchmarkCollectAggregate compares the streaming aggregate (a map copy,
+// maintained at ingest) against the full re-parse of every stored XML
+// document it replaced — the poll-loop cost model of healers-collectd and
+// the web UI. The acceptance bar is ≥10× in favour of incremental.
+func BenchmarkCollectAggregate(b *testing.B) {
+	const docs = 512
+	srv, err := collect.Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := collect.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	doc := benchProfileDoc(b)
+	for i := 0; i < docs; i++ {
+		if err := c.SendRaw(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	waitIngested(b, srv, docs)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			agg, err := srv.AggregateCalls()
+			if err != nil || agg["strlen"] == 0 {
+				b.Fatalf("aggregate = %v, %v", agg, err)
+			}
+		}
+	})
+	b.Run("reparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			agg, err := srv.AggregateCallsFull()
+			if err != nil || agg["strlen"] == 0 {
+				b.Fatalf("aggregate = %v, %v", agg, err)
 			}
 		}
 	})

@@ -1,12 +1,13 @@
 // Command healers-collectd is the central collection server of §2.3:
 // wrapped applications upload their self-describing XML documents over
-// TCP; the server stores them and prints a summary of everything it has
-// received.
+// TCP; the server stores them (under a bounded retention budget) and
+// prints a summary of everything it has received.
 //
 // Usage:
 //
 //	healers-collectd -addr 127.0.0.1:7099            # run until interrupted
 //	healers-collectd -addr 127.0.0.1:0 -max 3        # exit after 3 documents
+//	healers-collectd -stats -max-docs 4096           # print ingest counters on exit
 package main
 
 import (
@@ -22,16 +23,23 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7099", "listen address")
 	maxDocs := flag.Int("max", 0, "exit after receiving this many documents (0 = run until interrupted)")
+	stats := flag.Bool("stats", false, "print the ingest counters in the exit summary")
+	capDocs := flag.Int("max-docs", collect.DefaultMaxDocs, "retention budget: documents kept before oldest are evicted (0 = unbounded)")
+	capBytes := flag.Int64("max-bytes", collect.DefaultMaxBytes, "retention budget: raw XML bytes kept before oldest are evicted (0 = unbounded)")
+	maxConns := flag.Int("max-conns", collect.DefaultMaxConns, "concurrent upload connection cap (0 = unbounded)")
 	flag.Parse()
 
-	if err := run(*addr, *maxDocs); err != nil {
+	if err := run(*addr, *maxDocs, *stats, *capDocs, *capBytes, *maxConns); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-collectd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxDocs int) error {
-	srv, err := collect.Serve(addr)
+func run(addr string, maxDocs int, showStats bool, capDocs int, capBytes int64, maxConns int) error {
+	srv, err := collect.Serve(addr,
+		collect.WithMaxDocs(capDocs),
+		collect.WithMaxBytes(capBytes),
+		collect.WithMaxConns(maxConns))
 	if err != nil {
 		return err
 	}
@@ -41,40 +49,62 @@ func run(addr string, maxDocs int) error {
 	interrupted := make(chan os.Signal, 1)
 	signal.Notify(interrupted, os.Interrupt)
 
-	seen := 0
+	// Drain incrementally by sequence cursor: each tick copies only the
+	// documents that arrived since the last one, not the whole store.
+	var cursor uint64
 	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-interrupted:
 			fmt.Println("\ninterrupted")
-			return summarize(srv)
+			return summarize(srv, showStats)
 		case <-ticker.C:
-			if n := srv.Count(); n > seen {
-				for _, d := range srv.Docs("")[seen:] {
-					fmt.Printf("received %-14s from %-21s (%d bytes)\n", d.Kind, d.From, len(d.Data))
-				}
-				seen = n
-			}
-			if maxDocs > 0 && seen >= maxDocs {
-				return summarize(srv)
+			cursor = report(srv, cursor)
+			if maxDocs > 0 && srv.Stats().DocsReceived >= uint64(maxDocs) {
+				// Drain once more so documents that arrived inside
+				// this tick are reported before the summary.
+				report(srv, cursor)
+				return summarize(srv, showStats)
 			}
 		}
 	}
 }
 
-func summarize(srv *collect.Server) error {
+// report prints documents received since cursor and returns the new one.
+func report(srv *collect.Server, cursor uint64) uint64 {
+	docs, next := srv.DocsSince(cursor)
+	for _, d := range docs {
+		fmt.Printf("received %-14s from %-21s (%d bytes)\n", d.Kind, d.From, len(d.Data))
+	}
+	return next
+}
+
+func summarize(srv *collect.Server, showStats bool) error {
 	agg, err := srv.AggregateCalls()
 	if err != nil {
 		return err
 	}
 	if len(agg) == 0 {
 		fmt.Println("no profiles received")
-		return nil
+	} else {
+		fmt.Println("\naggregate call counts across all received profiles:")
+		for fn, calls := range agg {
+			fmt.Printf("  %-14s %d\n", fn, calls)
+		}
 	}
-	fmt.Println("\naggregate call counts across all received profiles:")
-	for fn, calls := range agg {
-		fmt.Printf("  %-14s %d\n", fn, calls)
+	if showStats {
+		st := srv.Stats()
+		fmt.Println("\ningest counters:")
+		fmt.Printf("  docs received    %d (%d bytes)\n", st.DocsReceived, st.BytesReceived)
+		fmt.Printf("  docs retained    %d (%d bytes)\n", st.DocsRetained, st.BytesRetained)
+		fmt.Printf("  docs evicted     %d (%d bytes)\n", st.DocsEvicted, st.BytesEvicted)
+		fmt.Printf("  frames rejected  %d\n", st.FramesRejected)
+		fmt.Printf("  docs rejected    %d\n", st.DocsRejected)
+		fmt.Printf("  conns accepted   %d (rejected %d, active %d)\n", st.ConnsAccepted, st.ConnsRejected, st.ActiveConns)
+		for kind, n := range srv.KindCounts() {
+			fmt.Printf("  kind %-12s %d\n", kind, n)
+		}
 	}
 	return nil
 }

@@ -12,7 +12,7 @@ import (
 func TestRunReceivesAndExits(t *testing.T) {
 	done := make(chan error, 1)
 	addr := "127.0.0.1:39917"
-	go func() { done <- run(addr, 2) }()
+	go func() { done <- run(addr, 2, true, 0, 0, 0) }()
 
 	// Upload two profiles; run() must return after the second.
 	st := gen.NewState("libhealers_prof.so")
@@ -37,8 +37,35 @@ func TestRunReceivesAndExits(t *testing.T) {
 	}
 }
 
+func TestRunWithRetentionBudget(t *testing.T) {
+	done := make(chan error, 1)
+	addr := "127.0.0.1:39918"
+	go func() { done <- run(addr, 3, true, 1, 0, 4) }()
+
+	// Three uploads against a one-document budget: run() must still see
+	// all three arrive (the cumulative counter drives -max, not the
+	// retained store).
+	for i := 0; i < 3; i++ {
+		st := gen.NewState("libhealers_prof.so")
+		st.CallCount[st.Index("strlen")] = uint64(i + 1)
+		var err error
+		for try := 0; try < 100; try++ {
+			if err = collect.Upload(addr, xmlrep.NewProfileLog("h", "a", st)); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.0.0.1:bad", 1); err == nil {
+	if err := run("256.0.0.1:bad", 1, false, 0, 0, 0); err == nil {
 		t.Error("bad address accepted")
 	}
 }

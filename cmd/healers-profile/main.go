@@ -2,19 +2,23 @@
 // wrapper (demo §3.3) and renders the collected statistics — call
 // frequencies, execution-time shares, and errno distributions — as the
 // ASCII analogue of the paper's Figure 5. The XML log can be printed or
-// shipped to a running healers-collectd.
+// shipped to a running healers-collectd, with optional retry or spooling
+// so a briefly-unreachable collector does not lose the profile.
 //
 // Usage:
 //
 //	healers-profile -app textutil -stdin "some input text"
-//	healers-profile -app stress -argv 200 -xml
-//	healers-profile -app stress -collect 127.0.0.1:7099
+//	healers-profile -app stress -argv "200" -xml
+//	healers-profile -app stress -collect 127.0.0.1:7099 -retries 5
+//	healers-profile -app stress -collect 127.0.0.1:7099 -spool
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"healers"
 	"healers/internal/collect"
@@ -24,18 +28,21 @@ import (
 func main() {
 	app := flag.String("app", healers.Textutil, "application to run")
 	stdin := flag.String("stdin", "the quick brown fox\njumps over the lazy dog\n", "standard input for the run")
-	argv := flag.String("argv", "", "single argument passed to the program")
+	argv := flag.String("argv", "", "whitespace-separated arguments passed to the program")
 	asXML := flag.Bool("xml", false, "print the XML profile log instead of the report")
 	collectAddr := flag.String("collect", "", "upload the XML log to this collection server")
+	retries := flag.Int("retries", 0, "retry a failed upload this many times with exponential backoff")
+	spool := flag.Bool("spool", false, "upload through the async spooler, waiting up to -spool-wait for delivery")
+	spoolWait := flag.Duration("spool-wait", 10*time.Second, "how long -spool waits for the collector before giving up")
 	flag.Parse()
 
-	if err := run(*app, *stdin, *argv, *asXML, *collectAddr); err != nil {
+	if err := run(*app, *stdin, *argv, *asXML, *collectAddr, *retries, *spool, *spoolWait); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-profile:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app, stdin, argv string, asXML bool, collectAddr string) error {
+func run(app, stdin, argv string, asXML bool, collectAddr string, retries int, spool bool, spoolWait time.Duration) error {
 	tk, err := healers.NewToolkit()
 	if err != nil {
 		return err
@@ -43,10 +50,9 @@ func run(app, stdin, argv string, asXML bool, collectAddr string) error {
 	if err := tk.InstallSampleApps(); err != nil {
 		return err
 	}
-	var args []string
-	if argv != "" {
-		args = append(args, argv)
-	}
+	// -argv is whitespace-split into individual argv entries, so
+	// multi-argument invocations work from one flag.
+	args := strings.Fields(argv)
 	rr, err := tk.RunProfiled(app, stdin, args...)
 	if err != nil {
 		return err
@@ -62,10 +68,27 @@ func run(app, stdin, argv string, asXML bool, collectAddr string) error {
 		fmt.Print(healers.RenderProfile(rr.Profile))
 	}
 	if collectAddr != "" {
-		if err := collect.Upload(collectAddr, rr.Profile); err != nil {
+		if err := upload(collectAddr, rr.Profile, retries, spool, spoolWait); err != nil {
 			return err
 		}
 		fmt.Printf("\nprofile uploaded to %s\n", collectAddr)
 	}
 	return nil
+}
+
+// upload ships one profile: directly (with optional backoff retry), or
+// through the async spooler, which keeps retrying until the deadline.
+func upload(addr string, profile any, retries int, spool bool, spoolWait time.Duration) error {
+	if spool {
+		sp := collect.NewSpooler(addr)
+		defer sp.Close()
+		if err := sp.Send(profile); err != nil {
+			return err
+		}
+		return sp.Flush(spoolWait)
+	}
+	c := collect.NewClient(addr)
+	defer c.Close()
+	c.RetryMax = retries
+	return c.Send(profile)
 }

@@ -27,15 +27,17 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8088", "HTTP listen address")
 	collectAddr := flag.String("collect", "127.0.0.1:7099", "collection server listen address (empty to disable)")
+	capDocs := flag.Int("max-docs", collect.DefaultMaxDocs, "collection retention budget: documents kept before oldest are evicted (0 = unbounded)")
+	capBytes := flag.Int64("max-bytes", collect.DefaultMaxBytes, "collection retention budget: raw XML bytes kept (0 = unbounded)")
 	flag.Parse()
-	if err := run(*addr, *collectAddr, true); err != nil {
+	if err := run(*addr, *collectAddr, *capDocs, *capBytes, true); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-web:", err)
 		os.Exit(1)
 	}
 }
 
 // run starts both servers; when wait is true it blocks until interrupted.
-func run(addr, collectAddr string, wait bool) error {
+func run(addr, collectAddr string, capDocs int, capBytes int64, wait bool) error {
 	tk, err := healers.NewToolkit()
 	if err != nil {
 		return err
@@ -45,7 +47,8 @@ func run(addr, collectAddr string, wait bool) error {
 	}
 	var col *collect.Server
 	if collectAddr != "" {
-		col, err = collect.Serve(collectAddr)
+		col, err = collect.Serve(collectAddr,
+			collect.WithMaxDocs(capDocs), collect.WithMaxBytes(capBytes))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,181 @@
+package collect
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"time"
+
+	"healers/internal/xmlrep"
+)
+
+// Client default timings; override via the exported fields.
+const (
+	// DefaultDialTimeout bounds connection establishment and, by
+	// default, each frame write.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultRetryBase is the first retry delay.
+	DefaultRetryBase = 50 * time.Millisecond
+	// DefaultRetryCap caps the exponential retry delay.
+	DefaultRetryCap = 2 * time.Second
+)
+
+// Client uploads documents to a collection server. It is persistent:
+// the connection is dialed lazily, broken connections are discarded, and
+// with RetryMax > 0 each send re-dials and retries under exponential
+// backoff with jitter — a briefly-restarting collector costs a delay, not
+// a lost document. A Client is not safe for concurrent use; Spooler
+// provides the concurrent, asynchronous layer on top.
+type Client struct {
+	addr string
+	conn net.Conn
+
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write. A wrapped process flushes
+	// its profile from the exit path; without a deadline a stalled
+	// collector would block that process's exit forever. Zero disables
+	// the deadline.
+	WriteTimeout time.Duration
+	// RetryMax is how many times a failed send is retried (re-dialing
+	// as needed) before the error is returned. Zero fails fast.
+	RetryMax int
+	// RetryBase and RetryCap shape the exponential backoff between
+	// retries; each delay gets up to 50% random jitter so a restarted
+	// collector is not hit by its whole fleet at once.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+}
+
+// NewClient returns a persistent client for addr. No connection is made
+// until the first send.
+func NewClient(addr string) *Client {
+	return &Client{
+		addr:         addr,
+		DialTimeout:  DefaultDialTimeout,
+		WriteTimeout: DefaultDialTimeout,
+		RetryBase:    DefaultRetryBase,
+		RetryCap:     DefaultRetryCap,
+	}
+}
+
+// Dial connects to a collection server, failing fast if it is
+// unreachable.
+func Dial(addr string) (*Client, error) {
+	c := NewClient(addr)
+	if err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("collect: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	return nil
+}
+
+// Send marshals and uploads one document.
+func (c *Client) Send(doc any) error {
+	data, err := xmlrep.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	return c.SendRaw(data)
+}
+
+// SendRaw uploads pre-marshalled XML, retrying per the Retry fields.
+func (c *Client) SendRaw(data []byte) error {
+	if len(data) == 0 || len(data) > MaxDocSize {
+		// No amount of retrying fixes an invalid document.
+		return fmt.Errorf("collect: bad document size %d", len(data))
+	}
+	backoff := c.RetryBase
+	if backoff <= 0 {
+		backoff = DefaultRetryBase
+	}
+	maxBackoff := c.RetryCap
+	if maxBackoff <= 0 {
+		maxBackoff = DefaultRetryCap
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.sendOnce(data)
+		if err == nil || attempt >= c.RetryMax {
+			return err
+		}
+		time.Sleep(withJitter(backoff))
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// sendOnce is one dial-if-needed, write-one-frame attempt. The write runs
+// under WriteTimeout: a collector that accepts the connection but stops
+// draining it produces a timeout error here instead of wedging the
+// caller. Any error discards the connection so the next attempt re-dials.
+func (c *Client) sendOnce(data []byte) error {
+	if err := c.ensureConn(); err != nil {
+		return err
+	}
+	if c.WriteTimeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.WriteTimeout)); err != nil {
+			c.reset()
+			return fmt.Errorf("collect: setting write deadline: %w", err)
+		}
+	}
+	err := writeFrame(c.conn, data)
+	if err != nil {
+		c.reset()
+		return err
+	}
+	if c.WriteTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Time{})
+	}
+	return nil
+}
+
+// reset discards a (presumed broken) connection.
+func (c *Client) reset() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// withJitter returns d plus up to 50% random jitter.
+func withJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d + rand.N(d/2+1)
+}
+
+// Close ends the upload session.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Upload is the one-shot convenience: dial, send, close.
+func Upload(addr string, doc any) error {
+	c, err := Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Send(doc); err != nil {
+		return err
+	}
+	return nil
+}

@@ -7,15 +7,21 @@
 // or more documents, each prefixed by a 4-byte big-endian length. The
 // server sniffs each document's kind from its root element — nothing else
 // is needed, the documents are self-describing.
+//
+// The package is built for fleet-scale ingest: the server tracks its
+// connections (so Close returns promptly even with idle clients), bounds
+// both concurrent connections and retained documents, and folds profile
+// documents into a streaming aggregate at ingest time so repeated
+// aggregation queries never re-parse stored XML. The client side offers a
+// persistent Client with exponential-backoff retry and an asynchronous
+// bounded Spooler that buffers documents while the collector is
+// unreachable and replays them on reconnect.
 package collect
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
-	"net"
-	"sync"
 	"time"
 
 	"healers/internal/xmlrep"
@@ -27,6 +33,10 @@ const MaxDocSize = 16 << 20
 
 // Received is one stored document.
 type Received struct {
+	// Seq is the server-assigned ingest sequence number, strictly
+	// increasing across the server's lifetime (eviction never reuses a
+	// number). DocsSince uses it as a cursor.
+	Seq uint64
 	// From is the uploading peer's address.
 	From string
 	// Kind is the sniffed document kind.
@@ -37,124 +47,9 @@ type Received struct {
 	At time.Time
 }
 
-// Server is the central collection daemon.
-type Server struct {
-	ln net.Listener
-
-	mu   sync.Mutex
-	docs []Received
-
-	wg     sync.WaitGroup
-	closed chan struct{}
-}
-
-// Serve starts a collection server on addr (use "127.0.0.1:0" for an
-// ephemeral port) and begins accepting uploads in the background.
-func Serve(addr string) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("collect: listen: %w", err)
-	}
-	s := &Server{ln: ln, closed: make(chan struct{})}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
-}
-
-// Addr returns the server's listen address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
-
-// Close stops accepting and waits for in-flight connections.
-func (s *Server) Close() error {
-	close(s.closed)
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-// acceptBackoff bounds the retry delay after transient Accept failures
-// (fd exhaustion and friends), so a persistent error condition does not
-// hot-spin the accept goroutine on a core.
-const (
-	acceptBackoffMin = 5 * time.Millisecond
-	acceptBackoffMax = time.Second
-)
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	backoff := acceptBackoffMin
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			select {
-			case <-s.closed:
-				return
-			default:
-			}
-			var ne net.Error
-			if !errors.As(err, &ne) || !ne.Temporary() {
-				// The listener is permanently broken; no session will
-				// ever arrive, so spinning on it helps nobody.
-				return
-			}
-			// Transient accept failure (e.g. EMFILE): back off and
-			// retry, doubling up to the cap.
-			select {
-			case <-s.closed:
-				return
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > acceptBackoffMax {
-				backoff = acceptBackoffMax
-			}
-			continue
-		}
-		backoff = acceptBackoffMin
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.handle(conn)
-		}()
-	}
-}
-
-// handle drains one connection's documents.
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	from := conn.RemoteAddr().String()
-	for {
-		data, err := readFrame(conn)
-		if err != nil {
-			return // EOF or a broken frame ends the session
-		}
-		kind, err := xmlrep.Kind(data)
-		if err != nil {
-			continue // unknown document; skip, keep the session
-		}
-		s.mu.Lock()
-		s.docs = append(s.docs, Received{From: from, Kind: kind, Data: data, At: time.Now()})
-		s.mu.Unlock()
-	}
-}
-
-// readFrame reads one length-prefixed document.
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 || n > MaxDocSize {
-		return nil, fmt.Errorf("collect: bad frame length %d", n)
-	}
-	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return nil, err
-	}
-	return data, nil
-}
-
-// writeFrame writes one length-prefixed document.
+// writeFrame writes one length-prefixed document. The server-side read
+// lives in Server.handle, where the idle and per-frame deadlines
+// interleave with the header and body reads.
 func writeFrame(w io.Writer, data []byte) error {
 	if len(data) == 0 || len(data) > MaxDocSize {
 		return fmt.Errorf("collect: bad document size %d", len(data))
@@ -166,115 +61,4 @@ func writeFrame(w io.Writer, data []byte) error {
 	}
 	_, err := w.Write(data)
 	return err
-}
-
-// Count returns the number of stored documents.
-func (s *Server) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.docs)
-}
-
-// Docs returns stored documents of one kind ("" for all).
-func (s *Server) Docs(kind xmlrep.DocKind) []Received {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []Received
-	for _, d := range s.docs {
-		if kind == "" || d.Kind == kind {
-			out = append(out, d)
-		}
-	}
-	return out
-}
-
-// Profiles parses every stored profile document.
-func (s *Server) Profiles() ([]*xmlrep.ProfileLog, error) {
-	var out []*xmlrep.ProfileLog
-	for _, d := range s.Docs(xmlrep.KindProfile) {
-		log, err := xmlrep.Unmarshal[xmlrep.ProfileLog](d.Data)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, log)
-	}
-	return out, nil
-}
-
-// AggregateCalls sums call counts per function across all stored
-// profiles — the server-side view the paper's Figure 5 renders.
-func (s *Server) AggregateCalls() (map[string]uint64, error) {
-	logs, err := s.Profiles()
-	if err != nil {
-		return nil, err
-	}
-	agg := make(map[string]uint64)
-	for _, l := range logs {
-		for _, f := range l.Funcs {
-			agg[f.Name] += f.Calls
-		}
-	}
-	return agg, nil
-}
-
-// Client uploads documents to a collection server.
-type Client struct {
-	conn net.Conn
-	// WriteTimeout bounds each frame write. A wrapped process flushes
-	// its profile from the exit path; without a deadline a stalled
-	// collector would block that process's exit forever. Zero disables
-	// the deadline.
-	WriteTimeout time.Duration
-}
-
-// dialTimeout bounds connection establishment and, by default, each
-// frame write.
-const dialTimeout = 5 * time.Second
-
-// Dial connects to a collection server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("collect: dial %s: %w", addr, err)
-	}
-	return &Client{conn: conn, WriteTimeout: dialTimeout}, nil
-}
-
-// Send marshals and uploads one document.
-func (c *Client) Send(doc any) error {
-	data, err := xmlrep.Marshal(doc)
-	if err != nil {
-		return err
-	}
-	return c.SendRaw(data)
-}
-
-// SendRaw uploads pre-marshalled XML. The write runs under the client's
-// per-frame WriteTimeout: a collector that accepts the connection but
-// stops draining it produces a timeout error here instead of wedging the
-// caller.
-func (c *Client) SendRaw(data []byte) error {
-	if c.WriteTimeout > 0 {
-		if err := c.conn.SetWriteDeadline(time.Now().Add(c.WriteTimeout)); err != nil {
-			return fmt.Errorf("collect: setting write deadline: %w", err)
-		}
-		defer c.conn.SetWriteDeadline(time.Time{})
-	}
-	return writeFrame(c.conn, data)
-}
-
-// Close ends the upload session.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// Upload is the one-shot convenience: dial, send, close.
-func Upload(addr string, doc any) error {
-	c, err := Dial(addr)
-	if err != nil {
-		return err
-	}
-	defer c.Close()
-	if err := c.Send(doc); err != nil {
-		return err
-	}
-	return nil
 }

@@ -1,0 +1,446 @@
+package collect
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"healers/internal/xmlrep"
+)
+
+// Server defaults; each has a matching Option to override.
+const (
+	// DefaultMaxConns caps concurrently served connections.
+	DefaultMaxConns = 256
+	// DefaultMaxDocs bounds the retained document count.
+	DefaultMaxDocs = 8192
+	// DefaultMaxBytes bounds the retained document bytes.
+	DefaultMaxBytes = 256 << 20
+	// DefaultIdleTimeout bounds how long a connection may sit between
+	// frames before the server drops it.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultReadTimeout bounds reading one frame body once its header
+	// has arrived — the slowloris guard.
+	DefaultReadTimeout = 30 * time.Second
+)
+
+type config struct {
+	maxConns    int
+	maxDocs     int
+	maxBytes    int64
+	idleTimeout time.Duration
+	readTimeout time.Duration
+}
+
+// Option configures a Server at Serve time.
+type Option func(*config)
+
+// WithMaxConns caps concurrently served connections; excess connections
+// are closed on accept. n <= 0 removes the cap.
+func WithMaxConns(n int) Option { return func(c *config) { c.maxConns = n } }
+
+// WithMaxDocs bounds retained documents; the oldest are evicted when the
+// budget is exceeded. Eviction drops raw XML only — the streaming
+// aggregate and kind counts keep every document ever received. n <= 0
+// removes the bound.
+func WithMaxDocs(n int) Option { return func(c *config) { c.maxDocs = n } }
+
+// WithMaxBytes bounds retained document bytes, evicting oldest-first like
+// WithMaxDocs. n <= 0 removes the bound.
+func WithMaxBytes(n int64) Option { return func(c *config) { c.maxBytes = n } }
+
+// WithIdleTimeout bounds the gap between frames on one connection;
+// d <= 0 disables the deadline.
+func WithIdleTimeout(d time.Duration) Option { return func(c *config) { c.idleTimeout = d } }
+
+// WithReadTimeout bounds reading one frame body after its header;
+// d <= 0 disables the deadline.
+func WithReadTimeout(d time.Duration) Option { return func(c *config) { c.readTimeout = d } }
+
+// Stats are the server's ingest counters. All counters are cumulative
+// over the server's lifetime except ActiveConns and the Retained pair,
+// which describe the current moment.
+type Stats struct {
+	DocsReceived   uint64 // documents stored (and aggregated)
+	BytesReceived  uint64 // raw XML bytes of stored documents
+	FramesRejected uint64 // bad lengths, truncated or timed-out bodies
+	DocsRejected   uint64 // unknown kinds and unparseable profiles
+	DocsEvicted    uint64 // documents dropped by the retention budget
+	BytesEvicted   uint64 // their raw XML bytes
+	ConnsAccepted  uint64 // connections admitted to a handler
+	ConnsRejected  uint64 // connections closed by the connection cap
+	ActiveConns    int    // connections currently being served
+	DocsRetained   int    // documents currently held
+	BytesRetained  int64  // their raw XML bytes
+}
+
+// Server is the central collection daemon.
+type Server struct {
+	ln  net.Listener
+	cfg config
+
+	mu    sync.Mutex
+	docs  []Received // docs[head:] are the retained documents, Seq-ascending
+	head  int
+	bytes int64 // raw XML bytes retained
+	next  uint64
+	agg   map[string]uint64         // streaming per-function call totals
+	kinds map[xmlrep.DocKind]uint64 // per-kind received counts
+	stats Stats
+	conns map[net.Conn]struct{}
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Serve starts a collection server on addr (use "127.0.0.1:0" for an
+// ephemeral port) and begins accepting uploads in the background.
+func Serve(addr string, opts ...Option) (*Server, error) {
+	cfg := config{
+		maxConns:    DefaultMaxConns,
+		maxDocs:     DefaultMaxDocs,
+		maxBytes:    DefaultMaxBytes,
+		idleTimeout: DefaultIdleTimeout,
+		readTimeout: DefaultReadTimeout,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collect: listen: %w", err)
+	}
+	s := &Server{
+		ln:     ln,
+		cfg:    cfg,
+		agg:    make(map[string]uint64),
+		kinds:  make(map[xmlrep.DocKind]uint64),
+		conns:  make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, force-closes every tracked connection, and
+// waits for the handlers to drain. It returns promptly even while
+// clients hold idle connections open, and is safe to call repeatedly.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.closeErr = s.ln.Close()
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
+// acceptBackoff bounds the retry delay after transient Accept failures
+// (fd exhaustion and friends), so a persistent error condition does not
+// hot-spin the accept goroutine on a core.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
+// transientAcceptError reports whether an Accept failure is worth backing
+// off and retrying, by explicit errno classification (the deprecated
+// net.Error.Temporary grab-bag is not consulted): resource exhaustion and
+// peer-side aborts are transient, a dead listener is not.
+func transientAcceptError(err error) bool {
+	if errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.ECONNABORTED, // peer gave up before we accepted
+		syscall.ECONNRESET,
+		syscall.EINTR,
+		syscall.EMFILE, // process fd table full
+		syscall.ENFILE, // system fd table full
+		syscall.ENOBUFS,
+		syscall.ENOMEM,
+		syscall.EAGAIN,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	backoff := acceptBackoffMin
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if !transientAcceptError(err) {
+				// The listener is permanently broken; no session will
+				// ever arrive, so spinning on it helps nobody.
+				return
+			}
+			// Transient accept failure (e.g. EMFILE): back off and
+			// retry, doubling up to the cap.
+			select {
+			case <-s.closed:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
+		}
+		backoff = acceptBackoffMin
+		s.mu.Lock()
+		if s.cfg.maxConns > 0 && len(s.conns) >= s.cfg.maxConns {
+			s.stats.ConnsRejected++
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.stats.ConnsAccepted++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// handle drains one connection's documents under the configured idle and
+// per-frame read deadlines.
+func (s *Server) handle(conn net.Conn) {
+	defer s.dropConn(conn)
+	from := conn.RemoteAddr().String()
+	var hdr [4]byte
+	for {
+		// Idle deadline: how long the peer may sit between frames.
+		if s.cfg.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.idleTimeout))
+		}
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // EOF, idle timeout, or forced close ends the session
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > MaxDocSize {
+			s.bumpFramesRejected()
+			return // protocol violation ends the session
+		}
+		// Read deadline: once a frame is announced its body must arrive
+		// promptly — a trickling client cannot pin the handler.
+		if s.cfg.readTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.readTimeout))
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			s.bumpFramesRejected()
+			return
+		}
+		s.store(from, data)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) bumpFramesRejected() {
+	s.mu.Lock()
+	s.stats.FramesRejected++
+	s.mu.Unlock()
+}
+
+// store sniffs, validates, aggregates, and retains one document.
+func (s *Server) store(from string, data []byte) {
+	kind, err := xmlrep.Kind(data)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.DocsRejected++
+		s.mu.Unlock()
+		return // unknown document; skip, keep the session
+	}
+	// Parse profiles outside the lock: the parse feeds the streaming
+	// aggregate, and doing it at ingest is what lets AggregateCalls
+	// answer without touching stored XML.
+	var prof *xmlrep.ProfileLog
+	if kind == xmlrep.KindProfile {
+		prof, err = xmlrep.Unmarshal[xmlrep.ProfileLog](data)
+		if err != nil {
+			s.mu.Lock()
+			s.stats.DocsRejected++
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs = append(s.docs, Received{Seq: s.next, From: from, Kind: kind, Data: data, At: time.Now()})
+	s.next++
+	s.bytes += int64(len(data))
+	s.stats.DocsReceived++
+	s.stats.BytesReceived += uint64(len(data))
+	s.kinds[kind]++
+	if prof != nil {
+		for _, f := range prof.Funcs {
+			s.agg[f.Name] += f.Calls
+		}
+	}
+	s.evictLocked()
+}
+
+// evictLocked enforces the retention budget, dropping oldest documents
+// first. The head index makes eviction O(1); the slice is compacted once
+// the dead prefix dominates, keeping memory proportional to the budget.
+func (s *Server) evictLocked() {
+	for s.head < len(s.docs) &&
+		((s.cfg.maxDocs > 0 && len(s.docs)-s.head > s.cfg.maxDocs) ||
+			(s.cfg.maxBytes > 0 && s.bytes > s.cfg.maxBytes)) {
+		d := &s.docs[s.head]
+		s.bytes -= int64(len(d.Data))
+		s.stats.DocsEvicted++
+		s.stats.BytesEvicted += uint64(len(d.Data))
+		*d = Received{}
+		s.head++
+	}
+	if s.head > 64 && s.head*2 >= len(s.docs) {
+		n := copy(s.docs, s.docs[s.head:])
+		clear(s.docs[n:])
+		s.docs = s.docs[:n]
+		s.head = 0
+	}
+}
+
+// Stats snapshots the ingest counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.ActiveConns = len(s.conns)
+	st.DocsRetained = len(s.docs) - s.head
+	st.BytesRetained = s.bytes
+	return st
+}
+
+// Count returns the number of retained documents (see Stats for the
+// cumulative received count).
+func (s *Server) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.docs) - s.head
+}
+
+// Docs returns retained documents of one kind ("" for all).
+func (s *Server) Docs(kind xmlrep.DocKind) []Received {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Received
+	for _, d := range s.docs[s.head:] {
+		if kind == "" || d.Kind == kind {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DocsSince returns the retained documents with sequence number >= seq
+// and the cursor to pass next time — a pollable drain that never re-copies
+// already-seen documents. Documents evicted before being polled are not
+// replayed (their bytes are gone), but their counts survive in Stats.
+func (s *Server) DocsSince(seq uint64) ([]Received, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := s.docs[s.head:]
+	i := sort.Search(len(live), func(i int) bool { return live[i].Seq >= seq })
+	var out []Received
+	if i < len(live) {
+		out = append(out, live[i:]...)
+	}
+	return out, s.next
+}
+
+// KindCounts returns the cumulative per-kind received counts, maintained
+// at ingest time (eviction does not decrement them).
+func (s *Server) KindCounts() map[xmlrep.DocKind]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[xmlrep.DocKind]uint64, len(s.kinds))
+	for k, n := range s.kinds {
+		out[k] = n
+	}
+	return out
+}
+
+// Profiles parses every retained profile document.
+func (s *Server) Profiles() ([]*xmlrep.ProfileLog, error) {
+	var out []*xmlrep.ProfileLog
+	for _, d := range s.Docs(xmlrep.KindProfile) {
+		log, err := xmlrep.Unmarshal[xmlrep.ProfileLog](d.Data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, log)
+	}
+	return out, nil
+}
+
+// AggregateCalls sums call counts per function across all received
+// profiles — the server-side view the paper's Figure 5 renders. The
+// totals are maintained incrementally at ingest time, so this is a map
+// copy, not a re-parse, and it covers every profile ever received even
+// after its raw XML has been evicted.
+func (s *Server) AggregateCalls() (map[string]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.agg))
+	for fn, n := range s.agg {
+		out[fn] = n
+	}
+	return out, nil
+}
+
+// AggregateCallsFull recomputes the call aggregate by re-parsing every
+// retained profile document — the O(docs × parse) reference
+// implementation that AggregateCalls replaced, kept for the determinism
+// tests and the ingest benchmark. Unlike AggregateCalls it only sees
+// documents that survived eviction.
+func (s *Server) AggregateCallsFull() (map[string]uint64, error) {
+	logs, err := s.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	agg := make(map[string]uint64)
+	for _, l := range logs {
+		for _, f := range l.Funcs {
+			agg[f.Name] += f.Calls
+		}
+	}
+	return agg, nil
+}

@@ -1,0 +1,372 @@
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+
+	"healers/internal/ctypes"
+	"healers/internal/gen"
+	"healers/internal/xmlrep"
+)
+
+// waitReceived polls until the server's cumulative received count hits n
+// (Count only reports retained documents, which eviction shrinks).
+func waitReceived(t *testing.T, s *Server, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().DocsReceived < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("server received %d docs, want %d", s.Stats().DocsReceived, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCloseWithIdleClientReturnsPromptly is the regression test for the
+// shutdown hang: handle() used to block in a deadline-less read with no
+// shutdown signal, so Close's wg.Wait() never returned while any client
+// held its connection open.
+func TestCloseWithIdleClientReturnsPromptly(t *testing.T) {
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Make sure the connection reached a handler before closing: a doc
+	// round-trips through it.
+	if err := writeFrame(conn, mustMarshal(t, sampleProfile("idle", 1))); err != nil {
+		t.Fatal(err)
+	}
+	waitReceived(t, s, 1)
+
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not return within 1s while a client connection was open")
+	}
+	// Close must be idempotent.
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func mustMarshal(t *testing.T, doc any) []byte {
+	t.Helper()
+	data, err := xmlrep.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestIdleTimeoutDropsSilentClient(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", WithIdleTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing; the server must drop us at the idle deadline.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("idle connection not dropped by the server: %v", err)
+	}
+}
+
+// TestSlowlorisHitsReadDeadline: a client that announces a frame and then
+// trickles (here: stalls) must be cut off by the per-frame read deadline
+// instead of pinning a handler forever.
+func TestSlowlorisHitsReadDeadline(t *testing.T) {
+	s, err := Serve("127.0.0.1:0",
+		WithIdleTimeout(5*time.Second), WithReadTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Header for a 1000-byte document, then only 3 bytes of body.
+	if _, err := conn.Write([]byte{0, 0, 3, 0xe8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("<he")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := conn.Read(make([]byte, 1)); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("slowloris connection not dropped: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("read deadline took %v to fire", elapsed)
+	}
+	if st := s.Stats(); st.FramesRejected != 1 {
+		t.Errorf("FramesRejected = %d, want 1", st.FramesRejected)
+	}
+}
+
+func TestConnectionCapRejectsExcess(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", WithMaxConns(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Occupy the single slot and prove the handler is live.
+	first, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if err := first.Send(sampleProfile("holder", 1)); err != nil {
+		t.Fatal(err)
+	}
+	waitReceived(t, s, 1)
+
+	// The next connection must be closed by the server on accept.
+	second, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	second.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := second.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("over-cap connection read = %v, want EOF", err)
+	}
+	st := s.Stats()
+	if st.ConnsRejected != 1 || st.ConnsAccepted != 1 || st.ActiveConns != 1 {
+		t.Errorf("stats = %+v, want 1 accepted, 1 rejected, 1 active", st)
+	}
+}
+
+func TestEvictionUnderDocsBudget(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", WithMaxDocs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 1; i <= 5; i++ {
+		if err := Upload(s.Addr(), sampleProfile(fmt.Sprintf("app%d", i), 10)); err != nil {
+			t.Fatal(err)
+		}
+		waitReceived(t, s, uint64(i))
+	}
+	if n := s.Count(); n != 3 {
+		t.Errorf("retained = %d, want 3", n)
+	}
+	st := s.Stats()
+	if st.DocsReceived != 5 || st.DocsEvicted != 2 || st.DocsRetained != 3 {
+		t.Errorf("stats = %+v, want 5 received, 2 evicted, 3 retained", st)
+	}
+	if st.BytesRetained <= 0 || st.BytesEvicted <= 0 ||
+		st.BytesReceived != uint64(st.BytesRetained)+st.BytesEvicted {
+		t.Errorf("byte accounting broken: %+v", st)
+	}
+	// The streaming aggregate covers evicted documents too...
+	agg, err := s.AggregateCalls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg["strlen"] != 50 {
+		t.Errorf("aggregate strlen = %d, want 50 across all 5 docs", agg["strlen"])
+	}
+	// ...while the re-parsing reference only sees the 3 survivors.
+	full, err := s.AggregateCallsFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full["strlen"] != 30 {
+		t.Errorf("re-parsed strlen = %d, want 30 across retained docs", full["strlen"])
+	}
+	// Sequence numbers are stable across eviction.
+	docs, next := s.DocsSince(0)
+	if len(docs) != 3 || docs[0].Seq != 2 || docs[2].Seq != 4 || next != 5 {
+		t.Errorf("DocsSince(0) = %d docs, first seq %d, next %d", len(docs), docs[0].Seq, next)
+	}
+}
+
+func TestEvictionUnderBytesBudget(t *testing.T) {
+	doc := mustMarshal(t, sampleProfile("sized", 1))
+	s, err := Serve("127.0.0.1:0", WithMaxBytes(int64(2*len(doc))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		if err := c.SendRaw(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitReceived(t, s, 4)
+	if n := s.Count(); n != 2 {
+		t.Errorf("retained = %d, want 2 under a 2-doc byte budget", n)
+	}
+	if st := s.Stats(); st.BytesRetained != int64(2*len(doc)) || st.DocsEvicted != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDocsSinceCursor(t *testing.T) {
+	s := startServer(t)
+	for i := 0; i < 2; i++ {
+		if err := Upload(s.Addr(), sampleProfile("a", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitReceived(t, s, 2)
+	docs, next := s.DocsSince(0)
+	if len(docs) != 2 || next != 2 {
+		t.Fatalf("DocsSince(0) = %d docs, next %d", len(docs), next)
+	}
+	// Nothing new: the cursor returns an empty batch, not a re-copy.
+	docs, next = s.DocsSince(next)
+	if len(docs) != 0 || next != 2 {
+		t.Fatalf("DocsSince(2) = %d docs, next %d", len(docs), next)
+	}
+	if err := Upload(s.Addr(), sampleProfile("b", 2)); err != nil {
+		t.Fatal(err)
+	}
+	waitReceived(t, s, 3)
+	docs, next = s.DocsSince(next)
+	if len(docs) != 1 || docs[0].Seq != 2 || next != 3 {
+		t.Fatalf("incremental batch = %d docs, next %d", len(docs), next)
+	}
+}
+
+// TestIncrementalAggregationMatchesReparse pins the determinism of the
+// streaming aggregate: with no eviction, ingest-time accumulation and a
+// full re-parse of the stored XML must agree exactly.
+func TestIncrementalAggregationMatchesReparse(t *testing.T) {
+	s := startServer(t)
+	funcs := []string{"strlen", "malloc", "memcpy", "free", "strtol"}
+	n := 0
+	for i := 0; i < 12; i++ {
+		st := gen.NewState("libhealers_prof.so")
+		for j, fn := range funcs {
+			st.CallCount[st.Index(fn)] = uint64((i+1)*(j+3)) % 97
+		}
+		if err := Upload(s.Addr(), xmlrep.NewProfileLog("host", fmt.Sprintf("app%d", i), st)); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	// Non-profile documents must not disturb the aggregate.
+	decl := xmlrep.NewDeclarations("libc.so.6", []*ctypes.Prototype{{Name: "f", Ret: ctypes.Int}})
+	if err := Upload(s.Addr(), decl); err != nil {
+		t.Fatal(err)
+	}
+	n++
+	waitReceived(t, s, uint64(n))
+	inc, err := s.AggregateCalls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.AggregateCallsFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The incremental map keeps zero-call entries the re-parse also
+	// produces; compare as whole maps.
+	if !reflect.DeepEqual(inc, full) {
+		t.Errorf("incremental aggregate diverges from re-parse:\n inc=%v\nfull=%v", inc, full)
+	}
+	if kinds := s.KindCounts(); kinds[xmlrep.KindProfile] != 12 || kinds[xmlrep.KindDeclarations] != 1 {
+		t.Errorf("kind counts = %v", kinds)
+	}
+}
+
+func TestTransientAcceptErrorClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&net.OpError{Op: "accept", Err: os.NewSyscallError("accept", syscall.EMFILE)}, true},
+		{&net.OpError{Op: "accept", Err: os.NewSyscallError("accept", syscall.ECONNABORTED)}, true},
+		{&net.OpError{Op: "accept", Err: os.NewSyscallError("accept", syscall.EINTR)}, true},
+		{&net.OpError{Op: "accept", Err: os.NewSyscallError("accept", syscall.EBADF)}, false},
+		{&net.OpError{Op: "accept", Err: net.ErrClosed}, false},
+		{errors.New("unclassifiable"), false},
+		{io.EOF, false},
+	}
+	for _, c := range cases {
+		if got := transientAcceptError(c.err); got != c.want {
+			t.Errorf("transientAcceptError(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestClientRetryReachesRestartedCollector(t *testing.T) {
+	// Reserve an address, then leave it dead until after the client has
+	// started retrying.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := NewClient(addr)
+	c.RetryMax = 50
+	c.RetryBase = 10 * time.Millisecond
+	c.RetryCap = 50 * time.Millisecond
+	defer c.Close()
+
+	srvCh := make(chan *Server, 1)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		s, err := Serve(addr)
+		if err != nil {
+			srvCh <- nil
+			return
+		}
+		srvCh <- s
+	}()
+	if err := c.Send(sampleProfile("retrier", 7)); err != nil {
+		t.Fatalf("Send with retry: %v", err)
+	}
+	s := <-srvCh
+	if s == nil {
+		t.Fatal("late server failed to start")
+	}
+	defer s.Close()
+	waitReceived(t, s, 1)
+}
+
+func TestClientWithoutRetryFailsFast(t *testing.T) {
+	c := NewClient("127.0.0.1:1")
+	defer c.Close()
+	start := time.Now()
+	if err := c.Send(sampleProfile("x", 1)); err == nil {
+		t.Error("send to dead collector succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("no-retry send took %v", elapsed)
+	}
+}

@@ -1,0 +1,242 @@
+package collect
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"healers/internal/xmlrep"
+)
+
+// Spooler defaults; override via SpoolOptions.
+const (
+	// DefaultSpoolDocs bounds the number of buffered documents.
+	DefaultSpoolDocs = 1024
+	// DefaultSpoolBytes bounds the buffered document bytes.
+	DefaultSpoolBytes = 64 << 20
+)
+
+// SpoolStats are a Spooler's counters.
+type SpoolStats struct {
+	Enqueued uint64 // documents accepted into the buffer
+	Sent     uint64 // documents delivered to the collector
+	Dropped  uint64 // documents lost to the buffer budget or Close
+	Retries  uint64 // failed delivery attempts
+}
+
+// Spooler is the asynchronous, bounded upload buffer: Send never blocks
+// on the network, a background goroutine drains the buffer to the
+// collector, and while the collector is unreachable documents accumulate
+// (up to the budget, oldest dropped first) and are replayed in order on
+// reconnect. This is what lets a fleet of wrapped applications survive a
+// collector restart without losing profiles.
+type Spooler struct {
+	c *Client
+
+	mu       sync.Mutex
+	queue    [][]byte
+	bytes    int64
+	inflight int // popped by the drain loop, outcome not yet known
+	stats    SpoolStats
+	closed   bool
+
+	maxDocs  int
+	maxBytes int64
+	base     time.Duration
+	maxWait  time.Duration
+
+	wake      chan struct{}
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// SpoolOption configures a Spooler at NewSpooler time.
+type SpoolOption func(*Spooler)
+
+// WithSpoolBudget bounds the buffer: at most maxDocs documents and
+// maxBytes raw bytes; the oldest buffered documents are dropped (and
+// counted) when either budget is exceeded. Non-positive values remove
+// that bound.
+func WithSpoolBudget(maxDocs int, maxBytes int64) SpoolOption {
+	return func(s *Spooler) { s.maxDocs, s.maxBytes = maxDocs, maxBytes }
+}
+
+// WithSpoolBackoff shapes the reconnect backoff: delays grow
+// exponentially from base to max (with jitter) while the collector stays
+// unreachable.
+func WithSpoolBackoff(base, max time.Duration) SpoolOption {
+	return func(s *Spooler) { s.base, s.maxWait = base, max }
+}
+
+// NewSpooler starts a spooler uploading to addr in the background.
+func NewSpooler(addr string, opts ...SpoolOption) *Spooler {
+	s := &Spooler{
+		c:        NewClient(addr),
+		maxDocs:  DefaultSpoolDocs,
+		maxBytes: DefaultSpoolBytes,
+		base:     DefaultRetryBase,
+		maxWait:  DefaultRetryCap,
+		wake:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	go s.loop()
+	return s
+}
+
+// Send marshals and buffers one document for asynchronous upload. It
+// fails only on marshalling, an invalid size, or a closed spooler — never
+// on the state of the network.
+func (s *Spooler) Send(doc any) error {
+	data, err := xmlrep.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	return s.SendRaw(data)
+}
+
+// SendRaw buffers pre-marshalled XML for asynchronous upload.
+func (s *Spooler) SendRaw(data []byte) error {
+	if len(data) == 0 || len(data) > MaxDocSize {
+		return fmt.Errorf("collect: bad document size %d", len(data))
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("collect: spooler closed")
+	}
+	s.queue = append(s.queue, data)
+	s.bytes += int64(len(data))
+	s.stats.Enqueued++
+	for (s.maxDocs > 0 && len(s.queue) > s.maxDocs) ||
+		(s.maxBytes > 0 && s.bytes > s.maxBytes) {
+		s.bytes -= int64(len(s.queue[0]))
+		s.stats.Dropped++
+		s.queue[0] = nil
+		s.queue = s.queue[1:]
+	}
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// loop drains the buffer, backing off while the collector is unreachable
+// and replaying in order once it returns.
+func (s *Spooler) loop() {
+	defer close(s.done)
+	backoff := s.base
+	for {
+		// Pop the head before sending so concurrent budget eviction in
+		// SendRaw cannot swap the document out from under the attempt.
+		s.mu.Lock()
+		var data []byte
+		if len(s.queue) > 0 {
+			data = s.queue[0]
+			s.queue[0] = nil
+			s.queue = s.queue[1:]
+			s.bytes -= int64(len(data))
+			s.inflight++
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if data == nil {
+			if closed {
+				return
+			}
+			select {
+			case <-s.wake:
+			case <-s.quit:
+			}
+			continue
+		}
+		if err := s.c.sendOnce(data); err != nil {
+			// Put the document back at the front — it is still the
+			// oldest — unless the budget filled up meanwhile, in which
+			// case oldest-first loss says it is the one to drop.
+			s.mu.Lock()
+			s.stats.Retries++
+			s.inflight--
+			if (s.maxDocs > 0 && len(s.queue)+1 > s.maxDocs) ||
+				(s.maxBytes > 0 && s.bytes+int64(len(data)) > s.maxBytes) {
+				s.stats.Dropped++
+			} else {
+				s.queue = append([][]byte{data}, s.queue...)
+				s.bytes += int64(len(data))
+			}
+			s.mu.Unlock()
+			select {
+			case <-time.After(withJitter(backoff)):
+			case <-s.quit:
+				return
+			}
+			if backoff *= 2; backoff > s.maxWait {
+				backoff = s.maxWait
+			}
+			continue
+		}
+		backoff = s.base
+		s.mu.Lock()
+		s.stats.Sent++
+		s.inflight--
+		s.mu.Unlock()
+	}
+}
+
+// Pending returns the number of buffered or in-flight, not-yet-delivered
+// documents.
+func (s *Spooler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue) + s.inflight
+}
+
+// Stats snapshots the spooler's counters.
+func (s *Spooler) Stats() SpoolStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Flush waits up to timeout for the buffer to drain. Call it before
+// Close when delivery matters: Close itself does not wait on an
+// unreachable collector.
+func (s *Spooler) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.Pending() == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("collect: %d documents still spooled after %v", s.Pending(), timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Close stops the drain goroutine and releases the connection. Buffered
+// documents that were never delivered are dropped (and counted); use
+// Flush first to wait for delivery.
+func (s *Spooler) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.quit)
+		<-s.done
+		s.mu.Lock()
+		s.stats.Dropped += uint64(len(s.queue))
+		s.queue = nil
+		s.bytes = 0
+		s.mu.Unlock()
+		s.closeErr = s.c.Close()
+	})
+	return s.closeErr
+}

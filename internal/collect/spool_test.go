@@ -1,0 +1,155 @@
+package collect
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// serveAt binds a server to a specific address, retrying briefly — the
+// restart tests release a port and re-bind it, which can race the
+// kernel's teardown of the old listener.
+func serveAt(t *testing.T, addr string, opts ...Option) *Server {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s, err := Serve(addr, opts...)
+		if err == nil {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Serve(%s): %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSpoolerReplayAfterCollectorRestart is the lossy-upload regression
+// test: documents produced while the collector is down must be buffered
+// and replayed, in order, once it comes back.
+func TestSpoolerReplayAfterCollectorRestart(t *testing.T) {
+	s := startServer(t)
+	addr := s.Addr()
+
+	sp := NewSpooler(addr, WithSpoolBackoff(10*time.Millisecond, 100*time.Millisecond))
+	defer sp.Close()
+	if err := sp.Send(sampleProfile("before", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitReceived(t, s, 1)
+
+	// Take the collector down and keep producing.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sp.Send(sampleProfile("during", uint64(10*(i+1)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the spooler time to fail at least once against the dead port.
+	waitFor(t, func() bool { return sp.Stats().Retries > 0 }, "spooler never retried")
+	if n := sp.Pending(); n != 3 {
+		t.Fatalf("pending = %d, want 3 while the collector is down", n)
+	}
+
+	// Restart on the same address: the buffer must drain into it.
+	s2 := serveAt(t, addr)
+	defer s2.Close()
+	if err := sp.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitReceived(t, s2, 3)
+	agg, err := s2.AggregateCalls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg["strlen"] != 60 {
+		t.Errorf("replayed aggregate strlen = %d, want 60", agg["strlen"])
+	}
+	docs, _ := s2.DocsSince(0)
+	if len(docs) != 3 || docs[0].Seq > docs[2].Seq {
+		t.Errorf("replay out of order: %d docs", len(docs))
+	}
+	if st := sp.Stats(); st.Sent != 4 || st.Dropped != 0 || st.Retries == 0 {
+		t.Errorf("spool stats = %+v, want 4 sent, 0 dropped, >0 retries", st)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSpoolerBudgetDropsOldest(t *testing.T) {
+	// Reserve a dead address.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	sp := NewSpooler(addr,
+		WithSpoolBudget(2, 0),
+		WithSpoolBackoff(50*time.Millisecond, 200*time.Millisecond))
+	defer sp.Close()
+	for i := 1; i <= 3; i++ {
+		if err := sp.Send(sampleProfile("app", uint64(100*i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return sp.Stats().Dropped == 1 }, "oldest doc not dropped at budget")
+
+	s := serveAt(t, addr)
+	defer s.Close()
+	if err := sp.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitReceived(t, s, 2)
+	agg, err := s.AggregateCalls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first document (100 calls) was the casualty; the newest two
+	// survive.
+	if agg["strlen"] != 500 {
+		t.Errorf("surviving aggregate strlen = %d, want 500 (docs 200+300)", agg["strlen"])
+	}
+}
+
+func TestSpoolerCloseDropsUndelivered(t *testing.T) {
+	sp := NewSpooler("127.0.0.1:1", WithSpoolBackoff(time.Hour, time.Hour))
+	if err := sp.Send(sampleProfile("doomed", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Let the drain loop fail once and park in its hour-long backoff, so
+	// Close provably does not wait it out.
+	waitFor(t, func() bool { return sp.Stats().Retries > 0 }, "spooler never attempted delivery")
+	start := time.Now()
+	if err := sp.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Close took %v with an unreachable collector", elapsed)
+	}
+	if st := sp.Stats(); st.Dropped != 1 || st.Sent != 0 {
+		t.Errorf("stats = %+v, want the undelivered doc counted dropped", st)
+	}
+	if err := sp.Send(sampleProfile("late", 1)); err == nil {
+		t.Error("Send after Close succeeded")
+	}
+	// Close must be idempotent.
+	if err := sp.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

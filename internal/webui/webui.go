@@ -101,7 +101,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		}
 		b.WriteString("</ul>")
 		if s.col != nil {
-			fmt.Fprintf(b, "<p><a href=\"/profiles\">received profiles (%d)</a></p>", s.col.Count())
+			st := s.col.Stats()
+			fmt.Fprintf(b, "<p><a href=\"/profiles\">collection server: %d documents received, %d retained, %d connections active</a></p>",
+				st.DocsReceived, st.DocsRetained, st.ActiveConns)
 		}
 	})
 }
@@ -187,7 +189,14 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	agg, err := s.col.AggregateCalls()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	page(w, "received profiles", func(b *strings.Builder) {
+		s.writeIngestStats(b)
+		s.writeAggregate(b, agg)
 		for _, log := range logs {
 			fmt.Fprintf(b, "<h2>%s on %s (wrapper %s)</h2>", html.EscapeString(log.App), html.EscapeString(log.Host), html.EscapeString(log.Wrapper))
 			type row struct {
@@ -238,4 +247,54 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 			b.WriteString("<p>no profiles received yet</p>")
 		}
 	})
+}
+
+// writeIngestStats renders the collection server's ingest counters —
+// the fleet operator's view of the pipeline's health.
+func (s *Server) writeIngestStats(b *strings.Builder) {
+	st := s.col.Stats()
+	b.WriteString("<h2>ingest counters</h2><table><tr><th>counter</th><th>value</th></tr>")
+	fmt.Fprintf(b, "<tr><td>documents received</td><td>%d (%d bytes)</td></tr>", st.DocsReceived, st.BytesReceived)
+	fmt.Fprintf(b, "<tr><td>documents retained</td><td>%d (%d bytes)</td></tr>", st.DocsRetained, st.BytesRetained)
+	fmt.Fprintf(b, "<tr><td>documents evicted</td><td>%d (%d bytes)</td></tr>", st.DocsEvicted, st.BytesEvicted)
+	fmt.Fprintf(b, "<tr><td>frames rejected</td><td>%d</td></tr>", st.FramesRejected)
+	fmt.Fprintf(b, "<tr><td>documents rejected</td><td>%d</td></tr>", st.DocsRejected)
+	fmt.Fprintf(b, "<tr><td>connections</td><td>%d accepted, %d rejected, %d active</td></tr>",
+		st.ConnsAccepted, st.ConnsRejected, st.ActiveConns)
+	kinds := s.col.KindCounts()
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, string(k))
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(b, "<tr><td>kind %s</td><td>%d</td></tr>", html.EscapeString(k), kinds[xmlrep.DocKind(k)])
+	}
+	b.WriteString("</table>")
+}
+
+// writeAggregate renders the streaming per-function call aggregate — the
+// server-side Figure 5 view, maintained at ingest time so it covers every
+// profile ever received, evicted or not.
+func (s *Server) writeAggregate(b *strings.Builder, agg map[string]uint64) {
+	names := make([]string, 0, len(agg))
+	for fn := range agg {
+		if agg[fn] > 0 {
+			names = append(names, fn)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if agg[names[i]] != agg[names[j]] {
+			return agg[names[i]] > agg[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	b.WriteString("<h2>aggregate call counts</h2><table><tr><th>function</th><th>calls</th></tr>")
+	for _, fn := range names {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td></tr>", html.EscapeString(fn), agg[fn])
+	}
+	b.WriteString("</table>")
 }

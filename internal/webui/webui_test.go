@@ -119,10 +119,16 @@ func TestProfilesPage(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	body = get(t, ts.URL+"/profiles", http.StatusOK)
-	for _, want := range []string{"textutil", "strtok", "div style"} {
+	for _, want := range []string{"textutil", "strtok", "div style",
+		"ingest counters", "documents received", "aggregate call counts", "kind profile"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("profiles page missing %q", want)
 		}
+	}
+	// The index links the collection server with its ingest counts.
+	body = get(t, ts.URL+"/", http.StatusOK)
+	if !strings.Contains(body, "1 documents received") {
+		t.Errorf("index missing collection stats:\n%.300s", body)
 	}
 }
 

@@ -8,3 +8,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Smoke-run the collect ingest benchmarks: one iteration each proves the
+# upload path, the bounded store, and both aggregation paths still work.
+go test -run '^$' -bench 'BenchmarkCollect' -benchtime=1x .
