@@ -1,8 +1,16 @@
-.PHONY: check build test bench
+.PHONY: check build test bench docs
 
-# Tier-1 gate: build + vet + full test suite under the race detector.
+# Tier-1 gate: build + vet + full test suite under the race detector
+# (scripts/check.sh also runs the docs checks below).
 check:
 	sh scripts/check.sh
+
+# Documentation hygiene: every flag named in README.md/CHANGES.md must
+# exist in some cmd/* front end, and the examples must be gofmt-clean.
+docs:
+	sh scripts/check-docs.sh
+	@fmt=$$(gofmt -l examples); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed in examples:"; echo "$$fmt"; exit 1; fi
 
 build:
 	go build ./...

@@ -596,6 +596,73 @@ func BenchmarkCollectAggregate(b *testing.B) {
 	})
 }
 
+// benchHistProfileDoc builds one marshalled profile document whose every
+// function carries a populated log2 latency histogram and errno counts —
+// the observability-heavy ingest case for the histogram-merge benchmark.
+func benchHistProfileDoc(b *testing.B) []byte {
+	b.Helper()
+	st := gen.NewState("libhealers_prof.so")
+	for i, fn := range []string{"strlen", "malloc", "free", "memcpy", "strtok", "toupper"} {
+		idx := st.Index(fn)
+		st.CallCount[idx] = uint64(100 + 13*i)
+		var sum uint64
+		for bkt := 2; bkt < 2+12; bkt++ {
+			st.ExecHist[idx][bkt] = uint64(bkt + i)
+			sum += uint64(bkt + i)
+		}
+		// Keep the invariant the capture path guarantees: bucket sum ==
+		// timed calls.
+		st.CallCount[idx] = sum
+		st.ExecTime[idx] = time.Duration(sum) * 100
+		st.FuncErrno[idx][2] = uint64(i) // ENOENT
+	}
+	data, err := xmlrep.Marshal(xmlrep.NewProfileLog("bench-host", "bench-app", st))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+// BenchmarkCollectHistMerge measures the observability layer's ingest
+// cost: histogram-carrying profile documents streamed over loopback TCP,
+// each merged element-wise into the fleet aggregate at ingest time, with
+// a fleet-wide p99 read (one O(buckets) walk over the merged histogram)
+// verified at the end. Compare against BenchmarkCollectIngest (documents
+// without latency data) for the marginal cost of the histograms.
+func BenchmarkCollectHistMerge(b *testing.B) {
+	srv, err := collect.Serve("127.0.0.1:0", collect.WithMaxDocs(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := collect.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	doc := benchHistProfileDoc(b)
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SendRaw(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	waitIngested(b, srv, uint64(b.N))
+	b.StopTimer()
+	agg := srv.Aggregate()
+	fa := agg.Funcs["strlen"]
+	if fa == nil || fa.Hist == nil {
+		b.Fatal("aggregate lost the strlen histogram")
+	}
+	if got := gen.HistTotal(fa.Hist); got != fa.Calls {
+		b.Fatalf("merged bucket sum %d != merged calls %d", got, fa.Calls)
+	}
+	if gen.HistQuantileNS(fa.Hist, 0.99) == 0 {
+		b.Fatal("fleet p99 = 0 over a populated histogram")
+	}
+}
+
 // BenchmarkSubstrate_HeapAllocator pins the heap allocator's own cost so
 // wrapper overheads above can be read against it.
 func BenchmarkSubstrate_HeapAllocator(b *testing.B) {

@@ -8,16 +8,20 @@
 //	healers-collectd -addr 127.0.0.1:7099            # run until interrupted
 //	healers-collectd -addr 127.0.0.1:0 -max 3        # exit after 3 documents
 //	healers-collectd -stats -max-docs 4096           # print ingest counters on exit
+//	healers-collectd -metrics 127.0.0.1:9099         # Prometheus /metrics endpoint
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"healers/internal/collect"
+	"healers/internal/webui"
 )
 
 func main() {
@@ -27,15 +31,16 @@ func main() {
 	capDocs := flag.Int("max-docs", collect.DefaultMaxDocs, "retention budget: documents kept before oldest are evicted (0 = unbounded)")
 	capBytes := flag.Int64("max-bytes", collect.DefaultMaxBytes, "retention budget: raw XML bytes kept before oldest are evicted (0 = unbounded)")
 	maxConns := flag.Int("max-conns", collect.DefaultMaxConns, "concurrent upload connection cap (0 = unbounded)")
+	metricsAddr := flag.String("metrics", "", "serve the Prometheus /metrics endpoint on this HTTP address (empty = disabled)")
 	flag.Parse()
 
-	if err := run(*addr, *maxDocs, *stats, *capDocs, *capBytes, *maxConns); err != nil {
+	if err := run(*addr, *maxDocs, *stats, *capDocs, *capBytes, *maxConns, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-collectd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxDocs int, showStats bool, capDocs int, capBytes int64, maxConns int) error {
+func run(addr string, maxDocs int, showStats bool, capDocs int, capBytes int64, maxConns int, metricsAddr string) error {
 	srv, err := collect.Serve(addr,
 		collect.WithMaxDocs(capDocs),
 		collect.WithMaxBytes(capBytes),
@@ -45,6 +50,22 @@ func run(addr string, maxDocs int, showStats bool, capDocs int, capBytes int64, 
 	}
 	defer srv.Close()
 	fmt.Printf("healers-collectd listening on %s\n", srv.Addr())
+
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", webui.MetricsHandler(srv, nil))
+		hsrv := &http.Server{Handler: mux}
+		defer hsrv.Close()
+		go func() {
+			// Serve returns ErrServerClosed on Close; nothing to do.
+			_ = hsrv.Serve(ln)
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	interrupted := make(chan os.Signal, 1)
 	signal.Notify(interrupted, os.Interrupt)

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -12,7 +15,7 @@ import (
 func TestRunReceivesAndExits(t *testing.T) {
 	done := make(chan error, 1)
 	addr := "127.0.0.1:39917"
-	go func() { done <- run(addr, 2, true, 0, 0, 0) }()
+	go func() { done <- run(addr, 2, true, 0, 0, 0, "") }()
 
 	// Upload two profiles; run() must return after the second.
 	st := gen.NewState("libhealers_prof.so")
@@ -40,7 +43,7 @@ func TestRunReceivesAndExits(t *testing.T) {
 func TestRunWithRetentionBudget(t *testing.T) {
 	done := make(chan error, 1)
 	addr := "127.0.0.1:39918"
-	go func() { done <- run(addr, 3, true, 1, 0, 4) }()
+	go func() { done <- run(addr, 3, true, 1, 0, 4, "") }()
 
 	// Three uploads against a one-document budget: run() must still see
 	// all three arrive (the cumulative counter drives -max, not the
@@ -65,7 +68,80 @@ func TestRunWithRetentionBudget(t *testing.T) {
 }
 
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.0.0.1:bad", 1, false, 0, 0, 0); err == nil {
+	if err := run("256.0.0.1:bad", 1, false, 0, 0, 0, ""); err == nil {
 		t.Error("bad address accepted")
+	}
+	if err := run("127.0.0.1:0", 1, false, 0, 0, 0, "256.0.0.1:bad"); err == nil {
+		t.Error("bad metrics address accepted")
+	}
+}
+
+// TestRunMetricsEndpoint is the acceptance check for the observability
+// layer: two clients upload profiles carrying latency histograms and
+// errno counts, and a Prometheus scrape of -metrics returns them
+// aggregated across both.
+func TestRunMetricsEndpoint(t *testing.T) {
+	done := make(chan error, 1)
+	addr := "127.0.0.1:39919"
+	metricsAddr := "127.0.0.1:39920"
+	go func() { done <- run(addr, 3, false, 0, 0, 0, metricsAddr) }()
+
+	// Two clients: each builds a quiesced wrapper state with latency
+	// samples in bucket 5 (32..63 ns) and an ENOENT for open.
+	for i, calls := range []uint64{2, 3} {
+		st := gen.NewState("libhealers_prof.so")
+		idx := st.Index("strlen")
+		st.CallCount[idx] = calls
+		st.ExecHist[idx][5] = calls
+		st.ExecTime[idx] = time.Duration(40 * calls)
+		oidx := st.Index("open")
+		st.CallCount[oidx] = 1
+		st.FuncErrno[oidx][2] = 1 // ENOENT
+		var err error
+		for try := 0; try < 100; try++ {
+			if err = collect.Upload(addr, xmlrep.NewProfileLog("h", "a", st)); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+	}
+
+	var body string
+	for try := 0; try < 100; try++ {
+		resp, err := http.Get("http://" + metricsAddr + "/metrics")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			body = string(b)
+			if strings.Contains(body, `healers_calls_total{function="strlen"} 5`) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, want := range []string{
+		`healers_calls_total{function="strlen"} 5`,
+		`healers_latency_ns_bucket{function="strlen",le="63"} 5`,
+		`healers_latency_ns_bucket{function="strlen",le="+Inf"} 5`,
+		`healers_latency_ns_count{function="strlen"} 5`,
+		`healers_errno_total{function="open",errno="ENOENT"} 2`,
+		`healers_ingest_docs_received_total 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+
+	// A third upload satisfies -max 3 and lets run() exit.
+	st := gen.NewState("libhealers_prof.so")
+	st.CallCount[st.Index("strlen")] = 1
+	if err := collect.Upload(addr, xmlrep.NewProfileLog("h", "a", st)); err != nil {
+		t.Fatalf("final upload: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
 	}
 }

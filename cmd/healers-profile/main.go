@@ -9,6 +9,8 @@
 //
 //	healers-profile -app textutil -stdin "some input text"
 //	healers-profile -app stress -argv "200" -xml
+//	healers-profile -app stress -histograms        # latency percentiles
+//	healers-profile -app textutil -trace           # recent-call ring
 //	healers-profile -app stress -collect 127.0.0.1:7099 -retries 5
 //	healers-profile -app stress -collect 127.0.0.1:7099 -spool
 package main
@@ -30,19 +32,21 @@ func main() {
 	stdin := flag.String("stdin", "the quick brown fox\njumps over the lazy dog\n", "standard input for the run")
 	argv := flag.String("argv", "", "whitespace-separated arguments passed to the program")
 	asXML := flag.Bool("xml", false, "print the XML profile log instead of the report")
+	histograms := flag.Bool("histograms", false, "also print per-function latency histograms with p50/p90/p99/max")
+	trace := flag.Bool("trace", false, "also print the bounded ring of most recent intercepted calls")
 	collectAddr := flag.String("collect", "", "upload the XML log to this collection server")
 	retries := flag.Int("retries", 0, "retry a failed upload this many times with exponential backoff")
 	spool := flag.Bool("spool", false, "upload through the async spooler, waiting up to -spool-wait for delivery")
 	spoolWait := flag.Duration("spool-wait", 10*time.Second, "how long -spool waits for the collector before giving up")
 	flag.Parse()
 
-	if err := run(*app, *stdin, *argv, *asXML, *collectAddr, *retries, *spool, *spoolWait); err != nil {
+	if err := run(*app, *stdin, *argv, *asXML, *histograms, *trace, *collectAddr, *retries, *spool, *spoolWait); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-profile:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app, stdin, argv string, asXML bool, collectAddr string, retries int, spool bool, spoolWait time.Duration) error {
+func run(app, stdin, argv string, asXML, histograms, trace bool, collectAddr string, retries int, spool bool, spoolWait time.Duration) error {
 	tk, err := healers.NewToolkit()
 	if err != nil {
 		return err
@@ -66,6 +70,12 @@ func run(app, stdin, argv string, asXML bool, collectAddr string, retries int, s
 		os.Stdout.Write(data)
 	} else {
 		fmt.Print(healers.RenderProfile(rr.Profile))
+	}
+	if histograms {
+		fmt.Printf("\n%s", healers.RenderHistograms(rr.Profile))
+	}
+	if trace {
+		fmt.Printf("\n%s", healers.RenderTrace(rr.Profile))
 	}
 	if collectAddr != "" {
 		if err := upload(collectAddr, rr.Profile, retries, spool, spoolWait); err != nil {

@@ -8,9 +8,11 @@
 // Usage:
 //
 //	healers-web -addr 127.0.0.1:8088 -collect 127.0.0.1:7099
+//	healers-web -campaign libm.so.6       # campaign stats on /metrics
 //
 // then point a browser at http://127.0.0.1:8088/ and upload profiles with
-// healers-profile -collect 127.0.0.1:7099.
+// healers-profile -collect 127.0.0.1:7099. The Prometheus scrape endpoint
+// is http://127.0.0.1:8088/metrics.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"healers"
 	"healers/internal/collect"
+	"healers/internal/inject"
 	"healers/internal/webui"
 )
 
@@ -29,15 +32,16 @@ func main() {
 	collectAddr := flag.String("collect", "127.0.0.1:7099", "collection server listen address (empty to disable)")
 	capDocs := flag.Int("max-docs", collect.DefaultMaxDocs, "collection retention budget: documents kept before oldest are evicted (0 = unbounded)")
 	capBytes := flag.Int64("max-bytes", collect.DefaultMaxBytes, "collection retention budget: raw XML bytes kept (0 = unbounded)")
+	campaign := flag.String("campaign", "", "run a background fault-injection campaign against this library and export its throughput on /metrics (empty = none)")
 	flag.Parse()
-	if err := run(*addr, *collectAddr, *capDocs, *capBytes, true); err != nil {
+	if err := run(*addr, *collectAddr, *capDocs, *capBytes, *campaign, true); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-web:", err)
 		os.Exit(1)
 	}
 }
 
 // run starts both servers; when wait is true it blocks until interrupted.
-func run(addr, collectAddr string, capDocs int, capBytes int64, wait bool) error {
+func run(addr, collectAddr string, capDocs int, capBytes int64, campaign string, wait bool) error {
 	tk, err := healers.NewToolkit()
 	if err != nil {
 		return err
@@ -62,7 +66,31 @@ func run(addr, collectAddr string, capDocs int, capBytes int64, wait bool) error
 	defer ui.Close()
 	fmt.Printf("web interface on http://%s/\n", ui.Addr())
 
+	// The campaign runs in the background so the UI is reachable while it
+	// sweeps; its throughput lands on /metrics via the stats sink.
+	campaignDone := make(chan error, 1)
+	if campaign != "" {
+		go func() {
+			_, err := tk.Inject(campaign,
+				inject.WithWorkers(0), // GOMAXPROCS
+				inject.WithStatsSink(ui.Campaign().Sink()))
+			if err != nil {
+				campaignDone <- fmt.Errorf("campaign against %s: %w", campaign, err)
+				return
+			}
+			fmt.Printf("campaign against %s finished; see /metrics\n", campaign)
+			campaignDone <- nil
+		}()
+	} else {
+		close(campaignDone)
+	}
+
 	if !wait {
+		// Surface a campaign startup error (unknown library) to callers
+		// even without blocking on the interrupt signal.
+		if campaign != "" {
+			return <-campaignDone
+		}
 		return nil
 	}
 	interrupted := make(chan os.Signal, 1)

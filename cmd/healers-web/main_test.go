@@ -5,19 +5,30 @@ import "testing"
 // The HTTP behaviour itself is covered by internal/webui's tests; here we
 // pin run()'s wiring: successful startup/shutdown and address validation.
 func TestRunStartupAndErrors(t *testing.T) {
-	if err := run("127.0.0.1:0", "127.0.0.1:0", 0, 0, false); err != nil {
+	if err := run("127.0.0.1:0", "127.0.0.1:0", 0, 0, "", false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("127.0.0.1:0", "", 0, 0, false); err != nil {
+	if err := run("127.0.0.1:0", "", 0, 0, "", false); err != nil {
 		t.Fatalf("run without collector: %v", err)
 	}
-	if err := run("127.0.0.1:0", "127.0.0.1:0", 16, 1<<20, false); err != nil {
+	if err := run("127.0.0.1:0", "127.0.0.1:0", 16, 1<<20, "", false); err != nil {
 		t.Fatalf("run with retention budget: %v", err)
 	}
-	if err := run("256.256.256.256:0", "", 0, 0, false); err == nil {
+	if err := run("256.256.256.256:0", "", 0, 0, "", false); err == nil {
 		t.Error("bad HTTP address accepted")
 	}
-	if err := run("127.0.0.1:0", "256.256.256.256:0", 0, 0, false); err == nil {
+	if err := run("127.0.0.1:0", "256.256.256.256:0", 0, 0, "", false); err == nil {
 		t.Error("bad collect address accepted")
+	}
+}
+
+// TestRunBackgroundCampaign pins the -campaign wiring: a sweep against
+// libm completes and an unknown library is reported as an error.
+func TestRunBackgroundCampaign(t *testing.T) {
+	if err := run("127.0.0.1:0", "", 0, 0, "libm.so.6", false); err != nil {
+		t.Fatalf("run with campaign: %v", err)
+	}
+	if err := run("127.0.0.1:0", "", 0, 0, "libnope.so", false); err == nil {
+		t.Error("campaign against unknown library accepted")
 	}
 }

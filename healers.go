@@ -108,4 +108,9 @@ var (
 	RenderCampaignStats = core.RenderCampaignStats
 	// RenderAppScan renders the Fig. 4 application view.
 	RenderAppScan = core.RenderAppScan
+	// RenderHistograms renders a profile's per-function latency
+	// histograms with p50/p90/p99/max derived from the log2 buckets.
+	RenderHistograms = core.RenderHistograms
+	// RenderTrace renders a profile's bounded call-trace ring.
+	RenderTrace = core.RenderTrace
 )

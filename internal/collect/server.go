@@ -11,8 +11,119 @@ import (
 	"syscall"
 	"time"
 
+	"healers/internal/gen"
 	"healers/internal/xmlrep"
 )
+
+// FuncAggregate is one wrapped function's fleet-wide totals, merged across
+// every profile document the server has received.
+type FuncAggregate struct {
+	// Calls is the total call count.
+	Calls uint64
+	// ExecNS is the total time spent in the function, nanoseconds.
+	ExecNS int64
+	// Denied counts calls vetoed by a checking micro-generator.
+	Denied uint64
+	// Passed counts calls that cleared every installed check.
+	Passed uint64
+	// Substituted counts calls routed through a bounded substitution.
+	Substituted uint64
+	// Hist is the dense log2 latency histogram (gen.HistBuckets buckets),
+	// or nil when no uploaded profile carried latency data for this
+	// function (pre-observability clients).
+	Hist []uint64
+	// Errnos maps errno name to the number of calls that set it.
+	Errnos map[string]uint64
+}
+
+// FleetAggregate is the server's streaming profile aggregate: per-function
+// totals, the cross-function errno distribution, and the overflow count,
+// all maintained incrementally at ingest time. It covers every profile
+// ever received, even after the raw XML has been evicted.
+type FleetAggregate struct {
+	// Funcs maps function name to its merged totals.
+	Funcs map[string]*FuncAggregate
+	// Global maps errno name to its cross-function count.
+	Global map[string]uint64
+	// Overflows sums detected canary/bound violations.
+	Overflows uint64
+}
+
+func newFleetAggregate() *FleetAggregate {
+	return &FleetAggregate{
+		Funcs:  make(map[string]*FuncAggregate),
+		Global: make(map[string]uint64),
+	}
+}
+
+// merge folds one parsed profile into the aggregate. Latency buckets are
+// merged element-wise — the log2 layout makes a fleet-wide percentile an
+// O(buckets) read (gen.HistQuantileNS) instead of a re-parse.
+func (a *FleetAggregate) merge(prof *xmlrep.ProfileLog) {
+	for _, f := range prof.Funcs {
+		fa := a.Funcs[f.Name]
+		if fa == nil {
+			fa = &FuncAggregate{}
+			a.Funcs[f.Name] = fa
+		}
+		fa.Calls += f.Calls
+		fa.ExecNS += f.ExecNS
+		fa.Denied += f.Denied
+		fa.Passed += f.Passed
+		fa.Substituted += f.Substituted
+		if f.Latency != nil {
+			for _, b := range f.Latency.Buckets {
+				if b.Bucket < 0 || b.Bucket >= gen.HistBuckets {
+					continue
+				}
+				if fa.Hist == nil {
+					fa.Hist = make([]uint64, gen.HistBuckets)
+				}
+				fa.Hist[b.Bucket] += b.Count
+			}
+		}
+		for _, e := range f.Errnos {
+			if fa.Errnos == nil {
+				fa.Errnos = make(map[string]uint64)
+			}
+			fa.Errnos[e.Errno] += e.Count
+		}
+	}
+	for _, e := range prof.Global {
+		a.Global[e.Errno] += e.Count
+	}
+	a.Overflows += prof.Overflows
+}
+
+// clone deep-copies the aggregate so callers can read it without holding
+// the server lock.
+func (a *FleetAggregate) clone() *FleetAggregate {
+	out := newFleetAggregate()
+	out.Overflows = a.Overflows
+	for fn, fa := range a.Funcs {
+		c := &FuncAggregate{
+			Calls:       fa.Calls,
+			ExecNS:      fa.ExecNS,
+			Denied:      fa.Denied,
+			Passed:      fa.Passed,
+			Substituted: fa.Substituted,
+		}
+		if fa.Hist != nil {
+			c.Hist = append([]uint64(nil), fa.Hist...)
+		}
+		if fa.Errnos != nil {
+			c.Errnos = make(map[string]uint64, len(fa.Errnos))
+			for e, n := range fa.Errnos {
+				c.Errnos[e] = n
+			}
+		}
+		out.Funcs[fn] = c
+	}
+	for e, n := range a.Global {
+		out.Global[e] = n
+	}
+	return out
+}
 
 // Server defaults; each has a matching Option to override.
 const (
@@ -90,7 +201,7 @@ type Server struct {
 	head  int
 	bytes int64 // raw XML bytes retained
 	next  uint64
-	agg   map[string]uint64         // streaming per-function call totals
+	fleet *FleetAggregate           // streaming per-function profile totals
 	kinds map[xmlrep.DocKind]uint64 // per-kind received counts
 	stats Stats
 	conns map[net.Conn]struct{}
@@ -121,7 +232,7 @@ func Serve(addr string, opts ...Option) (*Server, error) {
 	s := &Server{
 		ln:     ln,
 		cfg:    cfg,
-		agg:    make(map[string]uint64),
+		fleet:  newFleetAggregate(),
 		kinds:  make(map[xmlrep.DocKind]uint64),
 		conns:  make(map[net.Conn]struct{}),
 		closed: make(chan struct{}),
@@ -309,9 +420,7 @@ func (s *Server) store(from string, data []byte) {
 	s.stats.BytesReceived += uint64(len(data))
 	s.kinds[kind]++
 	if prof != nil {
-		for _, f := range prof.Funcs {
-			s.agg[f.Name] += f.Calls
-		}
+		s.fleet.merge(prof)
 	}
 	s.evictLocked()
 }
@@ -419,11 +528,21 @@ func (s *Server) Profiles() ([]*xmlrep.ProfileLog, error) {
 func (s *Server) AggregateCalls() (map[string]uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[string]uint64, len(s.agg))
-	for fn, n := range s.agg {
-		out[fn] = n
+	out := make(map[string]uint64, len(s.fleet.Funcs))
+	for fn, fa := range s.fleet.Funcs {
+		out[fn] = fa.Calls
 	}
 	return out, nil
+}
+
+// Aggregate snapshots the full streaming profile aggregate: per-function
+// call/latency/errno/outcome totals plus the global errno distribution.
+// Like AggregateCalls it is maintained at ingest time — a deep copy, not
+// a re-parse — and survives eviction of the raw documents.
+func (s *Server) Aggregate() *FleetAggregate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleet.clone()
 }
 
 // AggregateCallsFull recomputes the call aggregate by re-parsing every

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"healers/internal/gen"
 	"healers/internal/inject"
 	"healers/internal/xmlrep"
 )
@@ -89,6 +90,66 @@ func RenderProfile(log *xmlrep.ProfileLog) string {
 	}
 	if log.Overflows > 0 {
 		fmt.Fprintf(&b, "\noverflows detected: %d\n", log.Overflows)
+	}
+	return b.String()
+}
+
+// RenderHistograms renders a profile document's per-function latency
+// histograms as percentile tables — the healers-profile -histograms
+// view. Quantiles are derived from the log2 buckets (each value is the
+// containing bucket's upper bound), so the output is reproducible from
+// the raw XML document alone.
+func RenderHistograms(log *xmlrep.ProfileLog) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency histograms of %s on %s (wrapper %s)\n", log.App, log.Host, log.Wrapper)
+	wrote := false
+	for _, f := range log.Funcs {
+		h := f.LatencyDense()
+		total := gen.HistTotal(h)
+		if total == 0 {
+			continue
+		}
+		wrote = true
+		fmt.Fprintf(&b, "\n%s: %d timed calls, p50 ≤ %s, p90 ≤ %s, p99 ≤ %s, max ≤ %s\n",
+			f.Name, total,
+			gen.FormatNS(gen.HistQuantileNS(h, 0.50)),
+			gen.FormatNS(gen.HistQuantileNS(h, 0.90)),
+			gen.FormatNS(gen.HistQuantileNS(h, 0.99)),
+			gen.FormatNS(gen.HistQuantileNS(h, 1)))
+		var maxCount uint64
+		for _, c := range h {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		for i, c := range h {
+			if c == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  ≤ %-8s %8d %s\n", gen.FormatNS(gen.HistUpperNS(i)), c, bar(c, maxCount))
+		}
+	}
+	if !wrote {
+		b.WriteString("\nno latency samples recorded\n")
+	}
+	return b.String()
+}
+
+// RenderTrace renders a profile document's call-trace ring — the
+// healers-profile -trace view: the most recent intercepted calls with
+// arguments, duration, and outcome, oldest first.
+func RenderTrace(log *xmlrep.ProfileLog) string {
+	var b strings.Builder
+	trace := log.TraceEntries()
+	fmt.Fprintf(&b, "call trace of %s on %s (wrapper %s, %d most recent calls)\n",
+		log.App, log.Host, log.Wrapper, len(trace))
+	if len(trace) == 0 {
+		b.WriteString("\nno calls traced (wrapper built without the trace micro-generator?)\n")
+		return b.String()
+	}
+	b.WriteByte('\n')
+	for _, t := range trace {
+		fmt.Fprintf(&b, "  #%-6d %s(%s) = %s in %s\n", t.Seq, t.Func, t.Args, t.Outcome, gen.FormatNS(t.DurNS))
 	}
 	return b.String()
 }

@@ -45,6 +45,9 @@ type CallCtx struct {
 	FuncIndex int
 	// start is the exectime micro-generator's timestamp.
 	start time.Time
+	// traceStart is the trace micro-generator's timestamp, kept separate
+	// from start so either micro-generator composes without the other.
+	traceStart time.Time
 	// errnoAt tracks errno snapshots keyed by micro-generator name.
 	errnoAt map[string]int32
 }
@@ -91,16 +94,34 @@ type State struct {
 	CallCount []uint64
 	// ExecTime accumulates time spent per function index.
 	ExecTime []time.Duration
+	// ExecHist holds one log2 latency histogram per function index
+	// (HistBuckets buckets, see HistBucket); the bucket sum equals the
+	// number of calls the exectime micro-generator timed to completion.
+	ExecHist [][]uint64
 	// FuncErrno histograms errno changes per function.
 	FuncErrno [][]uint64
 	// GlobalErrno histograms errno changes across all functions.
 	GlobalErrno []uint64
 	// DeniedCount counts vetoed calls per function index.
 	DeniedCount []uint64
+	// PassedCount counts calls that ran every installed check and were
+	// let through to the original function, per function index. In a
+	// wrapper with no checking micro-generators every completed call
+	// counts as passed.
+	PassedCount []uint64
+	// SubstCount counts calls routed through a bounded substitution
+	// (BuildLibrarySubst) instead of the micro-generator composition.
+	SubstCount []uint64
 	// Overflows counts canary/bound violations detected.
 	Overflows uint64
 	// DenyLog records human-readable veto reasons (bounded).
 	DenyLog []string
+
+	// trace is the trace micro-generator's bounded ring of recent calls;
+	// traceCap its capacity and traceSeq the global call sequence.
+	trace    []TraceEntry
+	traceCap int
+	traceSeq uint64
 
 	// OnExit, when set, runs once when a wrapped process calls exit()
 	// with the exit-flush micro-generator installed — the paper's "just
@@ -129,6 +150,11 @@ func (st *State) Reset() {
 		st.CallCount[i] = 0
 		st.ExecTime[i] = 0
 		st.DeniedCount[i] = 0
+		st.PassedCount[i] = 0
+		st.SubstCount[i] = 0
+		for j := range st.ExecHist[i] {
+			st.ExecHist[i][j] = 0
+		}
 		for j := range st.FuncErrno[i] {
 			st.FuncErrno[i][j] = 0
 		}
@@ -138,6 +164,8 @@ func (st *State) Reset() {
 	}
 	st.Overflows = 0
 	st.DenyLog = nil
+	st.trace = nil
+	st.traceSeq = 0
 }
 
 // Index returns the stable index for a function name, allocating on first
@@ -153,8 +181,11 @@ func (st *State) Index(name string) int {
 	st.funcNames = append(st.funcNames, name)
 	st.CallCount = append(st.CallCount, 0)
 	st.ExecTime = append(st.ExecTime, 0)
+	st.ExecHist = append(st.ExecHist, make([]uint64, HistBuckets))
 	st.FuncErrno = append(st.FuncErrno, make([]uint64, cval.MaxErrno+1))
 	st.DeniedCount = append(st.DeniedCount, 0)
+	st.PassedCount = append(st.PassedCount, 0)
+	st.SubstCount = append(st.SubstCount, 0)
 	return i
 }
 
@@ -190,10 +221,14 @@ func (st *State) addCall(idx int) {
 	st.mu.Unlock()
 }
 
-// addExecTime accumulates time spent in a wrapped function.
-func (st *State) addExecTime(idx int, d time.Duration) {
+// addExecSample accumulates time spent in a wrapped function and bumps
+// its latency histogram bucket — one lock for both, so the total and the
+// bucket sum cannot drift apart under concurrent probes.
+func (st *State) addExecSample(idx int, d time.Duration) {
+	b := HistBucket(d)
 	st.mu.Lock()
 	st.ExecTime[idx] += d
+	st.ExecHist[idx][b]++
 	st.mu.Unlock()
 }
 
@@ -226,6 +261,66 @@ func (st *State) noteDeny(idx int, reason string) {
 		st.DenyLog = append(st.DenyLog, reason)
 	}
 	st.mu.Unlock()
+}
+
+// notePassed counts a call that cleared every installed check.
+func (st *State) notePassed(idx int) {
+	st.mu.Lock()
+	st.PassedCount[idx]++
+	st.mu.Unlock()
+}
+
+// noteSubst counts a call routed through a bounded substitution.
+func (st *State) noteSubst(idx int) {
+	st.mu.Lock()
+	st.SubstCount[idx]++
+	st.mu.Unlock()
+}
+
+// SetTraceCap arms the trace ring; the largest capacity requested by any
+// trace micro-generator sharing this state wins.
+func (st *State) SetTraceCap(n int) {
+	if n <= 0 {
+		return
+	}
+	st.mu.Lock()
+	if n > st.traceCap {
+		st.traceCap = n
+	}
+	st.mu.Unlock()
+}
+
+// AddTrace appends one call record to the bounded ring, overwriting the
+// oldest entry once the ring is full; it assigns the entry's sequence
+// number. A no-op until SetTraceCap arms the ring.
+func (st *State) AddTrace(e TraceEntry) {
+	st.mu.Lock()
+	if st.traceCap > 0 {
+		st.traceSeq++
+		e.Seq = st.traceSeq
+		if len(st.trace) < st.traceCap {
+			st.trace = append(st.trace, e)
+		} else {
+			st.trace[int((st.traceSeq-1)%uint64(st.traceCap))] = e
+		}
+	}
+	st.mu.Unlock()
+}
+
+// Trace snapshots the trace ring, oldest entry first.
+func (st *State) Trace() []TraceEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.trace) == 0 {
+		return nil
+	}
+	out := make([]TraceEntry, 0, len(st.trace))
+	if len(st.trace) < st.traceCap || st.traceCap == 0 {
+		return append(out, st.trace...)
+	}
+	head := int(st.traceSeq % uint64(st.traceCap))
+	out = append(out, st.trace[head:]...)
+	return append(out, st.trace[:head]...)
 }
 
 // errnoSlot clamps an errno to the histogram range, like the MAX_ERRNO
@@ -337,6 +432,12 @@ func (g *Generator) build(proto *ctypes.Prototype, resolve func() cval.CFunc, st
 				return 0, f
 			}
 		}
+		// Outcome accounting: a call that was not vetoed and did not
+		// fault cleared every installed check (noteDeny covered the
+		// veto case inside the checking hook).
+		if !ctx.Denied {
+			st.notePassed(idx)
+		}
 		return ctx.Ret, nil
 	}
 }
@@ -387,7 +488,7 @@ func (g *Generator) BuildLibrarySubst(soname string, protos []*ctypes.Prototype,
 		if builder, ok := subst[proto.Name]; ok && builder != nil {
 			cell := new(nextCell)
 			substCells[proto.Name] = cell
-			st.Index(proto.Name)
+			idx := st.Index(proto.Name)
 			// Trampoline: the real implementation lands in the cell
 			// at link time.
 			lib.ExportWithProto(proto, func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
@@ -395,6 +496,7 @@ func (g *Generator) BuildLibrarySubst(soname string, protos []*ctypes.Prototype,
 				if fn == nil {
 					return 0, &cmem.Fault{Kind: cmem.FaultAbort, Op: "wrapper", Detail: "substitute unresolved"}
 				}
+				st.noteSubst(idx)
 				return fn(env, args)
 			})
 			continue

@@ -124,7 +124,10 @@ func fnIndexMacro(proto *ctypes.Prototype) string {
 type exectimeGen struct{}
 
 // MGExectime measures time spent in the original function (the paper uses
-// rdtsc; the simulation uses the monotonic clock).
+// rdtsc; the simulation uses the monotonic clock). Besides the running
+// total of Figure 3 it buckets every sample into the function's log2
+// latency histogram, from which p50/p90/p99/max are derivable without
+// keeping raw samples (HistQuantileNS).
 func MGExectime() MicroGenerator { return exectimeGen{} }
 
 func (exectimeGen) Name() string { return "function exectime" }
@@ -141,6 +144,7 @@ func (exectimeGen) PostfixSource(proto *ctypes.Prototype) []string {
 	return []string{
 		"    rdtsc(exectime_end);",
 		fmt.Sprintf("    exectime[%s] += exectime_end - exectime_start;", fnIndexMacro(proto)),
+		fmt.Sprintf("    ++exectime_hist[%s][healers_log2(exectime_end - exectime_start)];", fnIndexMacro(proto)),
 	}
 }
 
@@ -153,7 +157,7 @@ func (exectimeGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 
 func (exectimeGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
-		st.addExecTime(ctx.FuncIndex, time.Since(ctx.start))
+		st.addExecSample(ctx.FuncIndex, time.Since(ctx.start))
 		return nil
 	}
 }
@@ -568,6 +572,90 @@ func (fmtCheckGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 }
 
 func (fmtCheckGen) PostfixHook(*ctypes.Prototype, *State) Hook { return nil }
+
+// ---------------------------------------------------------------------
+// trace ring
+
+type traceGen struct {
+	capacity int
+}
+
+// MGTrace keeps a bounded ring of the most recent intercepted calls —
+// function name, rendered arguments, duration, and outcome ("ok",
+// "denied", or "errno=<name>") — for post-mortem inspection
+// (healers-profile -trace). The ring holds the given number of entries;
+// when several trace micro-generators share one wrapper state the
+// largest capacity wins. Entries never leave the process unless the
+// profile document serializes them, so the overhead is one ring slot
+// write per call.
+func MGTrace(capacity int) MicroGenerator { return &traceGen{capacity: capacity} }
+
+func (*traceGen) Name() string { return "trace" }
+
+func (g *traceGen) PrefixSource(*ctypes.Prototype) []string {
+	return []string{
+		"    unsigned long long trace_start;",
+		"    int trace_err = errno;",
+		"    rdtsc(trace_start);",
+	}
+}
+
+func (g *traceGen) PostfixSource(proto *ctypes.Prototype) []string {
+	return []string{
+		"    unsigned long long trace_end;",
+		"    rdtsc(trace_end);",
+		fmt.Sprintf("    healers_trace_record(%s, trace_end - trace_start, trace_err);", fnIndexMacro(proto)),
+	}
+}
+
+// traceMaxArgs caps how many argument words one trace entry renders.
+const traceMaxArgs = 8
+
+// summarizeArgs renders a call's argument words for a trace entry.
+func summarizeArgs(args []cval.Value) string {
+	n := len(args)
+	truncated := false
+	if n > traceMaxArgs {
+		n = traceMaxArgs
+		truncated = true
+	}
+	parts := make([]string, 0, n+1)
+	for _, v := range args[:n] {
+		parts = append(parts, v.String())
+	}
+	if truncated {
+		parts = append(parts, "...")
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (g *traceGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
+	st.SetTraceCap(g.capacity)
+	return func(ctx *CallCtx) *cmem.Fault {
+		ctx.traceStart = time.Now()
+		ctx.errnoAt["trace"] = ctx.Env.Errno
+		return nil
+	}
+}
+
+func (g *traceGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
+	return func(ctx *CallCtx) *cmem.Fault {
+		outcome := "ok"
+		switch {
+		case ctx.Denied:
+			outcome = "denied"
+		case ctx.Env.Errno != ctx.errnoAt["trace"]:
+			outcome = "errno=" + cval.ErrnoName(ctx.Env.Errno)
+		}
+		st.AddTrace(TraceEntry{
+			Func:    proto.Name,
+			Args:    summarizeArgs(ctx.Args),
+			Dur:     time.Since(ctx.traceStart),
+			Outcome: outcome,
+		})
+		return nil
+	}
+}
 
 // ---------------------------------------------------------------------
 // exit flush (profiling wrapper)

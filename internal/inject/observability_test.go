@@ -1,0 +1,56 @@
+package inject
+
+import (
+	"testing"
+
+	"healers/internal/cmath"
+	"healers/internal/gen"
+	"healers/internal/wrappers"
+)
+
+// TestParallelProfilingHistogramConsistency runs the profiling wrapper
+// underneath the parallel fault-injection campaign and checks the
+// observability counters stay consistent under concurrency: for every
+// wrapped function the latency histogram's bucket sum must equal the
+// call counter — a lost increment on either side (a data race, a
+// dropped lock) breaks the equality. libm is the target because its
+// probes never fault, so every intercepted call runs both the prefix
+// (call counter) and the postfix (histogram) hook. Run under -race via
+// make check.
+func TestParallelProfilingHistogramConsistency(t *testing.T) {
+	sys := libmSystem(t)
+	libm, ok := sys.Library(cmath.Soname)
+	if !ok {
+		t.Fatalf("%s not installed", cmath.Soname)
+	}
+	wrapper, st, err := wrappers.Profiling(libm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddLibrary(wrapper); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(sys, cmath.Soname, WithPreloads(wrappers.ProfilingSoname))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunLibraryParallel(4); err != nil {
+		t.Fatalf("parallel sweep under profiling wrapper: %v", err)
+	}
+	// The campaign has quiesced; direct State field access is safe now.
+	var total uint64
+	for i, name := range st.FuncNames() {
+		calls := st.CallCount[i]
+		hist := gen.HistTotal(st.ExecHist[i])
+		if hist != calls {
+			t.Errorf("%s: histogram bucket sum %d != call counter %d (lost increments)", name, hist, calls)
+		}
+		total += calls
+	}
+	if total == 0 {
+		t.Fatal("campaign drove no calls through the profiling wrapper")
+	}
+	if st.TotalCalls() != total {
+		t.Errorf("TotalCalls = %d, want %d", st.TotalCalls(), total)
+	}
+}

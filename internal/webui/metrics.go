@@ -1,0 +1,188 @@
+package webui
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"healers/internal/collect"
+	"healers/internal/gen"
+	"healers/internal/inject"
+)
+
+// CampaignMetrics accumulates fault-injection campaign throughput for the
+// /metrics endpoint. Hand its Sink to inject.WithStatsSink and every
+// completed campaign folds its totals in; the latest run's gauges
+// (workers, probes/s, utilization) are kept alongside the cumulative
+// counters.
+type CampaignMetrics struct {
+	mu     sync.Mutex
+	runs   uint64
+	probes uint64
+	last   inject.CampaignStats
+	seen   bool
+}
+
+// Sink returns the callback to pass to inject.WithStatsSink; it may be
+// invoked from any goroutine.
+func (m *CampaignMetrics) Sink() func(*inject.CampaignStats) {
+	return func(st *inject.CampaignStats) {
+		if st == nil {
+			return
+		}
+		m.mu.Lock()
+		m.runs++
+		m.probes += uint64(st.Probes)
+		m.last = *st
+		m.seen = true
+		m.mu.Unlock()
+	}
+}
+
+// snapshot copies the accumulated state.
+func (m *CampaignMetrics) snapshot() (runs, probes uint64, last inject.CampaignStats, seen bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runs, m.probes, m.last, m.seen
+}
+
+// MetricsHandler serves the Prometheus text exposition format over the
+// collection server's streaming fleet aggregate and, when camp is
+// non-nil, the campaign throughput counters. Both healers-web and
+// healers-collectd mount it, so one scrape config covers either daemon.
+// col may be nil (no collection server attached); the profile metric
+// families are then omitted.
+func MetricsHandler(col *collect.Server, camp *CampaignMetrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		if col != nil {
+			writeProfileMetrics(&b, col)
+			writeIngestMetrics(&b, col)
+		}
+		if camp != nil {
+			writeCampaignMetrics(&b, camp)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, b.String())
+	})
+}
+
+// promLabel escapes a Prometheus label value.
+func promLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// sortedFuncs returns the aggregate's function names in stable order.
+func sortedFuncs(agg *collect.FleetAggregate) []string {
+	names := make([]string, 0, len(agg.Funcs))
+	for fn := range agg.Funcs {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func writeProfileMetrics(b *strings.Builder, col *collect.Server) {
+	agg := col.Aggregate()
+	names := sortedFuncs(agg)
+
+	b.WriteString("# HELP healers_calls_total Calls intercepted per wrapped function, fleet-wide.\n")
+	b.WriteString("# TYPE healers_calls_total counter\n")
+	for _, fn := range names {
+		fmt.Fprintf(b, "healers_calls_total{function=%q} %d\n", promLabel(fn), agg.Funcs[fn].Calls)
+	}
+
+	b.WriteString("# HELP healers_latency_ns Per-call wall time of wrapped functions, log2-bucketed at capture.\n")
+	b.WriteString("# TYPE healers_latency_ns histogram\n")
+	for _, fn := range names {
+		fa := agg.Funcs[fn]
+		if fa.Hist == nil {
+			continue
+		}
+		var cum uint64
+		for i, c := range fa.Hist {
+			cum += c
+			// The cumulative encoding only changes where a sample
+			// landed; emit those boundaries and let the final +Inf
+			// line cover everything else (including the unbounded
+			// last bucket).
+			if c == 0 || i == gen.HistBuckets-1 {
+				continue
+			}
+			fmt.Fprintf(b, "healers_latency_ns_bucket{function=%q,le=\"%d\"} %d\n", promLabel(fn), gen.HistUpperNS(i), cum)
+		}
+		total := gen.HistTotal(fa.Hist)
+		fmt.Fprintf(b, "healers_latency_ns_bucket{function=%q,le=\"+Inf\"} %d\n", promLabel(fn), total)
+		fmt.Fprintf(b, "healers_latency_ns_sum{function=%q} %d\n", promLabel(fn), fa.ExecNS)
+		fmt.Fprintf(b, "healers_latency_ns_count{function=%q} %d\n", promLabel(fn), total)
+	}
+
+	b.WriteString("# HELP healers_errno_total Calls that set errno, per function and errno name.\n")
+	b.WriteString("# TYPE healers_errno_total counter\n")
+	for _, fn := range names {
+		fa := agg.Funcs[fn]
+		errnos := make([]string, 0, len(fa.Errnos))
+		for e := range fa.Errnos {
+			errnos = append(errnos, e)
+		}
+		sort.Strings(errnos)
+		for _, e := range errnos {
+			fmt.Fprintf(b, "healers_errno_total{function=%q,errno=%q} %d\n", promLabel(fn), promLabel(e), fa.Errnos[e])
+		}
+	}
+
+	b.WriteString("# HELP healers_check_outcome_total Wrapper check outcomes per function: passed, denied, or substituted.\n")
+	b.WriteString("# TYPE healers_check_outcome_total counter\n")
+	for _, fn := range names {
+		fa := agg.Funcs[fn]
+		for _, oc := range []struct {
+			name  string
+			count uint64
+		}{{"passed", fa.Passed}, {"denied", fa.Denied}, {"substituted", fa.Substituted}} {
+			if oc.count == 0 {
+				continue
+			}
+			fmt.Fprintf(b, "healers_check_outcome_total{function=%q,outcome=%q} %d\n", promLabel(fn), oc.name, oc.count)
+		}
+	}
+
+	b.WriteString("# HELP healers_overflows_total Canary and bound violations detected fleet-wide.\n")
+	b.WriteString("# TYPE healers_overflows_total counter\n")
+	fmt.Fprintf(b, "healers_overflows_total %d\n", agg.Overflows)
+}
+
+func writeIngestMetrics(b *strings.Builder, col *collect.Server) {
+	st := col.Stats()
+	for _, m := range []struct {
+		name, help string
+		value      uint64
+	}{
+		{"healers_ingest_docs_received_total", "Documents stored and aggregated.", st.DocsReceived},
+		{"healers_ingest_bytes_received_total", "Raw XML bytes of stored documents.", st.BytesReceived},
+		{"healers_ingest_docs_rejected_total", "Unknown kinds and unparseable profiles.", st.DocsRejected},
+		{"healers_ingest_frames_rejected_total", "Bad lengths, truncated or timed-out frame bodies.", st.FramesRejected},
+		{"healers_ingest_docs_evicted_total", "Documents dropped by the retention budget.", st.DocsEvicted},
+		{"healers_ingest_conns_accepted_total", "Upload connections admitted to a handler.", st.ConnsAccepted},
+		{"healers_ingest_conns_rejected_total", "Upload connections closed by the connection cap.", st.ConnsRejected},
+	} {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
+	}
+	fmt.Fprintf(b, "# HELP healers_ingest_docs_retained Documents currently held.\n# TYPE healers_ingest_docs_retained gauge\nhealers_ingest_docs_retained %d\n", st.DocsRetained)
+	fmt.Fprintf(b, "# HELP healers_ingest_active_conns Upload connections currently served.\n# TYPE healers_ingest_active_conns gauge\nhealers_ingest_active_conns %d\n", st.ActiveConns)
+}
+
+func writeCampaignMetrics(b *strings.Builder, camp *CampaignMetrics) {
+	runs, probes, last, seen := camp.snapshot()
+	fmt.Fprintf(b, "# HELP healers_campaign_runs_total Fault-injection campaigns completed.\n# TYPE healers_campaign_runs_total counter\nhealers_campaign_runs_total %d\n", runs)
+	fmt.Fprintf(b, "# HELP healers_campaign_probes_total Probe processes executed across all campaigns.\n# TYPE healers_campaign_probes_total counter\nhealers_campaign_probes_total %d\n", probes)
+	if !seen {
+		return
+	}
+	fmt.Fprintf(b, "# HELP healers_campaign_workers Worker pool size of the most recent campaign.\n# TYPE healers_campaign_workers gauge\nhealers_campaign_workers %d\n", last.Workers)
+	fmt.Fprintf(b, "# HELP healers_campaign_probes_per_second Throughput of the most recent campaign.\n# TYPE healers_campaign_probes_per_second gauge\nhealers_campaign_probes_per_second %g\n", last.ProbesPerSec)
+	fmt.Fprintf(b, "# HELP healers_campaign_utilization Worker utilization of the most recent campaign (1.0 = no idle).\n# TYPE healers_campaign_utilization gauge\nhealers_campaign_utilization %g\n", last.Utilization)
+}

@@ -16,29 +16,36 @@ import (
 
 	"healers/internal/collect"
 	"healers/internal/core"
+	"healers/internal/gen"
 	"healers/internal/xmlrep"
 )
 
 // Server is the toolkit's web front end.
 type Server struct {
-	tk  *core.Toolkit
-	col *collect.Server // optional: received profiles
-	mux *http.ServeMux
-	ln  net.Listener
-	srv *http.Server
+	tk   *core.Toolkit
+	col  *collect.Server // optional: received profiles
+	camp *CampaignMetrics
+	mux  *http.ServeMux
+	ln   net.Listener
+	srv  *http.Server
 }
 
 // New builds the front end over a toolkit; col may be nil when no
 // collection server is attached.
 func New(tk *core.Toolkit, col *collect.Server) *Server {
-	s := &Server{tk: tk, col: col, mux: http.NewServeMux()}
+	s := &Server{tk: tk, col: col, camp: &CampaignMetrics{}, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/library", s.handleLibrary)
 	s.mux.HandleFunc("/library.xml", s.handleLibraryXML)
 	s.mux.HandleFunc("/app", s.handleApp)
 	s.mux.HandleFunc("/profiles", s.handleProfiles)
+	s.mux.Handle("/metrics", MetricsHandler(col, s.camp))
 	return s
 }
+
+// Campaign returns the server's campaign metrics accumulator; pass its
+// Sink to inject.WithStatsSink so campaign throughput shows on /metrics.
+func (s *Server) Campaign() *CampaignMetrics { return s.camp }
 
 // Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
 // serves in the background.
@@ -189,11 +196,7 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	agg, err := s.col.AggregateCalls()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
+	agg := s.col.Aggregate()
 	page(w, "received profiles", func(b *strings.Builder) {
 		s.writeIngestStats(b)
 		s.writeAggregate(b, agg)
@@ -273,13 +276,15 @@ func (s *Server) writeIngestStats(b *strings.Builder) {
 	b.WriteString("</table>")
 }
 
-// writeAggregate renders the streaming per-function call aggregate — the
-// server-side Figure 5 view, maintained at ingest time so it covers every
-// profile ever received, evicted or not.
-func (s *Server) writeAggregate(b *strings.Builder, agg map[string]uint64) {
-	names := make([]string, 0, len(agg))
-	for fn := range agg {
-		if agg[fn] > 0 {
+// writeAggregate renders the streaming fleet aggregate — the server-side
+// Figure 5 view, maintained at ingest time so it covers every profile
+// ever received, evicted or not: per-function call counts, latency
+// percentiles derived from the merged log2 histograms, and the errno
+// distribution.
+func (s *Server) writeAggregate(b *strings.Builder, agg *collect.FleetAggregate) {
+	names := make([]string, 0, len(agg.Funcs))
+	for fn, fa := range agg.Funcs {
+		if fa.Calls > 0 {
 			names = append(names, fn)
 		}
 	}
@@ -287,14 +292,59 @@ func (s *Server) writeAggregate(b *strings.Builder, agg map[string]uint64) {
 		return
 	}
 	sort.Slice(names, func(i, j int) bool {
-		if agg[names[i]] != agg[names[j]] {
-			return agg[names[i]] > agg[names[j]]
+		ci, cj := agg.Funcs[names[i]].Calls, agg.Funcs[names[j]].Calls
+		if ci != cj {
+			return ci > cj
 		}
 		return names[i] < names[j]
 	})
-	b.WriteString("<h2>aggregate call counts</h2><table><tr><th>function</th><th>calls</th></tr>")
+	b.WriteString("<h2>aggregate call counts</h2><table><tr><th>function</th><th>calls</th><th>denied</th></tr>")
 	for _, fn := range names {
-		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td></tr>", html.EscapeString(fn), agg[fn])
+		fa := agg.Funcs[fn]
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td></tr>", html.EscapeString(fn), fa.Calls, fa.Denied)
 	}
 	b.WriteString("</table>")
+
+	hasHist := false
+	for _, fn := range names {
+		fa := agg.Funcs[fn]
+		if fa.Hist == nil || gen.HistTotal(fa.Hist) == 0 {
+			continue
+		}
+		if !hasHist {
+			b.WriteString("<h2>fleet latency (merged log2 histograms)</h2>" +
+				"<table><tr><th>function</th><th>samples</th><th>p50 ≤</th><th>p90 ≤</th><th>p99 ≤</th><th>max ≤</th></tr>")
+			hasHist = true
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>",
+			html.EscapeString(fn), gen.HistTotal(fa.Hist),
+			gen.FormatNS(gen.HistQuantileNS(fa.Hist, 0.50)),
+			gen.FormatNS(gen.HistQuantileNS(fa.Hist, 0.90)),
+			gen.FormatNS(gen.HistQuantileNS(fa.Hist, 0.99)),
+			gen.FormatNS(gen.HistQuantileNS(fa.Hist, 1)))
+	}
+	if hasHist {
+		b.WriteString("</table>")
+	}
+
+	hasErr := false
+	for _, fn := range names {
+		fa := agg.Funcs[fn]
+		errnos := make([]string, 0, len(fa.Errnos))
+		for e := range fa.Errnos {
+			errnos = append(errnos, e)
+		}
+		sort.Strings(errnos)
+		for _, e := range errnos {
+			if !hasErr {
+				b.WriteString("<h2>fleet errno distribution</h2><table><tr><th>function</th><th>errno</th><th>count</th></tr>")
+				hasErr = true
+			}
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%d</td></tr>",
+				html.EscapeString(fn), html.EscapeString(e), fa.Errnos[e])
+		}
+	}
+	if hasErr {
+		b.WriteString("</table>")
+	}
 }

@@ -87,21 +87,42 @@ func Security(target *simelf.Library, names []string) (*simelf.Library, *gen.Sta
 	return g.BuildLibrary(SecuritySoname, protos, st), st, nil
 }
 
-// Profiling builds the profiling wrapper of Figure 3/Figure 5: call
-// counts, execution time, per-function and global errno histograms.
-// names == nil wraps the whole library.
+// DefaultTraceDepth is the call-trace ring capacity of the profiling
+// wrapper built by Profiling: the number of most recent intercepted
+// calls retained for post-mortem inspection (healers-profile -trace).
+const DefaultTraceDepth = 256
+
+// Profiling builds the profiling wrapper of Figure 3/Figure 5 extended
+// with the observability layer: call counts, execution time plus
+// per-function log2 latency histograms, per-function and global errno
+// histograms, and a bounded ring of recent call traces
+// (DefaultTraceDepth entries). names == nil wraps the whole library.
 func Profiling(target *simelf.Library, names []string) (*simelf.Library, *gen.State, error) {
 	protos, err := protosOf(target, names)
 	if err != nil {
 		return nil, nil, err
 	}
-	g := ProfilingGenerator()
+	g := gen.MustGenerator(
+		gen.MGPrototype(),
+		// Declared right after the prototype so its postfix runs last:
+		// the flush sees every other micro-generator's final counters.
+		gen.MGExitFlush(),
+		// Trace wraps the timing micro-generators so its recorded
+		// duration and outcome cover the whole intercepted call.
+		gen.MGTrace(DefaultTraceDepth),
+		gen.MGExectime(),
+		gen.MGCollectErrors(),
+		gen.MGFuncErrors(),
+		gen.MGCallCounter(),
+		gen.MGCaller(),
+	)
 	st := gen.NewState(ProfilingSoname)
 	return g.BuildLibrary(ProfilingSoname, protos, st), st, nil
 }
 
-// ProfilingGenerator exposes the profiling micro-generator composition —
-// the exact stack of the paper's Figure 3 wctrans listing.
+// ProfilingGenerator exposes the paper-faithful profiling micro-generator
+// composition — the exact stack of the paper's Figure 3 wctrans listing,
+// without the trace ring (used for rendering the Figure 3 source).
 func ProfilingGenerator() *gen.Generator {
 	return gen.MustGenerator(
 		gen.MGPrototype(),

@@ -1,0 +1,134 @@
+package xmlrep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"healers/internal/gen"
+)
+
+// TestPreObservabilityGolden proves old profile documents stay
+// parse-compatible: the golden file was emitted by the serializer BEFORE
+// the observability fields (latency histograms, outcome counters, trace)
+// existed, and must still parse to the same totals with the new fields at
+// their zero values.
+func TestPreObservabilityGolden(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "profile_pre_observability.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, err := Kind(data)
+	if err != nil || kind != KindProfile {
+		t.Fatalf("Kind = %v, %v; want profile", kind, err)
+	}
+	log, err := Unmarshal[ProfileLog](data)
+	if err != nil {
+		t.Fatalf("old document no longer parses: %v", err)
+	}
+	if log.TotalCalls() != 54 {
+		t.Errorf("TotalCalls = %d, want 54", log.TotalCalls())
+	}
+	wantFuncs := map[string]uint64{"strlen": 42, "open": 7, "strcpy": 5}
+	for _, f := range log.Funcs {
+		if f.Calls != wantFuncs[f.Name] {
+			t.Errorf("%s calls = %d, want %d", f.Name, f.Calls, wantFuncs[f.Name])
+		}
+		// The observability fields must come back as zero values, and
+		// LatencyDense must report "no data" (nil), not an empty
+		// histogram — the aggregator distinguishes the two.
+		if f.Passed != 0 || f.Substituted != 0 || f.Latency != nil {
+			t.Errorf("%s: pre-observability doc has non-zero new fields: %+v", f.Name, f)
+		}
+		if f.LatencyDense() != nil {
+			t.Errorf("%s: LatencyDense of old doc = %v, want nil", f.Name, f.LatencyDense())
+		}
+	}
+	if len(log.TraceEntries()) != 0 {
+		t.Errorf("old doc has %d trace entries", len(log.TraceEntries()))
+	}
+	open := log.Funcs[1]
+	if open.Name != "open" || len(open.Errnos) != 1 || open.Errnos[0].Errno != "ENOENT" || open.Errnos[0].Count != 3 {
+		t.Errorf("open errnos = %+v", open.Errnos)
+	}
+	if log.Funcs[2].Denied != 2 {
+		t.Errorf("strcpy denied = %d, want 2", log.Funcs[2].Denied)
+	}
+}
+
+// TestProfileLogObservabilityRoundTrip drives a populated State through
+// NewProfileLog -> Marshal -> Unmarshal and checks every new field
+// survives, including the sparse-to-dense latency conversion.
+func TestProfileLogObservabilityRoundTrip(t *testing.T) {
+	st := gen.NewState("libhealers_prof.so")
+	idx := st.Index("strlen")
+	st.CallCount[idx] = 10
+	st.ExecTime[idx] = 1234 * time.Nanosecond
+	st.PassedCount[idx] = 9
+	st.SubstCount[idx] = 1
+	st.ExecHist[idx][0] = 3
+	st.ExecHist[idx][7] = 6
+	st.ExecHist[idx][39] = 1
+	st.FuncErrno[idx][2] = 4 // ENOENT
+	st.GlobalErrno[2] = 4
+
+	st.SetTraceCap(8)
+	st.AddTrace(gen.TraceEntry{Func: "strlen", Args: "0x1000", Dur: 42 * time.Nanosecond, Outcome: "ok"})
+	st.AddTrace(gen.TraceEntry{Func: "open", Args: "0x2000, 0x0", Dur: 99 * time.Nanosecond, Outcome: "errno=ENOENT"})
+
+	orig := NewProfileLog("host-a", "textutil", st)
+	data, err := Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal[ProfileLog](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Funcs) != 1 {
+		t.Fatalf("round-trip lost functions: %+v", back.Funcs)
+	}
+	f := back.Funcs[0]
+	if f.Passed != 9 || f.Substituted != 1 || f.Calls != 10 {
+		t.Errorf("outcome counters lost: %+v", f)
+	}
+	wantHist := make([]uint64, gen.HistBuckets)
+	wantHist[0], wantHist[7], wantHist[39] = 3, 6, 1
+	if !reflect.DeepEqual(f.LatencyDense(), wantHist) {
+		t.Errorf("latency = %v, want %v", f.LatencyDense(), wantHist)
+	}
+	if gen.HistTotal(f.LatencyDense()) != f.Calls {
+		t.Errorf("bucket sum %d != calls %d", gen.HistTotal(f.LatencyDense()), f.Calls)
+	}
+	trace := back.TraceEntries()
+	if len(trace) != 2 {
+		t.Fatalf("trace = %+v, want 2 entries", trace)
+	}
+	if trace[0].Seq != 1 || trace[0].Func != "strlen" || trace[0].DurNS != 42 || trace[0].Outcome != "ok" {
+		t.Errorf("trace[0] = %+v", trace[0])
+	}
+	if trace[1].Func != "open" || trace[1].Args != "0x2000, 0x0" || trace[1].Outcome != "errno=ENOENT" {
+		t.Errorf("trace[1] = %+v", trace[1])
+	}
+}
+
+// TestEmptyObservabilityOmitted pins wire hygiene: a State with no
+// latency samples, outcomes, or traces serializes without any of the new
+// elements, so fresh-but-idle wrappers produce documents an old reader
+// parses byte-for-byte like before.
+func TestEmptyObservabilityOmitted(t *testing.T) {
+	st := gen.NewState("libhealers_prof.so")
+	st.Index("strlen")
+	data, err := Marshal(NewProfileLog("h", "a", st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, forbidden := range []string{"<latency>", "<trace>", "passed=", "substituted="} {
+		if bytes.Contains(data, []byte(forbidden)) {
+			t.Errorf("idle profile contains %q:\n%s", forbidden, data)
+		}
+	}
+}

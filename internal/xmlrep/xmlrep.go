@@ -147,16 +147,75 @@ type ErrnoCount struct {
 	Count uint64 `xml:"count,attr"`
 }
 
-// FuncProfile is one wrapped function's statistics in a profile log.
-type FuncProfile struct {
-	Name   string       `xml:"name,attr"`
-	Calls  uint64       `xml:"calls,attr"`
-	ExecNS int64        `xml:"exec_ns,attr"`
-	Denied uint64       `xml:"denied,attr,omitempty"`
-	Errnos []ErrnoCount `xml:"error"`
+// HistBucketXML is one log2 latency histogram bucket: Count calls whose
+// duration d satisfies 2^Bucket ns <= d < 2^(Bucket+1) ns. Only non-empty
+// buckets are serialized, so documents stay compact and pre-observability
+// readers — which never look for the element — are unaffected.
+type HistBucketXML struct {
+	Bucket int    `xml:"log2,attr"`
+	Count  uint64 `xml:"count,attr"`
 }
 
-// ProfileLog is the profiling wrapper's end-of-run document (Fig. 5).
+// LatencyXML is the optional <latency> element of a function profile,
+// wrapping the sparse histogram buckets. It is a pointer field on
+// FuncProfile so an absent element marshals to nothing at all — the
+// nested-tag shorthand (`latency>bucket`) would emit an empty parent.
+type LatencyXML struct {
+	Buckets []HistBucketXML `xml:"bucket"`
+}
+
+// TraceEntryXML is one entry of the trace micro-generator's call ring in
+// a profile document.
+type TraceEntryXML struct {
+	Seq     uint64 `xml:"seq,attr"`
+	Func    string `xml:"func,attr"`
+	Args    string `xml:"args,attr,omitempty"`
+	DurNS   int64  `xml:"dur_ns,attr"`
+	Outcome string `xml:"outcome,attr"`
+}
+
+// TraceXML is the optional <trace> element of a profile log, wrapping the
+// recorded call ring (see LatencyXML for why it is a wrapper struct).
+type TraceXML struct {
+	Calls []TraceEntryXML `xml:"call"`
+}
+
+// FuncProfile is one wrapped function's statistics in a profile log. The
+// observability fields (Passed, Substituted, Latency) are optional: a
+// document emitted before they existed unmarshals with zero values, and a
+// reader that predates them ignores the extra attributes and elements —
+// both directions stay compatible without a schema version bump.
+type FuncProfile struct {
+	Name        string       `xml:"name,attr"`
+	Calls       uint64       `xml:"calls,attr"`
+	ExecNS      int64        `xml:"exec_ns,attr"`
+	Denied      uint64       `xml:"denied,attr,omitempty"`
+	Passed      uint64       `xml:"passed,attr,omitempty"`
+	Substituted uint64       `xml:"substituted,attr,omitempty"`
+	Errnos      []ErrnoCount `xml:"error"`
+	Latency     *LatencyXML  `xml:"latency"`
+}
+
+// LatencyDense expands the sparse serialized latency buckets into a dense
+// gen.HistBuckets-length histogram ready for element-wise merging and
+// quantile queries; it returns nil when the document carries no latency
+// data (a pre-observability profile).
+func (f *FuncProfile) LatencyDense() []uint64 {
+	if f.Latency == nil || len(f.Latency.Buckets) == 0 {
+		return nil
+	}
+	h := make([]uint64, gen.HistBuckets)
+	for _, b := range f.Latency.Buckets {
+		if b.Bucket >= 0 && b.Bucket < gen.HistBuckets {
+			h[b.Bucket] += b.Count
+		}
+	}
+	return h
+}
+
+// ProfileLog is the profiling wrapper's end-of-run document (Fig. 5),
+// extended with the optional observability elements: per-function latency
+// histograms and the bounded call-trace ring.
 type ProfileLog struct {
 	XMLName   xml.Name      `xml:"healers-profile"`
 	Host      string        `xml:"host,attr"`
@@ -165,10 +224,21 @@ type ProfileLog struct {
 	Generated string        `xml:"generated,attr,omitempty"`
 	Funcs     []FuncProfile `xml:"function"`
 	Global    []ErrnoCount  `xml:"global-error"`
+	Trace     *TraceXML     `xml:"trace"`
 	Overflows uint64        `xml:"overflows,attr,omitempty"`
 }
 
-// NewProfileLog snapshots a wrapper State into its document form.
+// TraceEntries returns the document's recorded call ring, oldest first;
+// nil when the document carries no trace element.
+func (l *ProfileLog) TraceEntries() []TraceEntryXML {
+	if l.Trace == nil {
+		return nil
+	}
+	return l.Trace.Calls
+}
+
+// NewProfileLog snapshots a wrapper State into its document form. The
+// State must be quiesced (no concurrent probe processes mutating it).
 func NewProfileLog(host, app string, st *gen.State) *ProfileLog {
 	log := &ProfileLog{
 		Host:      host,
@@ -179,14 +249,24 @@ func NewProfileLog(host, app string, st *gen.State) *ProfileLog {
 	}
 	for i, name := range st.FuncNames() {
 		fp := FuncProfile{
-			Name:   name,
-			Calls:  st.CallCount[i],
-			ExecNS: st.ExecTime[i].Nanoseconds(),
-			Denied: st.DeniedCount[i],
+			Name:        name,
+			Calls:       st.CallCount[i],
+			ExecNS:      st.ExecTime[i].Nanoseconds(),
+			Denied:      st.DeniedCount[i],
+			Passed:      st.PassedCount[i],
+			Substituted: st.SubstCount[i],
 		}
 		for e, cnt := range st.FuncErrno[i] {
 			if cnt > 0 {
 				fp.Errnos = append(fp.Errnos, ErrnoCount{Errno: errnoLabel(int32(e)), Count: cnt})
+			}
+		}
+		for b, cnt := range st.ExecHist[i] {
+			if cnt > 0 {
+				if fp.Latency == nil {
+					fp.Latency = &LatencyXML{}
+				}
+				fp.Latency.Buckets = append(fp.Latency.Buckets, HistBucketXML{Bucket: b, Count: cnt})
 			}
 		}
 		log.Funcs = append(log.Funcs, fp)
@@ -195,6 +275,18 @@ func NewProfileLog(host, app string, st *gen.State) *ProfileLog {
 		if cnt > 0 {
 			log.Global = append(log.Global, ErrnoCount{Errno: errnoLabel(int32(e)), Count: cnt})
 		}
+	}
+	for _, t := range st.Trace() {
+		if log.Trace == nil {
+			log.Trace = &TraceXML{}
+		}
+		log.Trace.Calls = append(log.Trace.Calls, TraceEntryXML{
+			Seq:     t.Seq,
+			Func:    t.Func,
+			Args:    t.Args,
+			DurNS:   t.Dur.Nanoseconds(),
+			Outcome: t.Outcome,
+		})
 	}
 	return log
 }

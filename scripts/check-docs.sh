@@ -1,0 +1,45 @@
+#!/bin/sh
+# Flag-vs-docs drift check: every command-line flag named in README.md or
+# CHANGES.md must have a matching flag definition (flag.String/Bool/Int/
+# IntVar/... ) in some cmd/* front end. Documentation that names a flag
+# which no binary defines fails `make docs` (and thus `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Flags actually defined by the front ends. Handles both the value form
+# (flag.String("name", ...)) and the Var form (flag.StringVar(&x, "name",
+# ...)): the first quoted token of the call is the flag name either way.
+defined=$(sed -nE 's/.*flag\.[A-Za-z0-9]+\((&[A-Za-z0-9_.]+, *)?"([a-z][a-z0-9-]*)".*/\2/p' cmd/*/main.go | sort -u)
+
+# Flags the go tool itself owns; documented in test/bench instructions.
+allowlist="bench benchmem benchtime race run v cover"
+
+# Flags named in the docs:
+#  (a) fully backticked: `-flag` (the closing backtick requirement keeps
+#      constructs like `LD_PRELOAD`-style from matching);
+#  (b) on any line mentioning a healers- tool, tokens preceded by a space
+#      or a slash: `healers-inject -j/-stats/-progress`.
+documented=$(
+    {
+        grep -hoE '`-[a-z][a-z0-9-]*`' README.md CHANGES.md | tr -d '`'
+        grep -hE 'healers-' README.md CHANGES.md |
+            grep -hoE '[ /]-[a-z][a-z0-9-]*' | sed 's|^[ /]-||; s|^|-|'
+    } | sed 's/^-//' | sort -u
+)
+
+status=0
+for f in $documented; do
+    case " $allowlist " in *" $f "*) continue ;; esac
+    if ! printf '%s\n' "$defined" | grep -qx "$f"; then
+        echo "check-docs: documented flag -$f has no flag definition in cmd/*" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "check-docs: FAILED (docs name flags no binary defines)" >&2
+else
+    echo "check-docs: ok ($(printf '%s\n' "$documented" | wc -l | tr -d ' ') documented flags verified)"
+fi
+exit $status

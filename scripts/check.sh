@@ -9,6 +9,17 @@ go build ./...
 go vet ./...
 go test -race ./...
 
+# Documentation hygiene: documented flags must exist in cmd/*, and the
+# examples must be gofmt-clean (same checks as `make docs`).
+sh scripts/check-docs.sh
+fmt=$(gofmt -l examples)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed in examples:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
 # Smoke-run the collect ingest benchmarks: one iteration each proves the
-# upload path, the bounded store, and both aggregation paths still work.
+# upload path, the bounded store, both aggregation paths, and the
+# histogram-merge path (BenchmarkCollectHistMerge) still work.
 go test -run '^$' -bench 'BenchmarkCollect' -benchtime=1x .
