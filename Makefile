@@ -1,9 +1,22 @@
-.PHONY: check build test bench docs
+.PHONY: check build test bench docs verify-api ci
 
 # Tier-1 gate: build + vet + full test suite under the race detector
-# (scripts/check.sh also runs the docs checks below).
+# (scripts/check.sh also runs the docs checks and the robustness gate
+# below).
 check:
 	sh scripts/check.sh
+
+# Robustness-regression gate: cache-accelerated campaign diffed against
+# the checked-in robust-API baseline (testdata/robust_api_baseline.xml).
+# Exits non-zero when a function's robustness regressed.
+verify-api:
+	sh scripts/verify-api.sh
+
+# Exactly what .github/workflows/ci.yml runs — reproduce CI locally with
+# `make ci`: the tier-1 gate plus a one-iteration smoke of every
+# benchmark.
+ci: check
+	go test -run '^$$' -bench . -benchtime=1x .
 
 # Documentation hygiene: every flag named in README.md/CHANGES.md must
 # exist in some cmd/* front end, and the examples must be gofmt-clean.

@@ -185,6 +185,79 @@ func BenchmarkF2_CampaignParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkF2_CampaignIncremental measures the campaign cache: the same
+// full-libc sweep cold (empty cache), warm (every function served from
+// the cache — the EXPERIMENTS.md headline, required to be ≥10× faster
+// than cold), and with exactly one function invalidated (the incremental
+// cost of editing one prototype). Warm runs produce byte-identical
+// reports to cold ones; the cache tests pin that, this pins the speed.
+func BenchmarkF2_CampaignIncremental(b *testing.B) {
+	mkCampaign := func(b *testing.B, cache *inject.Cache) *inject.Campaign {
+		b.Helper()
+		sys := simelf.NewSystem()
+		if err := sys.AddLibrary(clib.MustRegistry().AsLibrary()); err != nil {
+			b.Fatal(err)
+		}
+		c, err := inject.New(sys, clib.LibcSoname, inject.WithCache(cache))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	fill := func(b *testing.B) (*inject.Cache, *inject.Campaign) {
+		b.Helper()
+		cache, err := inject.OpenCache("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := mkCampaign(b, cache)
+		if _, err := c.RunLibrary(); err != nil {
+			b.Fatal(err)
+		}
+		return cache, c
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache, err := inject.OpenCache("")
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := mkCampaign(b, cache)
+			b.StartTimer()
+			if _, err := c.RunLibrary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		_, c := fill(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lr, err := c.RunLibrary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(lr.TotalProbes), "probes_reused/op")
+			}
+		}
+	})
+	b.Run("one_invalidated", func(b *testing.B) {
+		cache, c := fill(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache.Drop("strcpy")
+			b.StartTimer()
+			if _, err := c.RunLibrary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkF3_MicroGenOverhead decomposes wrapper cost per
 // micro-generator, the composability claim behind Figure 3: each feature
 // costs only its own fragment.

@@ -10,9 +10,16 @@
 //	healers-inject -xml                 # emit the robust-API XML file
 //	healers-inject -verify              # before/after hardening table
 //	healers-inject -j 4 -stats          # parallel campaign + throughput
+//	healers-inject -cache FILE          # reuse cached per-function outcomes
+//	healers-inject -checkpoint FILE     # flush results after every function
+//	healers-inject -verify-baseline F   # CI gate: diff against baseline F
+//
+// Exit status: 0 on success, 1 on a campaign or I/O error, 2 on a usage
+// error, 3 when -verify-baseline found a robustness regression.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +29,11 @@ import (
 	"healers/internal/inject"
 	"healers/internal/xmlrep"
 )
+
+// errRegression marks a -verify-baseline failure; main maps it to exit
+// status 3 so CI can distinguish "robustness regressed" from "the tool
+// broke".
+var errRegression = errors.New("robustness regression detected")
 
 func main() {
 	var o options
@@ -33,6 +45,10 @@ func main() {
 	flag.IntVar(&o.jobs, "j", 1, "parallel probe workers (0 = one per CPU)")
 	flag.BoolVar(&o.stats, "stats", false, "print campaign throughput statistics to stderr")
 	flag.BoolVar(&o.progress, "progress", false, "print per-function campaign progress to stderr")
+	flag.StringVar(&o.cacheFile, "cache", "", "campaign cache file: reuse stored per-function outcomes, store fresh ones")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: like -cache but flushed after every completed function")
+	flag.StringVar(&o.verifyBaseline, "verify-baseline", "", "diff the derivation against this robust-API baseline file; exit 3 on regression")
+	flag.StringVar(&o.writeBaseline, "write-baseline", "", "write the derivation as a robustness baseline file and exit")
 	flag.Parse()
 
 	if o.pairwise && o.fn == "" {
@@ -41,25 +57,35 @@ func main() {
 	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-inject:", err)
+		if errors.Is(err, errRegression) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
 
 // options bundles the command's flags.
 type options struct {
-	lib, fn  string
-	asXML    bool
-	verify   bool
-	pairwise bool
-	jobs     int
-	stats    bool
-	progress bool
+	lib, fn        string
+	asXML          bool
+	verify         bool
+	pairwise       bool
+	jobs           int
+	stats          bool
+	progress       bool
+	cacheFile      string
+	checkpoint     string
+	verifyBaseline string
+	writeBaseline  string
 }
 
 // campaignOpts translates the flags into campaign options. Collected
 // stats land in *sink (one entry per library sweep — two for -verify).
-func (o options) campaignOpts(sink *[]*inject.CampaignStats) []inject.CampaignOption {
+func (o options) campaignOpts(sink *[]*inject.CampaignStats, cache *inject.Cache) []inject.CampaignOption {
 	opts := []inject.CampaignOption{inject.WithWorkers(o.jobs)}
+	if cache != nil {
+		opts = append(opts, inject.WithCache(cache))
+	}
 	if o.progress {
 		opts = append(opts, inject.WithProgress(func(p inject.Progress) {
 			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-20s %3d probes (%d/%d total)\n",
@@ -72,6 +98,42 @@ func (o options) campaignOpts(sink *[]*inject.CampaignStats) []inject.CampaignOp
 		}))
 	}
 	return opts
+}
+
+// openCaches opens the campaign cache and/or checkpoint file. The first
+// return is the active cache the campaign runs with; the second is the
+// persistent -cache store when it is distinct from the active one (both
+// flags given), so finished results flow back into it.
+func openCaches(o options) (active, persist *inject.Cache, err error) {
+	if o.cacheFile == "" && o.checkpoint == "" {
+		return nil, nil, nil
+	}
+	open := func(path string) (*inject.Cache, error) {
+		c, err := inject.OpenCache(path)
+		if err != nil {
+			return nil, err
+		}
+		if reason := c.DiscardReason(); reason != "" {
+			fmt.Fprintf(os.Stderr, "healers-inject: discarding %s: %s\n", path, reason)
+		}
+		return c, nil
+	}
+	if o.cacheFile != "" {
+		if persist, err = open(o.cacheFile); err != nil {
+			return nil, nil, err
+		}
+	}
+	if o.checkpoint == "" {
+		return persist, nil, nil
+	}
+	if active, err = open(o.checkpoint); err != nil {
+		return nil, nil, err
+	}
+	// Warm-start the checkpoint from the persistent cache, and flush it
+	// after every completed function so an interrupted run resumes.
+	active.MergeFrom(persist)
+	active.SetAutoFlush(1)
+	return active, persist, nil
 }
 
 func printStats(stats []*inject.CampaignStats) {
@@ -90,9 +152,34 @@ func run(o options) error {
 		return err
 	}
 	var stats []*inject.CampaignStats
-	copts := o.campaignOpts(&stats)
+	cache, persist, err := openCaches(o)
+	if err != nil {
+		return err
+	}
+	copts := o.campaignOpts(&stats, cache)
 	defer func() { printStats(stats) }()
 
+	runErr := dispatch(o, tk, copts)
+
+	// Persist what the campaign learned, even after a regression — the
+	// cache is valid either way. A save failure surfaces unless the run
+	// itself already failed harder.
+	if cache != nil {
+		if serr := cache.Save(); serr != nil && runErr == nil {
+			runErr = serr
+		}
+		if persist != nil {
+			persist.MergeFrom(cache)
+			if serr := persist.Save(); serr != nil && runErr == nil {
+				runErr = serr
+			}
+		}
+	}
+	return runErr
+}
+
+// dispatch executes the mode the flags selected.
+func dispatch(o options, tk *healers.Toolkit, copts []inject.CampaignOption) error {
 	if o.fn != "" {
 		fr, err := tk.InjectFunction(o.lib, o.fn)
 		if err != nil {
@@ -132,6 +219,27 @@ func run(o options) error {
 		return nil
 	}
 
+	if o.verifyBaseline != "" {
+		return verifyBaseline(o, tk, copts)
+	}
+
+	if o.writeBaseline != "" {
+		lr, err := tk.Inject(o.lib, copts...)
+		if err != nil {
+			return err
+		}
+		data, err := xmlrep.Marshal(healers.NewBaselineDoc(o.lib, lr))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.writeBaseline, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote robustness baseline for %s (%d functions) to %s\n",
+			o.lib, len(lr.Funcs), o.writeBaseline)
+		return nil
+	}
+
 	api, report, err := tk.DeriveRobustAPI(o.lib, copts...)
 	if err != nil {
 		return err
@@ -141,9 +249,35 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		os.Stdout.Write(data)
+		if _, err := os.Stdout.Write(data); err != nil {
+			return fmt.Errorf("writing robust-API XML: %w", err)
+		}
 		return nil
 	}
 	fmt.Print(healers.RenderCampaign(report))
+	return nil
+}
+
+// verifyBaseline is the CI gate: derive fresh, diff against the baseline
+// file, fail on regressions.
+func verifyBaseline(o options, tk *healers.Toolkit, copts []inject.CampaignOption) error {
+	data, err := os.ReadFile(o.verifyBaseline)
+	if err != nil {
+		return err
+	}
+	regressions, improvements, err := tk.VerifyBaseline(o.lib, data, copts...)
+	if err != nil {
+		return err
+	}
+	for _, d := range improvements {
+		fmt.Printf("improved: %s\n", d)
+	}
+	if len(regressions) > 0 {
+		for _, d := range regressions {
+			fmt.Printf("REGRESSION: %s\n", d)
+		}
+		return fmt.Errorf("%w: %d regression(s) against %s", errRegression, len(regressions), o.verifyBaseline)
+	}
+	fmt.Printf("robust-API baseline verified: %s matches %s (no regressions)\n", o.lib, o.verifyBaseline)
 	return nil
 }

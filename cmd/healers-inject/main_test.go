@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunSingleFunction(t *testing.T) {
 	if err := run(options{lib: "libc.so.6", fn: "strcpy"}); err != nil {
@@ -32,5 +38,80 @@ func TestRunParallelVerifyWithStats(t *testing.T) {
 	// the parallel engine end to end through the toolkit layer.
 	if err := run(options{lib: "libm.so.6", verify: true, jobs: 2, stats: true, progress: true}); err != nil {
 		t.Fatalf("verify -j 2: %v", err)
+	}
+}
+
+// TestBaselineGate drives the CI gate end to end against libc: write a
+// baseline, a warm cache-accelerated verify passes, and a seeded
+// weakening of one function's check fails with the regression sentinel.
+func TestBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.xml")
+	cacheFile := filepath.Join(dir, "cache.xml")
+
+	if err := run(options{lib: "libc.so.6", jobs: 0, cacheFile: cacheFile, writeBaseline: baseline}); err != nil {
+		t.Fatalf("write-baseline: %v", err)
+	}
+
+	// Pristine baseline passes, cache-accelerated.
+	if err := run(options{lib: "libc.so.6", jobs: 0, cacheFile: cacheFile, verifyBaseline: baseline}); err != nil {
+		t.Fatalf("verify-baseline (pristine): %v", err)
+	}
+
+	// Byte-stable regeneration: writing the baseline again (now fully
+	// from cache) must reproduce it exactly.
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := filepath.Join(dir, "baseline2.xml")
+	if err := run(options{lib: "libc.so.6", jobs: 0, cacheFile: cacheFile, writeBaseline: again}); err != nil {
+		t.Fatalf("write-baseline (warm): %v", err)
+	}
+	data2, err := os.ReadFile(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("baseline regeneration is not byte-identical")
+	}
+
+	// Seed a regression: weaken atof's derived check in the baseline
+	// from cstring to nonnull — the fresh derivation still needs
+	// cstring, so the gate must flag the function as weaker.
+	weakened := strings.Replace(string(data),
+		`<param name="nptr" chain="in_str" level="cstring"></param>`,
+		`<param name="nptr" chain="in_str" level="nonnull"></param>`, 1)
+	if weakened == string(data) {
+		t.Fatal("expected in_str cstring param not found in baseline")
+	}
+	bad := filepath.Join(dir, "weakened.xml")
+	if err := os.WriteFile(bad, []byte(weakened), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(options{lib: "libc.so.6", jobs: 0, cacheFile: cacheFile, verifyBaseline: bad})
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("seeded regression returned %v, want errRegression", err)
+	}
+}
+
+// TestCheckpointFlag exercises -checkpoint alone and layered over
+// -cache: the checkpoint file exists after the run and warm-starts from
+// the persistent cache.
+func TestCheckpointFlag(t *testing.T) {
+	dir := t.TempDir()
+	cacheFile := filepath.Join(dir, "cache.xml")
+	ckpt := filepath.Join(dir, "ckpt.xml")
+
+	if err := run(options{lib: "libm.so.6", cacheFile: cacheFile}); err != nil {
+		t.Fatalf("cold cached run: %v", err)
+	}
+	if err := run(options{lib: "libm.so.6", cacheFile: cacheFile, checkpoint: ckpt}); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	for _, p := range []string{cacheFile, ckpt} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("%s not written: %v", p, err)
+		}
 	}
 }

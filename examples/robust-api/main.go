@@ -7,8 +7,10 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"healers"
+	"healers/internal/inject"
 	"healers/internal/xmlrep"
 )
 
@@ -60,5 +62,25 @@ func run() error {
 		data = data[:preview]
 	}
 	fmt.Printf("%s...\n", data)
+
+	// Incremental re-derivation: with a campaign cache attached, the
+	// cold sweep fills the cache and a second derivation reuses every
+	// function's stored outcome — zero probes executed, identical API
+	// (healers-inject -cache FILE persists this across runs).
+	fmt.Println("\nincremental re-derivation with the campaign cache:")
+	cache, err := healers.OpenCampaignCache("")
+	if err != nil {
+		return err
+	}
+	for _, label := range []string{"cold", "warm"} {
+		var stats *healers.CampaignStats
+		if _, _, err := tk.DeriveRobustAPI(healers.Libc,
+			inject.WithCache(cache),
+			inject.WithStatsSink(func(s *healers.CampaignStats) { stats = s })); err != nil {
+			return err
+		}
+		fmt.Printf("  %-4s run: %4d probes executed, %2d functions reused from cache (%v)\n",
+			label, stats.Probes, stats.CachedFuncs, stats.Elapsed.Round(time.Millisecond))
+	}
 	return nil
 }

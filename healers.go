@@ -56,8 +56,14 @@ type (
 	// FuncReport is a single-function fault-injection report.
 	FuncReport = inject.FuncReport
 	// CampaignStats is a campaign throughput summary (probes/sec,
-	// per-function wall time, worker utilization).
+	// per-function wall time, worker utilization, cache hits).
 	CampaignStats = inject.CampaignStats
+	// CampaignCache is the persistent content-addressed store of
+	// per-function campaign outcomes (and the checkpoint file format).
+	CampaignCache = inject.Cache
+	// BaselineDiff is one difference the robustness-regression gate
+	// found between a fresh derivation and the checked-in baseline.
+	BaselineDiff = core.BaselineDiff
 	// ProcResult describes how a simulated process ended.
 	ProcResult = proc.Result
 	// ProfileLog is the profiling wrapper's XML document (Fig. 5).
@@ -89,6 +95,19 @@ const (
 // NewToolkit creates a toolkit over a fresh simulated system with the C
 // library installed.
 func NewToolkit() (*Toolkit, error) { return core.NewToolkit() }
+
+// OpenCampaignCache loads (or initializes) the campaign cache at path;
+// see inject.OpenCache for the discard-not-trust policy on corrupted or
+// stale files. An empty path yields an in-memory cache.
+func OpenCampaignCache(path string) (*CampaignCache, error) { return inject.OpenCache(path) }
+
+// NewBaselineDoc renders a campaign report as the robustness baseline
+// document the CI regression gate diffs against.
+var NewBaselineDoc = core.NewBaselineDoc
+
+// CompareToBaseline diffs a fresh campaign report against a baseline
+// document, returning regressions and improvements separately.
+var CompareToBaseline = core.CompareToBaseline
 
 // ExploitPacket crafts the §3.4 heap-smash packet against Rootd.
 func ExploitPacket() []byte { return victim.ExploitPacket() }

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"healers/internal/inject"
+	"healers/internal/xmlrep"
+)
+
+// freshReport builds a one-function campaign report by hand: strlen-like
+// with one in_str parameter at the given level name and failure count.
+func freshReport(level string, levelIdx, failures int) *inject.LibReport {
+	fr := &inject.FuncReport{
+		Name:     "f",
+		Probes:   7,
+		Failures: failures,
+		Verdicts: []inject.ParamVerdict{
+			{Name: "s", Chain: "in_str", Level: levelIdx, LevelName: level},
+		},
+	}
+	return &inject.LibReport{Library: "libx.so", Funcs: []*inject.FuncReport{fr},
+		TotalProbes: fr.Probes, TotalFailures: fr.Failures}
+}
+
+// baselineDoc builds the matching baseline document.
+func baselineDoc(level string, failures int) *xmlrep.RobustAPIDoc {
+	return &xmlrep.RobustAPIDoc{Library: "libx.so", Funcs: []xmlrep.RobustFuncXML{
+		{Name: "f", Failures: failures, Params: []xmlrep.RobustParamXML{
+			{Name: "s", Chain: "in_str", Level: level},
+		}},
+	}}
+}
+
+// in_str levels: any(0) < nonnull(1) < readable(2) < cstring(3) <
+// uncontainable(4); larger index == weaker robust type.
+
+func TestCompareToBaselineClean(t *testing.T) {
+	regs, imps, err := CompareToBaseline(freshReport("cstring", 3, 4), baselineDoc("cstring", 4))
+	if err != nil || len(regs) != 0 || len(imps) != 0 {
+		t.Fatalf("clean compare: regs=%v imps=%v err=%v", regs, imps, err)
+	}
+}
+
+func TestCompareToBaselineWeaker(t *testing.T) {
+	regs, _, err := CompareToBaseline(freshReport("cstring", 3, 4), baselineDoc("nonnull", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Kind != "weaker" || regs[0].Func != "f" || regs[0].Param != "s" {
+		t.Fatalf("weaker robust type not flagged: %v", regs)
+	}
+}
+
+func TestCompareToBaselineStrongerIsImprovement(t *testing.T) {
+	regs, imps, err := CompareToBaseline(freshReport("nonnull", 1, 4), baselineDoc("cstring", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("improvement misreported as regression: %v", regs)
+	}
+	if len(imps) != 1 || imps[0].Kind != "stronger" {
+		t.Errorf("stronger robust type not reported: %v", imps)
+	}
+}
+
+func TestCompareToBaselineUncontainableIsWeakest(t *testing.T) {
+	regs, _, err := CompareToBaseline(freshReport("uncontainable", 4, 4), baselineDoc("cstring", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Kind != "weaker" {
+		t.Fatalf("uncontainable not treated as weakest: %v", regs)
+	}
+}
+
+func TestCompareToBaselineFailures(t *testing.T) {
+	regs, _, err := CompareToBaseline(freshReport("cstring", 3, 6), baselineDoc("cstring", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Kind != "gained-failures" {
+		t.Fatalf("gained failures not flagged: %v", regs)
+	}
+	_, imps, err := CompareToBaseline(freshReport("cstring", 3, 2), baselineDoc("cstring", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != 1 || imps[0].Kind != "fewer-failures" {
+		t.Fatalf("fewer failures not reported as improvement: %v", imps)
+	}
+}
+
+func TestCompareToBaselineCoverageChanges(t *testing.T) {
+	// Fresh function absent from the baseline.
+	regs, _, err := CompareToBaseline(freshReport("cstring", 3, 4),
+		&xmlrep.RobustAPIDoc{Library: "libx.so"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Kind != "new-function" {
+		t.Fatalf("new function not flagged: %v", regs)
+	}
+
+	// Baseline function absent from the fresh derivation.
+	regs, _, err = CompareToBaseline(&inject.LibReport{Library: "libx.so"},
+		baselineDoc("cstring", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Kind != "missing-function" {
+		t.Fatalf("missing function not flagged: %v", regs)
+	}
+
+	// Parameter count mismatch.
+	base := baselineDoc("cstring", 4)
+	base.Funcs[0].Params = append(base.Funcs[0].Params, xmlrep.RobustParamXML{Name: "n", Chain: "size", Level: "any"})
+	regs, _, err = CompareToBaseline(freshReport("cstring", 3, 4), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Kind != "param-mismatch" {
+		t.Fatalf("param mismatch not flagged: %v", regs)
+	}
+}
+
+func TestCompareToBaselineUnknownLevel(t *testing.T) {
+	_, _, err := CompareToBaseline(freshReport("cstring", 3, 4), baselineDoc("no-such-level", 4))
+	if err == nil || !strings.Contains(err.Error(), "no-such-level") {
+		t.Fatalf("undecodable baseline level not an error: %v", err)
+	}
+}
+
+// TestNewBaselineDocStable: regenerating the baseline from the same
+// report is byte-identical (no timestamp), and failure counts ride along.
+func TestNewBaselineDocStable(t *testing.T) {
+	lr := freshReport("cstring", 3, 4)
+	a, err := xmlrep.Marshal(NewBaselineDoc("libx.so", lr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := xmlrep.Marshal(NewBaselineDoc("libx.so", lr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("baseline regeneration is not byte-stable")
+	}
+	if !strings.Contains(string(a), `failures="4"`) {
+		t.Error("baseline lost the failure count")
+	}
+	if strings.Contains(string(a), "generated=") {
+		t.Error("baseline carries a timestamp; regeneration would always diff")
+	}
+
+	// The baseline verifies against the report it was generated from.
+	doc, err := xmlrep.Unmarshal[xmlrep.RobustAPIDoc](a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, imps, err := CompareToBaseline(lr, doc)
+	if err != nil || len(regs) != 0 || len(imps) != 0 {
+		t.Fatalf("self-compare not clean: regs=%v imps=%v err=%v", regs, imps, err)
+	}
+}

@@ -188,10 +188,21 @@ func RenderCampaignStats(s *inject.CampaignStats) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "campaign throughput: %d probes in %v (%.0f probes/s), %d worker(s)\n",
 		s.Probes, s.Elapsed.Round(time.Millisecond), s.ProbesPerSec, s.Workers)
+	if s.CachedFuncs > 0 {
+		fmt.Fprintf(&b, "campaign cache: %d function(s) reused (%d probes skipped)\n",
+			s.CachedFuncs, s.CachedProbes)
+	}
 	if s.Workers > 1 {
 		fmt.Fprintf(&b, "worker utilization: %.0f%%\n", s.Utilization*100)
 	}
-	top := append([]inject.FuncTiming(nil), s.FuncWall...)
+	// Cached functions have zero wall time by definition; keep them out
+	// of the slowest-functions list.
+	top := make([]inject.FuncTiming, 0, len(s.FuncWall))
+	for _, f := range s.FuncWall {
+		if !f.Cached {
+			top = append(top, f)
+		}
+	}
 	sort.Slice(top, func(i, j int) bool { return top[i].Wall > top[j].Wall })
 	if len(top) > 5 {
 		top = top[:5]

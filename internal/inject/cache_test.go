@@ -1,0 +1,308 @@
+package inject
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"healers/internal/cheader"
+	"healers/internal/cmath"
+	"healers/internal/cmem"
+	"healers/internal/cval"
+	"healers/internal/simelf"
+)
+
+// cachePath returns a cache file path in a fresh temp dir.
+func cachePath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "campaign-cache.xml")
+}
+
+// openTestCache opens a cache, failing the test on I/O errors.
+func openTestCache(t *testing.T, path string) *Cache {
+	t.Helper()
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatalf("OpenCache(%s): %v", path, err)
+	}
+	return c
+}
+
+// runCached sweeps soname over a fresh system from mkSys with the given
+// cache attached, returning the report and stats.
+func runCached(t *testing.T, mkSys func(*testing.T) *simelf.System, soname string, cache *Cache, extra ...CampaignOption) (*LibReport, *CampaignStats) {
+	t.Helper()
+	var stats *CampaignStats
+	opts := append([]CampaignOption{
+		WithCache(cache),
+		WithStatsSink(func(s *CampaignStats) { stats = s }),
+	}, extra...)
+	c, err := New(mkSys(t), soname, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := c.RunLibrary()
+	if err != nil {
+		t.Fatalf("cached sweep: %v", err)
+	}
+	return lr, stats
+}
+
+// TestCacheWarmRunByteIdentical is the tentpole's core promise: a warm
+// run probes zero functions and still renders byte-identical robust-API
+// XML (and a deep-equal report) to the cold run that filled the cache.
+func TestCacheWarmRunByteIdentical(t *testing.T) {
+	path := cachePath(t)
+
+	cold, coldStats := runCached(t, libmSystem, cmath.Soname, openTestCache(t, path))
+	if coldStats.CachedFuncs != 0 || coldStats.Probes != cold.TotalProbes {
+		t.Fatalf("cold run stats: %d cached funcs, %d probes (report has %d)",
+			coldStats.CachedFuncs, coldStats.Probes, cold.TotalProbes)
+	}
+
+	// The cache persists its file on Save; runCached does not save, so
+	// persist explicitly like the CLI does.
+	cache := openTestCache(t, path)
+	warmFill, _ := runCached(t, libmSystem, cmath.Soname, cache)
+	_ = warmFill
+	if err := cache.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := openTestCache(t, path)
+	if reason := reopened.DiscardReason(); reason != "" {
+		t.Fatalf("clean cache discarded: %s", reason)
+	}
+	if reopened.Len() != len(cold.Funcs) {
+		t.Fatalf("reopened cache has %d entries, want %d", reopened.Len(), len(cold.Funcs))
+	}
+
+	warm, warmStats := runCached(t, libmSystem, cmath.Soname, reopened)
+	if warmStats.CachedFuncs != len(cold.Funcs) || warmStats.CachedProbes != cold.TotalProbes {
+		t.Errorf("warm run cached %d funcs / %d probes, want %d / %d",
+			warmStats.CachedFuncs, warmStats.CachedProbes, len(cold.Funcs), cold.TotalProbes)
+	}
+	if warmStats.Probes != 0 {
+		t.Errorf("warm run executed %d probes, want 0", warmStats.Probes)
+	}
+	if warm.TotalProbes != cold.TotalProbes {
+		t.Errorf("warm TotalProbes = %d, cold = %d (report semantics must not change)",
+			warm.TotalProbes, cold.TotalProbes)
+	}
+	assertIdentical(t, cold, warm)
+}
+
+// tinyHeader is a three-function library for invalidation tests.
+const tinyHeader = `
+int t_first(int a);
+int t_second(const char *s);
+int t_third(int a, int b);
+`
+
+// tinySystem builds a fresh system holding libtiny.so parsed from the
+// given header, every function implemented as a trivial return-0 stub.
+func tinySystem(header string) func(*testing.T) *simelf.System {
+	return func(t *testing.T) *simelf.System {
+		t.Helper()
+		protos, errs := cheader.ParseHeader("tiny.h", header)
+		if len(errs) > 0 {
+			t.Fatalf("parsing tiny.h: %v", errs[0])
+		}
+		lib := simelf.NewLibrary("libtiny.so")
+		for _, p := range protos {
+			lib.ExportWithProto(p, func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+				return 0, nil
+			})
+		}
+		sys := simelf.NewSystem()
+		if err := sys.AddLibrary(lib); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+}
+
+// TestCachePrototypeEditInvalidatesOneFunction: changing one function's
+// prototype must re-probe exactly that function — the other entries stay
+// cache hits.
+func TestCachePrototypeEditInvalidatesOneFunction(t *testing.T) {
+	path := cachePath(t)
+	cache := openTestCache(t, path)
+	cold, _ := runCached(t, tinySystem(tinyHeader), "libtiny.so", cache)
+	if err := cache.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Funcs) != 3 {
+		t.Fatalf("tiny library swept %d functions, want 3", len(cold.Funcs))
+	}
+
+	// Same library, but t_second's return type changed.
+	edited := strings.Replace(tinyHeader, "int t_second", "long t_second", 1)
+	_, stats := runCached(t, tinySystem(edited), "libtiny.so", openTestCache(t, path))
+	if stats.CachedFuncs != 2 {
+		t.Errorf("after one-prototype edit: %d cached functions, want 2", stats.CachedFuncs)
+	}
+	probed := map[string]bool{}
+	for _, ft := range stats.FuncWall {
+		if !ft.Cached {
+			probed[ft.Name] = true
+		}
+	}
+	if len(probed) != 1 || !probed["t_second"] {
+		t.Errorf("re-probed functions = %v, want exactly t_second", probed)
+	}
+}
+
+// TestCacheTruncatedCheckpointResumesFromScratch: a checkpoint cut off
+// mid-file must be discarded (not trusted, not a fatal error) and the
+// next run must rebuild it completely.
+func TestCacheTruncatedCheckpointResumesFromScratch(t *testing.T) {
+	path := cachePath(t)
+	ck := openTestCache(t, path)
+	ck.SetAutoFlush(1)
+	cold, _ := runCached(t, libmSystem, cmath.Soname, ck)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("checkpoint never flushed: %v", err)
+	}
+
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed := openTestCache(t, path)
+	if resumed.Len() != 0 {
+		t.Errorf("truncated checkpoint yielded %d entries, want 0", resumed.Len())
+	}
+	if resumed.DiscardReason() == "" {
+		t.Error("truncated checkpoint loaded without a discard reason")
+	}
+
+	resumed.SetAutoFlush(1)
+	warm, stats := runCached(t, libmSystem, cmath.Soname, resumed)
+	if stats.CachedFuncs != 0 {
+		t.Errorf("resume from truncated checkpoint reused %d functions, want 0", stats.CachedFuncs)
+	}
+	assertIdentical(t, cold, warm)
+	rebuilt := openTestCache(t, path)
+	if rebuilt.Len() != len(cold.Funcs) || rebuilt.DiscardReason() != "" {
+		t.Errorf("rebuilt checkpoint: %d entries (want %d), discard %q",
+			rebuilt.Len(), len(cold.Funcs), rebuilt.DiscardReason())
+	}
+}
+
+// TestCacheTamperedFileDiscarded: flipping recorded content without
+// updating the checksum must discard the whole file.
+func TestCacheTamperedFileDiscarded(t *testing.T) {
+	path := cachePath(t)
+	cache := openTestCache(t, path)
+	runCached(t, libmSystem, cmath.Soname, cache)
+	if err := cache.Save(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `outcome="ok"`, `outcome="crash"`, 1)
+	if tampered == string(data) {
+		t.Fatal("no ok outcome to tamper with")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := openTestCache(t, path)
+	if c.Len() != 0 || !strings.Contains(c.DiscardReason(), "checksum") {
+		t.Errorf("tampered cache: %d entries, discard %q; want 0 entries, checksum discard",
+			c.Len(), c.DiscardReason())
+	}
+}
+
+// TestCacheStaleHierarchyDiscarded: a file written under a different
+// probe hierarchy must be discarded wholesale.
+func TestCacheStaleHierarchyDiscarded(t *testing.T) {
+	path := cachePath(t)
+	cache := openTestCache(t, path)
+	runCached(t, libmSystem, cmath.Soname, cache)
+	if err := cache.Save(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := strings.Replace(string(data), HierarchyVersion(), "0123456789abcdef", 1)
+	if stale == string(data) {
+		t.Fatal("hierarchy hash not present in cache file")
+	}
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := openTestCache(t, path)
+	if c.Len() != 0 || !strings.Contains(c.DiscardReason(), "stale probe hierarchy") {
+		t.Errorf("stale cache: %d entries, discard %q", c.Len(), c.DiscardReason())
+	}
+}
+
+// TestCacheConfigSeparation: sweeps under different injector configs
+// (here: different stdin seeds) must not reuse each other's entries, and
+// both configurations coexist in one file.
+func TestCacheConfigSeparation(t *testing.T) {
+	path := cachePath(t)
+	cache := openTestCache(t, path)
+	cold, _ := runCached(t, libmSystem, cmath.Soname, cache)
+
+	_, stats := runCached(t, libmSystem, cmath.Soname, cache, WithStdin("seed\n"))
+	if stats.CachedFuncs != 0 {
+		t.Errorf("different config reused %d cached functions, want 0", stats.CachedFuncs)
+	}
+	if want := 2 * len(cold.Funcs); cache.Len() != want {
+		t.Errorf("cache holds %d entries, want %d (two configs per function)", cache.Len(), want)
+	}
+}
+
+// TestCacheParallelWarmAndDrop: the parallel engine serves cache hits
+// identically, and Drop re-probes exactly the dropped function.
+func TestCacheParallelWarmAndDrop(t *testing.T) {
+	path := cachePath(t)
+	cache := openTestCache(t, path)
+	cold, _ := runCached(t, libmSystem, cmath.Soname, cache)
+	if err := cache.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	warmCache := openTestCache(t, path)
+	warm, stats := runCached(t, libmSystem, cmath.Soname, warmCache, WithWorkers(4))
+	if stats.CachedFuncs != len(cold.Funcs) || stats.Probes != 0 {
+		t.Errorf("parallel warm run: %d cached funcs, %d executed probes", stats.CachedFuncs, stats.Probes)
+	}
+	assertIdentical(t, cold, warm)
+
+	warmCache.Drop("sqrt")
+	dropped, stats := runCached(t, libmSystem, cmath.Soname, warmCache, WithWorkers(4))
+	if stats.CachedFuncs != len(cold.Funcs)-1 {
+		t.Errorf("after Drop(sqrt): %d cached funcs, want %d", stats.CachedFuncs, len(cold.Funcs)-1)
+	}
+	if sq := cold.Func("sqrt"); sq == nil || stats.Probes != sq.Probes {
+		t.Errorf("after Drop(sqrt): executed %d probes, want sqrt's %v", stats.Probes, sq)
+	}
+	assertIdentical(t, cold, dropped)
+}
+
+// TestCacheMergeFrom: a checkpoint warm-started from a persistent cache
+// serves its entries.
+func TestCacheMergeFrom(t *testing.T) {
+	path := cachePath(t)
+	cache := openTestCache(t, path)
+	cold, _ := runCached(t, libmSystem, cmath.Soname, cache)
+
+	ck := openTestCache(t, filepath.Join(t.TempDir(), "ckpt.xml"))
+	ck.MergeFrom(cache)
+	if ck.Len() != cache.Len() {
+		t.Fatalf("merged checkpoint has %d entries, cache has %d", ck.Len(), cache.Len())
+	}
+	_, stats := runCached(t, libmSystem, cmath.Soname, ck)
+	if stats.CachedFuncs != len(cold.Funcs) {
+		t.Errorf("merged checkpoint reused %d functions, want %d", stats.CachedFuncs, len(cold.Funcs))
+	}
+}

@@ -200,6 +200,10 @@ type Campaign struct {
 	// statsSink, when set, receives the throughput statistics of every
 	// library sweep.
 	statsSink func(*CampaignStats)
+	// cache, when set, lets library sweeps skip functions whose stored
+	// outcome still matches the content hash of (prototype, probe
+	// hierarchy, config), and records fresh outcomes for the next run.
+	cache *Cache
 }
 
 // CampaignOption configures a campaign.
@@ -239,6 +243,16 @@ func WithProgress(fn func(Progress)) CampaignOption {
 // deterministic LibReport.
 func WithStatsSink(fn func(*CampaignStats)) CampaignOption {
 	return func(c *Campaign) { c.statsSink = fn }
+}
+
+// WithCache attaches a campaign cache (see OpenCache): library sweeps
+// reuse stored per-function outcomes whose content-hash key still matches
+// and store fresh outcomes for later runs. A nil cache is ignored. The
+// reused reports are byte-identical to what probing would have produced —
+// the key covers everything that influences a sweep — so cached and
+// probed runs render identical robust-API documents.
+func WithCache(cache *Cache) CampaignOption {
+	return func(c *Campaign) { c.cache = cache }
 }
 
 // probeFuel is the per-probe memory-access budget: generous enough for
@@ -527,30 +541,60 @@ func (c *Campaign) RunLibraryParallel(workers int) (*LibReport, error) {
 	return lr, err
 }
 
+// cacheLookup consults the campaign cache for one planned function,
+// returning the stored report (live prototype attached) and the entry's
+// key. A nil cache returns key == "" and no report.
+func (c *Campaign) cacheLookup(fp *funcPlan, config string) (fr *FuncReport, key string) {
+	if c.cache == nil {
+		return nil, ""
+	}
+	key = funcKey(fp.proto, config)
+	if fr = c.cache.lookup(key); fr != nil {
+		fr.Proto = fp.proto
+	}
+	return fr, key
+}
+
 // runLibrarySequential is the strictly sequential engine: one probe
 // process at a time, in canonical order.
 func (c *Campaign) runLibrarySequential() (*LibReport, *CampaignStats, error) {
 	plan := c.planLibrary()
 	lr := &LibReport{Library: c.target}
 	stats := newCampaignStats(1, len(plan.funcs))
+	config := c.configHash()
+	executed := 0
 	start := time.Now()
 	for fi, fp := range plan.funcs {
-		results := make([]ProbeResult, 0, len(fp.specs))
-		fnStart := time.Now()
-		for _, sp := range fp.specs {
-			r, err := c.runProbe(fp.proto, sp.param, sp.probe)
-			if err != nil {
-				return nil, nil, err
+		fr, key := c.cacheLookup(&plan.funcs[fi], config)
+		cached := fr != nil
+		var wall time.Duration
+		if !cached {
+			results := make([]ProbeResult, 0, len(fp.specs))
+			fnStart := time.Now()
+			for _, sp := range fp.specs {
+				r, err := c.runProbe(fp.proto, sp.param, sp.probe)
+				if err != nil {
+					return nil, nil, err
+				}
+				results = append(results, r)
 			}
-			results = append(results, r)
+			fr = buildReport(fp.name, fp.proto, results)
+			wall = time.Since(fnStart)
+			stats.WorkerBusy[0] += wall
+			executed += fr.Probes
+			if c.cache != nil {
+				if err := c.cache.put(fp.name, config, key, fr); err != nil {
+					return nil, nil, err
+				}
+			}
+		} else {
+			stats.CachedFuncs++
+			stats.CachedProbes += fr.Probes
 		}
-		fr := buildReport(fp.name, fp.proto, results)
 		lr.Funcs = append(lr.Funcs, fr)
 		lr.TotalProbes += fr.Probes
 		lr.TotalFailures += fr.Failures
-		wall := time.Since(fnStart)
-		stats.noteFunc(fp.name, fr.Probes, wall)
-		stats.WorkerBusy[0] += wall
+		stats.noteFunc(fp.name, fr.Probes, wall, cached)
 		if c.progress != nil {
 			c.progress(Progress{
 				Func: fp.name, FuncProbes: fr.Probes,
@@ -559,7 +603,7 @@ func (c *Campaign) runLibrarySequential() (*LibReport, *CampaignStats, error) {
 			})
 		}
 	}
-	stats.finish(lr.TotalProbes, time.Since(start))
+	stats.finish(executed, time.Since(start))
 	if c.statsSink != nil {
 		c.statsSink(stats)
 	}

@@ -37,6 +37,9 @@ type FuncTiming struct {
 	// in a sequential run, summed per-probe time in a parallel run
 	// (where one function's probes interleave across workers).
 	Wall time.Duration
+	// Cached marks a function whose report was reused from the campaign
+	// cache instead of being probed (Wall is then zero).
+	Cached bool
 }
 
 // CampaignStats describes one library sweep's throughput — the numbers
@@ -46,8 +49,14 @@ type FuncTiming struct {
 type CampaignStats struct {
 	// Workers is the pool size the sweep ran with (1 = sequential).
 	Workers int
-	// Probes is the number of probe processes executed.
+	// Probes is the number of probe processes executed. Cache hits do
+	// not execute probes, so with a warm cache this is smaller than the
+	// report's TotalProbes (which keeps full campaign semantics).
 	Probes int
+	// CachedFuncs / CachedProbes count the functions (and the probes
+	// they represent) served from the campaign cache instead of probed.
+	CachedFuncs  int
+	CachedProbes int
 	// Elapsed is the sweep's wall time; ProbesPerSec the throughput.
 	Elapsed      time.Duration
 	ProbesPerSec float64
@@ -68,8 +77,8 @@ func newCampaignStats(workers, funcs int) *CampaignStats {
 	}
 }
 
-func (s *CampaignStats) noteFunc(name string, probes int, wall time.Duration) {
-	s.FuncWall = append(s.FuncWall, FuncTiming{Name: name, Probes: probes, Wall: wall})
+func (s *CampaignStats) noteFunc(name string, probes int, wall time.Duration, cached bool) {
+	s.FuncWall = append(s.FuncWall, FuncTiming{Name: name, Probes: probes, Wall: wall, Cached: cached})
 }
 
 func (s *CampaignStats) finish(probes int, elapsed time.Duration) {
@@ -101,7 +110,27 @@ func (c *Campaign) runLibraryParallel(workers int) (*LibReport, *CampaignStats, 
 	}
 	plan := c.planLibrary()
 	stats := newCampaignStats(workers, len(plan.funcs))
+	config := c.configHash()
 	start := time.Now()
+
+	// Cache partition: functions with a current cache entry skip the
+	// worker pool entirely; only the rest become probe tasks. The merge
+	// below walks canonical order regardless, so a warm run's report is
+	// byte-identical to a cold one.
+	cachedReports := make([]*FuncReport, len(plan.funcs))
+	keys := make([]string, len(plan.funcs))
+	cachedFuncs, cachedProbes := 0, 0
+	for fi := range plan.funcs {
+		fr, key := c.cacheLookup(&plan.funcs[fi], config)
+		keys[fi] = key
+		if fr != nil {
+			cachedReports[fi] = fr
+			cachedFuncs++
+			cachedProbes += fr.Probes
+		}
+	}
+	stats.CachedFuncs = cachedFuncs
+	stats.CachedProbes = cachedProbes
 
 	// Results and errors land in slots addressed by stable indices, so
 	// execution order cannot influence the merged report. Errors keep
@@ -109,8 +138,12 @@ func (c *Campaign) runLibraryParallel(workers int) (*LibReport, *CampaignStats, 
 	// like the sequential engine's fail-fast.
 	tasks := make([]probeTask, 0, plan.totalProbes)
 	results := make([][]ProbeResult, len(plan.funcs))
+	built := make([]*FuncReport, len(plan.funcs))
 	remaining := make([]int32, len(plan.funcs))
 	for fi, fp := range plan.funcs {
+		if cachedReports[fi] != nil {
+			continue
+		}
 		results[fi] = make([]ProbeResult, len(fp.specs))
 		remaining[fi] = int32(len(fp.specs))
 		for si := range fp.specs {
@@ -130,6 +163,23 @@ func (c *Campaign) runLibraryParallel(workers int) (*LibReport, *CampaignStats, 
 		taskCh   = make(chan int)
 	)
 	abort := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// Cache hits complete "instantly": report them first, in canonical
+	// order, and seed the counters the workers' progress builds on.
+	for fi, fp := range plan.funcs {
+		if cachedReports[fi] == nil {
+			continue
+		}
+		done := doneP.Add(int64(cachedReports[fi].Probes))
+		df := doneF.Add(1)
+		if c.progress != nil {
+			c.progress(Progress{
+				Func: fp.name, FuncProbes: cachedReports[fi].Probes,
+				DoneFuncs: int(df), TotalFuncs: len(plan.funcs),
+				DoneProbes: int(done), TotalProbes: plan.totalProbes,
+			})
+		}
+	}
 
 	// Feeder: hands out flat task indices until done or aborted.
 	go func() {
@@ -163,6 +213,17 @@ func (c *Campaign) runLibraryParallel(workers int) (*LibReport, *CampaignStats, 
 				funcBusy[t.fn].Add(int64(d))
 				done := doneP.Add(1)
 				if atomic.AddInt32(&remaining[t.fn], -1) == 0 {
+					// Exactly one worker observes the zero crossing,
+					// making it the single writer of built[t.fn] and
+					// the sole cache-put for this function.
+					built[t.fn] = buildReport(fp.name, fp.proto, results[t.fn])
+					if c.cache != nil {
+						if err := c.cache.put(fp.name, config, keys[t.fn], built[t.fn]); err != nil {
+							errs[idx] = err
+							abort()
+							continue
+						}
+					}
 					df := doneF.Add(1)
 					if c.progress != nil {
 						progMu.Lock()
@@ -186,16 +247,23 @@ func (c *Campaign) runLibraryParallel(workers int) (*LibReport, *CampaignStats, 
 	}
 
 	// Deterministic merge: canonical function order, canonical probe
-	// order within each function.
+	// order within each function. Cached functions contribute their
+	// stored reports; probed ones the reports built at completion.
 	lr := &LibReport{Library: c.target}
+	executed := 0
 	for fi, fp := range plan.funcs {
-		fr := buildReport(fp.name, fp.proto, results[fi])
+		fr := cachedReports[fi]
+		cached := fr != nil
+		if !cached {
+			fr = built[fi]
+			executed += fr.Probes
+		}
 		lr.Funcs = append(lr.Funcs, fr)
 		lr.TotalProbes += fr.Probes
 		lr.TotalFailures += fr.Failures
-		stats.noteFunc(fp.name, fr.Probes, time.Duration(funcBusy[fi].Load()))
+		stats.noteFunc(fp.name, fr.Probes, time.Duration(funcBusy[fi].Load()), cached)
 	}
-	stats.finish(lr.TotalProbes, time.Since(start))
+	stats.finish(executed, time.Since(start))
 	if c.statsSink != nil {
 		c.statsSink(stats)
 	}

@@ -17,6 +17,8 @@ package xmlrep
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/xml"
 	"fmt"
 	"time"
@@ -31,9 +33,10 @@ type DocKind string
 
 // The document kinds.
 const (
-	KindDeclarations DocKind = "declarations"
-	KindRobustAPI    DocKind = "robust-api"
-	KindProfile      DocKind = "profile"
+	KindDeclarations  DocKind = "declarations"
+	KindRobustAPI     DocKind = "robust-api"
+	KindProfile       DocKind = "profile"
+	KindCampaignCache DocKind = "campaign-cache"
 )
 
 // ParamDecl is one parameter in a declaration file.
@@ -89,10 +92,14 @@ type RobustParamXML struct {
 	Level string `xml:"level,attr"`
 }
 
-// RobustFuncXML is one function's derived robust API.
+// RobustFuncXML is one function's derived robust API. Failures is the
+// campaign's robustness-failure count for the function; it is optional
+// (absent == 0) and only emitted by baseline documents, where the CI
+// regression gate uses it to detect functions that gained failures.
 type RobustFuncXML struct {
-	Name   string           `xml:"name,attr"`
-	Params []RobustParamXML `xml:"param"`
+	Name     string           `xml:"name,attr"`
+	Failures int              `xml:"failures,attr,omitempty"`
+	Params   []RobustParamXML `xml:"param"`
 }
 
 // RobustAPIDoc is the robust-API file of Figure 2's output stage.
@@ -139,6 +146,74 @@ func (doc *RobustAPIDoc) API() (ctypes.RobustAPI, error) {
 		api[fx.Name] = params
 	}
 	return api, nil
+}
+
+// CacheProbeXML is one recorded probe call in a campaign-cache entry:
+// everything the engine needs to reconstruct an inject.ProbeResult without
+// re-running the probe process, fault detail included.
+type CacheProbeXML struct {
+	Param   int    `xml:"param,attr"`
+	Probe   string `xml:"probe,attr"`
+	Sat     int    `xml:"sat,attr"`
+	Outcome string `xml:"outcome,attr"`
+	// Fault fields reconstruct the cmem.Fault of crash/abort/hang
+	// outcomes; FaultKind == 0 means the probe did not fault.
+	FaultKind   int    `xml:"fault_kind,attr,omitempty"`
+	FaultAddr   uint64 `xml:"fault_addr,attr,omitempty"`
+	FaultOp     string `xml:"fault_op,attr,omitempty"`
+	FaultDetail string `xml:"fault_detail,attr,omitempty"`
+}
+
+// CacheFuncXML is one function's cached campaign outcome. Key is the
+// content hash of (prototype, probe-hierarchy version, injector config)
+// that addressed the entry; Config repeats the injector-config component
+// so entries for different configurations (plain vs wrapper-preloaded
+// sweeps) of the same function can coexist in one file.
+type CacheFuncXML struct {
+	Name             string           `xml:"name,attr"`
+	Key              string           `xml:"key,attr"`
+	Config           string           `xml:"config,attr"`
+	Probes           int              `xml:"probes,attr"`
+	Failures         int              `xml:"failures,attr"`
+	NeedsContainment bool             `xml:"needs_containment,attr,omitempty"`
+	Params           []RobustParamXML `xml:"param"`
+	Results          []CacheProbeXML  `xml:"probe"`
+}
+
+// CampaignCacheDoc is the persistent fault-injection campaign cache: one
+// entry per (function, injector config) holding the full per-probe record
+// and the derived robust types. Hierarchy is the probe-hierarchy content
+// hash the entries were derived under — a reader whose hierarchy differs
+// must discard the whole document. Checksum is ComputeChecksum() over the
+// entries; a mismatch marks the file corrupted (e.g. a truncated
+// checkpoint) and it must be discarded rather than trusted.
+type CampaignCacheDoc struct {
+	XMLName   xml.Name       `xml:"healers-campaign-cache"`
+	Hierarchy string         `xml:"hierarchy,attr"`
+	Checksum  string         `xml:"checksum,attr,omitempty"`
+	Generated string         `xml:"generated,attr,omitempty"`
+	Funcs     []CacheFuncXML `xml:"function"`
+}
+
+// ComputeChecksum returns the integrity hash of the document's semantic
+// content (hierarchy plus every entry field, in document order). The
+// Generated timestamp and the stored Checksum itself are excluded, so the
+// value is reproducible from a parsed document.
+func (d *CampaignCacheDoc) ComputeChecksum() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "hierarchy=%s\n", d.Hierarchy)
+	for _, f := range d.Funcs {
+		fmt.Fprintf(h, "func=%s key=%s config=%s probes=%d failures=%d nc=%v\n",
+			f.Name, f.Key, f.Config, f.Probes, f.Failures, f.NeedsContainment)
+		for _, p := range f.Params {
+			fmt.Fprintf(h, " param=%s chain=%s level=%s\n", p.Name, p.Chain, p.Level)
+		}
+		for _, r := range f.Results {
+			fmt.Fprintf(h, " probe=%d/%s sat=%d out=%s fault=%d/%d/%s/%s\n",
+				r.Param, r.Probe, r.Sat, r.Outcome, r.FaultKind, r.FaultAddr, r.FaultOp, r.FaultDetail)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // ErrnoCount is one errno histogram bucket.
@@ -333,6 +408,8 @@ func Kind(data []byte) (DocKind, error) {
 				return KindRobustAPI, nil
 			case "healers-profile":
 				return KindProfile, nil
+			case "healers-campaign-cache":
+				return KindCampaignCache, nil
 			default:
 				return "", fmt.Errorf("xmlrep: unknown document root %q", se.Name.Local)
 			}

@@ -10,14 +10,19 @@ go vet ./...
 go test -race ./...
 
 # Documentation hygiene: documented flags must exist in cmd/*, and the
-# examples must be gofmt-clean (same checks as `make docs`).
+# whole repo must be gofmt-clean.
 sh scripts/check-docs.sh
-fmt=$(gofmt -l examples)
+fmt=$(gofmt -l .)
 if [ -n "$fmt" ]; then
-    echo "gofmt needed in examples:" >&2
+    echo "gofmt needed:" >&2
     echo "$fmt" >&2
     exit 1
 fi
+
+# Robustness-regression gate: the derived robust API must not be weaker
+# than the checked-in baseline (cache-accelerated, so a warm run costs
+# milliseconds).
+sh scripts/verify-api.sh
 
 # Smoke-run the collect ingest benchmarks: one iteration each proves the
 # upload path, the bounded store, both aggregation paths, and the
