@@ -757,3 +757,65 @@ func BenchmarkSubstrate_HeapAllocator(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkF3_ContainOverhead prices fault containment on the healthy
+// path: one strlen call direct, through the containment micro-generator
+// (journal + policy check), and through the full watchdog+contain stack
+// — the overhead an application pays for crashes it never has.
+func BenchmarkF3_ContainOverhead(b *testing.B) {
+	libc := clib.MustRegistry().AsLibrary()
+	proto := libc.Proto("strlen")
+	base, _ := libc.Lookup("strlen")
+
+	variants := []struct {
+		name   string
+		micros []gen.MicroGenerator
+	}{
+		{"direct", nil},
+		{"contain", []gen.MicroGenerator{gen.MGContain(wrappers.DefaultPolicy())}},
+		{"watchdog_contain", []gen.MicroGenerator{gen.MGWatchdog(0), gen.MGContain(wrappers.DefaultPolicy())}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			fn := base
+			if v.micros != nil {
+				parts := append([]gen.MicroGenerator{gen.MGPrototype()}, v.micros...)
+				parts = append(parts, gen.MGCaller())
+				g, err := gen.NewGenerator(parts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				next := base
+				fn = g.Build(proto, &next, gen.NewState("bench"))
+			}
+			env, arg := callEnv(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, f := fn(env, []cval.Value{arg}); f != nil {
+					b.Fatal(f)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChaosSurvival runs the stress workload under chaos mode with
+// the containment wrapper preloaded, asserting survival every
+// iteration — the recovery layer's end-to-end path, also smoke-run by
+// make check.
+func BenchmarkChaosSurvival(b *testing.B) {
+	tk := newBenchToolkit(b)
+	if _, err := tk.GenerateContainmentWrapper(Libc, nil, nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cr, err := tk.RunChaos(Stress, 0.05, uint64(i)+1, []string{ContainmentWrapper}, "", "30")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cr.Proc.Crashed() {
+			b.Fatalf("wrapped chaos run crashed (seed %d): %s", i+1, cr.Proc)
+		}
+	}
+}

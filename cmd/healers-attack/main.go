@@ -8,6 +8,16 @@
 //	healers-attack            # both phases: undefended, then defended
 //	healers-attack -defend    # only the defended run
 //	healers-attack -benign    # a well-formed request instead of the attack
+//
+// With -chaos it stages the fault-containment survival scenario instead:
+// the stress workload runs under chaos mode (every C-library call fails
+// with probability -chaos-rate, deterministically from -chaos-seed).
+// Unprotected, the first injected fault kills the process; with the
+// containment wrapper preloaded the faults are caught, rolled back, and
+// virtualized into errno returns, and the process runs to completion.
+//
+//	healers-attack -chaos
+//	healers-attack -chaos -chaos-rate 0.1 -chaos-seed 7
 package main
 
 import (
@@ -21,12 +31,74 @@ import (
 func main() {
 	defendOnly := flag.Bool("defend", false, "run only the defended phase")
 	benign := flag.Bool("benign", false, "send a benign request instead of the exploit")
+	chaos := flag.Bool("chaos", false, "run the chaos-mode fault-containment scenario instead of the overflow attack")
+	chaosRate := flag.Float64("chaos-rate", 0.05, "per-call fault probability for -chaos")
+	chaosSeed := flag.Uint64("chaos-seed", 1234, "deterministic chaos injector seed for -chaos")
 	flag.Parse()
 
-	if err := run(*defendOnly, *benign); err != nil {
+	var err error
+	if *chaos {
+		err = runChaos(*chaosRate, *chaosSeed, *defendOnly)
+	} else {
+		err = run(*defendOnly, *benign)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "healers-attack:", err)
 		os.Exit(1)
 	}
+}
+
+// runChaos stages the containment survival demo: the same workload, the
+// same deterministic fault sequence, with and without the containment
+// wrapper between the application and its failing C library.
+func runChaos(rate float64, seed uint64, defendOnly bool) error {
+	tk, err := healers.NewToolkit()
+	if err != nil {
+		return err
+	}
+	if err := tk.InstallSampleApps(); err != nil {
+		return err
+	}
+	if _, err := tk.GenerateContainmentWrapper(healers.Libc, nil, nil, nil); err != nil {
+		return err
+	}
+	fmt.Printf("chaos mode: every libc call fails with p=%g (seed %d)\n\n", rate, seed)
+
+	if !defendOnly {
+		fmt.Println("=== phase 1: stress WITHOUT protection ===")
+		cr, err := tk.RunChaos(healers.Stress, rate, seed, nil, "", "50")
+		if err != nil {
+			return err
+		}
+		reportChaos(cr)
+	}
+
+	fmt.Println("=== phase 2: stress with the containment wrapper preloaded ===")
+	fmt.Printf("LD_PRELOAD=%s\n", healers.ContainmentWrapper)
+	cr, err := tk.RunChaos(healers.Stress, rate, seed, []string{healers.ContainmentWrapper}, "", "50")
+	if err != nil {
+		return err
+	}
+	reportChaos(cr)
+
+	if st, ok := tk.WrapperState(healers.ContainmentWrapper); ok {
+		contained, retried, trips := st.ContainmentTotals()
+		fmt.Printf("wrapper totals: %d faults contained, %d retries, %d breaker trips\n",
+			contained, retried, trips)
+	}
+	return nil
+}
+
+func reportChaos(cr *healers.ChaosResult) {
+	fmt.Printf("process: %s (%d libc calls, %d faults injected)\n",
+		cr.Proc, cr.Calls, cr.Injected)
+	if cr.Proc.Crashed() {
+		fmt.Println("-> the first uncontained fault killed the process.")
+	} else {
+		fmt.Println("-> injected faults were contained and virtualized into errno")
+		fmt.Println("   returns; the process ran to completion.")
+	}
+	fmt.Println()
 }
 
 func run(defendOnly, benign bool) error {

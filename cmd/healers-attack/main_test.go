@@ -21,6 +21,15 @@ func TestRunAttackPhases(t *testing.T) {
 	}
 }
 
+func TestRunChaosScenario(t *testing.T) {
+	if err := runChaos(0.05, 1234, false); err != nil {
+		t.Errorf("runChaos both phases: %v", err)
+	}
+	if err := runChaos(0.05, 1234, true); err != nil {
+		t.Errorf("runChaos defend only: %v", err)
+	}
+}
+
 func TestHelpers(t *testing.T) {
 	if indent("a\nb\n") != "  a\n  b\n" {
 		t.Errorf("indent = %q", indent("a\nb\n"))

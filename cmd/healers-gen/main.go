@@ -7,6 +7,8 @@
 //	healers-gen wctrans                       # profiling wrapper (Fig. 3)
 //	healers-gen -type security strcpy         # security wrapper source
 //	healers-gen -type robustness -derive strcpy  # derive the robust API first
+//	healers-gen -type containment strcpy      # fault-containment wrapper
+//	healers-gen -type containment -policy recovery.xml strcpy
 package main
 
 import (
@@ -19,24 +21,37 @@ import (
 )
 
 func main() {
-	kind := flag.String("type", "profiling", "wrapper type: robustness, security, or profiling")
+	kind := flag.String("type", "profiling", "wrapper type: robustness, security, profiling, or containment")
 	derive := flag.Bool("derive", false, "run a fault-injection campaign to derive the robust API (robustness type only)")
 	lib := flag.String("lib", healers.Libc, "library the function belongs to")
+	policy := flag.String("policy", "", "recovery-policy XML file validated alongside a containment wrapper")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: healers-gen [-type T] [-derive] <function>")
+		fmt.Fprintln(os.Stderr, "usage: healers-gen [-type T] [-derive] [-policy FILE] <function>")
 		os.Exit(2)
 	}
-	if err := run(*kind, *lib, flag.Arg(0), *derive); err != nil {
+	if err := run(*kind, *lib, flag.Arg(0), *derive, *policy); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-gen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, lib, fn string, derive bool) error {
+func run(kind, lib, fn string, derive bool, policyFile string) error {
 	tk, err := healers.NewToolkit()
 	if err != nil {
 		return err
+	}
+	// A policy file is parsed and validated up front, so a bad rule set
+	// fails generation instead of surfacing at the first contained fault.
+	if policyFile != "" {
+		data, err := os.ReadFile(policyFile)
+		if err != nil {
+			return err
+		}
+		if _, err := tk.LoadPolicyXML(data); err != nil {
+			return fmt.Errorf("policy %s: %w", policyFile, err)
+		}
+		fmt.Printf("/* recovery policy %s validated */\n", policyFile)
 	}
 	var api healers.RobustAPI
 	if kind == "robustness" {

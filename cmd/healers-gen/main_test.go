@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"healers/internal/xmlrep"
+)
 
 func TestRunKinds(t *testing.T) {
 	tests := []struct {
@@ -14,15 +20,52 @@ func TestRunKinds(t *testing.T) {
 		{"security strcpy", "security", "strcpy", false, true},
 		{"robustness strongest", "robustness", "strlen", false, true},
 		{"robustness derived", "robustness", "strlen", true, true},
+		{"containment strcpy", "containment", "strcpy", false, true},
 		{"unknown kind", "bogus", "strlen", false, false},
 		{"unknown func", "profiling", "nope", false, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(tt.kind, "libc.so.6", tt.fn, tt.derive)
+			err := run(tt.kind, "libc.so.6", tt.fn, tt.derive, "")
 			if (err == nil) != tt.ok {
 				t.Errorf("run = %v, want ok=%v", err, tt.ok)
 			}
 		})
+	}
+}
+
+func TestRunWithPolicyFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "policy.xml")
+	doc := xmlrep.NewPolicyDoc(4, 60000, []xmlrep.PolicyRuleXML{
+		{Func: "strcpy", Class: "crash", Action: "retry", Retries: 2},
+	})
+	data, err := xmlrep.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("containment", "libc.so.6", "strcpy", false, good); err != nil {
+		t.Errorf("run with valid policy: %v", err)
+	}
+
+	bad := filepath.Join(dir, "bad.xml")
+	badDoc := xmlrep.NewPolicyDoc(0, 0, []xmlrep.PolicyRuleXML{
+		{Func: "strcpy", Class: "crash", Action: "explode"},
+	})
+	data, err = xmlrep.Marshal(badDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("containment", "libc.so.6", "strcpy", false, bad); err == nil {
+		t.Error("invalid policy action accepted")
+	}
+	if err := run("containment", "libc.so.6", "strcpy", false, filepath.Join(dir, "missing.xml")); err == nil {
+		t.Error("missing policy file accepted")
 	}
 }

@@ -13,6 +13,15 @@
 //	healers-profile -app textutil -trace           # recent-call ring
 //	healers-profile -app stress -collect 127.0.0.1:7099 -retries 5
 //	healers-profile -app stress -collect 127.0.0.1:7099 -spool
+//
+// With -contain the application runs under the fault-containment
+// wrapper instead, and the profile carries its recovery counters
+// (contained faults, retries, breaker trips); -chaos injects
+// deterministic C-library faults during the run so there is something
+// to contain.
+//
+//	healers-profile -app stress -contain -chaos 0.05 -chaos-seed 7
+//	healers-profile -app stress -contain -policy recovery.xml
 package main
 
 import (
@@ -38,15 +47,21 @@ func main() {
 	retries := flag.Int("retries", 0, "retry a failed upload this many times with exponential backoff")
 	spool := flag.Bool("spool", false, "upload through the async spooler, waiting up to -spool-wait for delivery")
 	spoolWait := flag.Duration("spool-wait", 10*time.Second, "how long -spool waits for the collector before giving up")
+	contain := flag.Bool("contain", false, "run under the fault-containment wrapper instead of the profiling wrapper")
+	chaosRate := flag.Float64("chaos", 0, "with -contain: per-call C-library fault probability (0 disables chaos mode)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "with -chaos: deterministic chaos injector seed")
+	policyFile := flag.String("policy", "", "with -contain: recovery-policy XML file for the containment wrapper")
 	flag.Parse()
 
-	if err := run(*app, *stdin, *argv, *asXML, *histograms, *trace, *collectAddr, *retries, *spool, *spoolWait); err != nil {
+	if err := run(*app, *stdin, *argv, *asXML, *histograms, *trace, *collectAddr, *retries, *spool, *spoolWait,
+		*contain, *chaosRate, *chaosSeed, *policyFile); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-profile:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app, stdin, argv string, asXML, histograms, trace bool, collectAddr string, retries int, spool bool, spoolWait time.Duration) error {
+func run(app, stdin, argv string, asXML, histograms, trace bool, collectAddr string, retries int, spool bool, spoolWait time.Duration,
+	contain bool, chaosRate float64, chaosSeed uint64, policyFile string) error {
 	tk, err := healers.NewToolkit()
 	if err != nil {
 		return err
@@ -57,7 +72,26 @@ func run(app, stdin, argv string, asXML, histograms, trace bool, collectAddr str
 	// -argv is whitespace-split into individual argv entries, so
 	// multi-argument invocations work from one flag.
 	args := strings.Fields(argv)
-	rr, err := tk.RunProfiled(app, stdin, args...)
+	var rr *healers.RunResult
+	if contain {
+		var policy *healers.PolicyEngine
+		if policyFile != "" {
+			data, err := os.ReadFile(policyFile)
+			if err != nil {
+				return err
+			}
+			if policy, err = tk.LoadPolicyXML(data); err != nil {
+				return fmt.Errorf("policy %s: %w", policyFile, err)
+			}
+		}
+		var chaosSpec string
+		if chaosRate > 0 {
+			chaosSpec = fmt.Sprintf("%g:%d", chaosRate, chaosSeed)
+		}
+		rr, err = tk.RunContained(app, stdin, policyOrNil(policy), chaosSpec, args...)
+	} else {
+		rr, err = tk.RunProfiled(app, stdin, args...)
+	}
 	if err != nil {
 		return err
 	}
@@ -84,6 +118,16 @@ func run(app, stdin, argv string, asXML, histograms, trace bool, collectAddr str
 		fmt.Printf("\nprofile uploaded to %s\n", collectAddr)
 	}
 	return nil
+}
+
+// policyOrNil converts a possibly-nil engine into the policy interface
+// without producing a typed-nil interface value (which would bypass the
+// wrapper's nil-policy default).
+func policyOrNil(p *healers.PolicyEngine) healers.ContainPolicy {
+	if p == nil {
+		return nil
+	}
+	return p
 }
 
 // upload ships one profile: directly (with optional backoff retry), or

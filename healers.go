@@ -25,6 +25,7 @@ import (
 	"healers/internal/clib"
 	"healers/internal/core"
 	"healers/internal/ctypes"
+	"healers/internal/gen"
 	"healers/internal/inject"
 	"healers/internal/proc"
 	"healers/internal/victim"
@@ -68,6 +69,20 @@ type (
 	ProcResult = proc.Result
 	// ProfileLog is the profiling wrapper's XML document (Fig. 5).
 	ProfileLog = xmlrep.ProfileLog
+	// ChaosResult couples a chaos-mode run's outcome with the
+	// injector's draw statistics.
+	ChaosResult = core.ChaosResult
+	// ContainPolicy is the interface the containment wrapper consults
+	// on every contained failure.
+	ContainPolicy = gen.ContainPolicy
+	// PolicyEngine is the per-function recovery policy the containment
+	// wrapper consults, circuit breaker included.
+	PolicyEngine = wrappers.PolicyEngine
+	// PolicyRule maps one (function, failure class) pair to a recovery
+	// action.
+	PolicyRule = wrappers.PolicyRule
+	// PolicyDoc is the XML representation of a recovery policy.
+	PolicyDoc = xmlrep.PolicyDoc
 )
 
 // Well-known sonames.
@@ -80,7 +95,18 @@ const (
 	SecurityWrapper = wrappers.SecuritySoname
 	// ProfilingWrapper is the generated profiling wrapper's soname.
 	ProfilingWrapper = wrappers.ProfilingSoname
+	// ContainmentWrapper is the generated fault-containment wrapper's
+	// soname.
+	ContainmentWrapper = wrappers.ContainmentSoname
+	// ChaosEnvVar arms chaos mode on a simulated process
+	// ("RATE[:SEED]", e.g. "0.02:1234").
+	ChaosEnvVar = proc.ChaosEnvVar
 )
+
+// DefaultPolicy returns the containment wrapper's default recovery
+// policy: deny every contained failure, with the default circuit
+// breaker.
+func DefaultPolicy() *PolicyEngine { return wrappers.DefaultPolicy() }
 
 // Sample application names installed by Toolkit.InstallSampleApps.
 const (

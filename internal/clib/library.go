@@ -1,17 +1,42 @@
 package clib
 
-import "healers/internal/simelf"
+import (
+	"healers/internal/cmem"
+	"healers/internal/cval"
+	"healers/internal/simelf"
+)
 
 // LibcSoname is the soname of the simulated C library.
 const LibcSoname = "libc.so.6"
 
 // AsLibrary packages the registry as the installable shared object
-// "libc.so.6", prototypes included — the bottom of every link map.
+// "libc.so.6", prototypes included — the bottom of every link map. Every
+// exported function carries the chaos shim: with an armed injector on
+// the calling process (HEALERS_CHAOS), the call fails probabilistically
+// with a simulated hardware fault before the real implementation runs —
+// the adversary the containment wrapper is tested against.
 func (r *Registry) AsLibrary() *simelf.Library {
 	lib := simelf.NewLibrary(LibcSoname)
 	for _, name := range r.Names() {
 		b := r.byName[name]
-		lib.ExportWithProto(b.Proto, b.Fn)
+		lib.ExportWithProto(b.Proto, chaosShim(b.Proto.Name, b.Fn))
 	}
 	return lib
+}
+
+// chaosShim wraps a builtin with the chaos-mode roll. exit is exempt so
+// a chaos-stricken process can still terminate voluntarily (and flush
+// collected data) instead of faulting on its way out.
+func chaosShim(name string, fn cval.CFunc) cval.CFunc {
+	if name == "exit" {
+		return fn
+	}
+	return func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		if env.Chaos != nil {
+			if f := env.Chaos.Roll(name); f != nil {
+				return 0, f
+			}
+		}
+		return fn(env, args)
+	}
 }

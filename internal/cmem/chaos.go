@@ -1,0 +1,108 @@
+package cmem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chaos is the deterministic runtime fault injector behind chaos mode:
+// armed on a simulated process, it makes C-library calls fail
+// probabilistically with simulated hardware faults. Where the
+// fault-injection campaign (internal/inject) probes one argument at a
+// time in fresh processes, chaos mode attacks a *running* workload — the
+// adversary the containment wrapper exists to survive.
+//
+// The generator is a seeded xorshift64*, so a (seed, rate) pair replays
+// the exact same fault sequence: tests assert on specific injected-fault
+// counts and the -chaos CLI scenario is reproducible.
+//
+// Chaos is not synchronized: it belongs to one simulated process (via
+// cval.Env), which is single-threaded.
+type Chaos struct {
+	state uint64
+	// threshold is the probability cutoff in 1/2^32 units: a draw's low
+	// 32 bits below it fire. Held as uint64 so rate 1.0 (2^32, every
+	// draw fires) is representable.
+	threshold uint64
+
+	// Calls counts rolls; Injected counts faults produced.
+	Calls    uint64
+	Injected uint64
+}
+
+// NewChaos builds a chaos injector firing with probability rate (clamped
+// to [0,1]) and the given seed. A zero seed is folded to a fixed
+// constant so the xorshift state never sticks at zero.
+func NewChaos(rate float64, seed uint64) *Chaos {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Chaos{state: seed, threshold: uint64(rate * (1 << 32))}
+}
+
+// ParseChaos parses a "RATE" or "RATE:SEED" specification (the
+// HEALERS_CHAOS environment-variable format), e.g. "0.05" or
+// "0.02:1234". It returns nil for an empty or malformed spec — chaos
+// stays disarmed rather than firing with garbage parameters.
+func ParseChaos(spec string) *Chaos {
+	rateStr, seedStr, hasSeed := strings.Cut(spec, ":")
+	rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+	if err != nil || rate <= 0 {
+		return nil
+	}
+	var seed uint64 = 1
+	if hasSeed {
+		seed, err = strconv.ParseUint(strings.TrimSpace(seedStr), 10, 64)
+		if err != nil {
+			return nil
+		}
+	}
+	return NewChaos(rate, seed)
+}
+
+// Spec renders the injector back into the ParseChaos format.
+func (c *Chaos) Spec() string {
+	return fmt.Sprintf("%g", float64(c.threshold)/(1<<32))
+}
+
+// next advances the xorshift64* generator.
+func (c *Chaos) next() uint64 {
+	x := c.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	c.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// chaosKinds is the fault mix: mostly wild-pointer crashes, with aborts,
+// allocation failures, and hangs represented — the failure classes the
+// recovery policy distinguishes.
+var chaosKinds = [8]FaultKind{
+	FaultSegv, FaultSegv, FaultSegv, FaultSegv,
+	FaultBus, FaultAbort, FaultOOM, FaultHang,
+}
+
+// Roll draws once for a call into op; on a hit it returns the injected
+// fault, whose kind is chosen deterministically from the same draw.
+func (c *Chaos) Roll(op string) *Fault {
+	c.Calls++
+	draw := c.next()
+	if draw&0xffffffff >= c.threshold {
+		return nil
+	}
+	c.Injected++
+	kind := chaosKinds[(draw>>32)&7]
+	return &Fault{
+		Kind:   kind,
+		Op:     op,
+		Detail: fmt.Sprintf("chaos: injected %s (fault #%d)", kind, c.Injected),
+	}
+}

@@ -1,0 +1,68 @@
+package cmem
+
+import "testing"
+
+func TestChaosDeterminism(t *testing.T) {
+	a := NewChaos(0.25, 42)
+	b := NewChaos(0.25, 42)
+	for i := 0; i < 1000; i++ {
+		fa, fb := a.Roll("op"), b.Roll("op")
+		if (fa == nil) != (fb == nil) {
+			t.Fatalf("roll %d diverged: %v vs %v", i, fa, fb)
+		}
+		if fa != nil && fa.Kind != fb.Kind {
+			t.Fatalf("roll %d kind diverged: %v vs %v", i, fa.Kind, fb.Kind)
+		}
+	}
+	if a.Injected == 0 {
+		t.Error("rate 0.25 over 1000 rolls injected nothing")
+	}
+	if a.Injected != b.Injected {
+		t.Errorf("injected counts diverged: %d vs %d", a.Injected, b.Injected)
+	}
+}
+
+func TestChaosRateRoughlyHonored(t *testing.T) {
+	c := NewChaos(0.1, 7)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		c.Roll("op")
+	}
+	got := float64(c.Injected) / n
+	if got < 0.05 || got > 0.15 {
+		t.Errorf("injection rate = %.3f, want ~0.1", got)
+	}
+	if c.Calls != n {
+		t.Errorf("Calls = %d, want %d", c.Calls, n)
+	}
+}
+
+func TestChaosZeroRateNeverFires(t *testing.T) {
+	c := NewChaos(0, 1)
+	for i := 0; i < 1000; i++ {
+		if f := c.Roll("op"); f != nil {
+			t.Fatalf("rate-0 chaos fired: %v", f)
+		}
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	if c := ParseChaos("0.05:42"); c == nil {
+		t.Error("valid spec rejected")
+	}
+	if c := ParseChaos("0.05"); c == nil {
+		t.Error("seedless spec rejected")
+	}
+	for _, bad := range []string{"", "zero", "-1", "0", "0.5:notanumber"} {
+		if c := ParseChaos(bad); c != nil {
+			t.Errorf("malformed spec %q accepted", bad)
+		}
+	}
+	// Same spec, same sequence.
+	a, b := ParseChaos("0.2:9"), ParseChaos("0.2:9")
+	for i := 0; i < 100; i++ {
+		if (a.Roll("x") == nil) != (b.Roll("x") == nil) {
+			t.Fatal("identical specs diverged")
+		}
+	}
+}

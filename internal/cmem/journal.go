@@ -1,0 +1,90 @@
+package cmem
+
+// Write journal: the undo log behind the containment wrapper's rollback.
+//
+// A containment micro-generator arms the journal just before invoking the
+// wrapped function; every byte store through the Space records its
+// pre-image. If the call faults mid-write (strcpy walked off the end of a
+// mapping after copying half the string), the wrapper rolls the journal
+// back, restoring every clobbered byte, before virtualizing the fault
+// into an errno return — the caller observes a failed call, not a
+// half-smashed buffer. A completed call commits, which simply discards
+// the log.
+//
+// Scope: the journal covers memory *content* only. Mappings created
+// during the journalled call (heap arena growth) and the allocator's
+// Go-side chunk list are not rewound — a contained malloc can leak its
+// chunk, which is a bounded leak, not corruption (see DESIGN.md §7).
+
+// journalEntry is one byte's pre-image.
+type journalEntry struct {
+	addr Addr
+	old  byte
+}
+
+// BeginJournal arms the write journal. Journals nest: each Begin pushes a
+// mark, and Commit/Rollback pop back to the matching mark, so a retried
+// call can re-arm without disturbing an outer journal.
+func (s *Space) BeginJournal() {
+	s.journalMarks = append(s.journalMarks, len(s.journal))
+	s.journalArmed = true
+}
+
+// JournalActive reports whether at least one journal is armed.
+func (s *Space) JournalActive() bool { return s.journalArmed }
+
+// JournalLen returns the number of recorded pre-images (all nesting
+// levels), for tests and diagnostics.
+func (s *Space) JournalLen() int { return len(s.journal) }
+
+// popJournal removes the innermost journal mark and returns the entries
+// recorded since it. With no armed journal it returns nil.
+func (s *Space) popJournal() []journalEntry {
+	if len(s.journalMarks) == 0 {
+		return nil
+	}
+	mark := s.journalMarks[len(s.journalMarks)-1]
+	s.journalMarks = s.journalMarks[:len(s.journalMarks)-1]
+	entries := s.journal[mark:]
+	s.journal = s.journal[:mark]
+	if len(s.journalMarks) == 0 {
+		s.journalArmed = false
+	}
+	return entries
+}
+
+// CommitJournal discards the innermost journal: the call completed, its
+// writes stand.
+func (s *Space) CommitJournal() { s.popJournal() }
+
+// RollbackJournal restores the pre-image of every byte written since the
+// innermost BeginJournal, newest first, and disarms that journal level.
+// Restoration bypasses protection and fuel: the page was writable when
+// the store went through, and undo must not itself fault or hang.
+func (s *Space) RollbackJournal() {
+	entries := s.popJournal()
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		pg := s.pageOf(e.addr)
+		if pg == nil {
+			continue // page unmapped since the write; nothing to restore
+		}
+		if pg.data == nil {
+			if e.old == 0 {
+				continue // lazily-zero page, pre-image was zero anyway
+			}
+			pg.data = make([]byte, PageSize)
+		}
+		pg.data[e.addr&pageMask] = e.old
+	}
+}
+
+// journalWrite records a byte's pre-image before it is overwritten. The
+// caller has already located the page and verified writability.
+func (s *Space) journalWrite(pg *page, a Addr) {
+	var old byte
+	if pg.data != nil {
+		old = pg.data[a&pageMask]
+	}
+	s.journal = append(s.journal, journalEntry{addr: a, old: old})
+}

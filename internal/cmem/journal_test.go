@@ -1,0 +1,123 @@
+package cmem
+
+import "testing"
+
+func TestJournalRollbackRestoresPreImages(t *testing.T) {
+	sp := NewSpace()
+	if f := sp.Map(0x1000, PageSize, ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	if f := sp.Write(0x1000, []byte("before")); f != nil {
+		t.Fatal(f)
+	}
+
+	sp.BeginJournal()
+	if !sp.JournalActive() {
+		t.Fatal("journal not armed after BeginJournal")
+	}
+	if f := sp.Write(0x1000, []byte("AFTER!")); f != nil {
+		t.Fatal(f)
+	}
+	// A write to a fresh (lazily-zero) region must also roll back to
+	// zeros.
+	if f := sp.Write(0x1100, []byte{1, 2, 3}); f != nil {
+		t.Fatal(f)
+	}
+	sp.RollbackJournal()
+
+	var buf [6]byte
+	if f := sp.Read(0x1000, buf[:]); f != nil {
+		t.Fatal(f)
+	}
+	if string(buf[:]) != "before" {
+		t.Errorf("after rollback = %q, want %q", buf, "before")
+	}
+	var z [3]byte
+	if f := sp.Read(0x1100, z[:]); f != nil {
+		t.Fatal(f)
+	}
+	if z != [3]byte{} {
+		t.Errorf("fresh region after rollback = %v, want zeros", z)
+	}
+	if sp.JournalActive() {
+		t.Error("journal still armed after rollback")
+	}
+}
+
+func TestJournalCommitKeepsWrites(t *testing.T) {
+	sp := NewSpace()
+	if f := sp.Map(0x1000, PageSize, ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	sp.BeginJournal()
+	if f := sp.Write(0x1000, []byte("keep")); f != nil {
+		t.Fatal(f)
+	}
+	sp.CommitJournal()
+	var buf [4]byte
+	if f := sp.Read(0x1000, buf[:]); f != nil {
+		t.Fatal(f)
+	}
+	if string(buf[:]) != "keep" {
+		t.Errorf("after commit = %q, want %q", buf, "keep")
+	}
+	if sp.JournalLen() != 0 {
+		t.Errorf("journal entries retained after commit: %d", sp.JournalLen())
+	}
+}
+
+func TestJournalNesting(t *testing.T) {
+	sp := NewSpace()
+	if f := sp.Map(0x1000, PageSize, ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	sp.BeginJournal()
+	if f := sp.WriteByteAt(0x1000, 'a'); f != nil {
+		t.Fatal(f)
+	}
+	sp.BeginJournal() // inner: a retry re-arming over the outer journal
+	if f := sp.WriteByteAt(0x1001, 'b'); f != nil {
+		t.Fatal(f)
+	}
+	sp.RollbackJournal() // undoes only 'b'
+	if !sp.JournalActive() {
+		t.Fatal("outer journal lost after inner rollback")
+	}
+	b, _ := sp.ReadByteAt(0x1001)
+	if b != 0 {
+		t.Errorf("inner write survived inner rollback: %q", b)
+	}
+	a, _ := sp.ReadByteAt(0x1000)
+	if a != 'a' {
+		t.Errorf("outer write lost by inner rollback: %q", a)
+	}
+	sp.RollbackJournal() // undoes 'a'
+	a, _ = sp.ReadByteAt(0x1000)
+	if a != 0 {
+		t.Errorf("outer write survived outer rollback: %q", a)
+	}
+}
+
+func TestJournalRollbackAfterPartialFaultingWrite(t *testing.T) {
+	// The containment scenario: a write that faults partway through
+	// (one mapped page, then unmapped) leaves partial bytes; rollback
+	// must erase them.
+	sp := NewSpace()
+	if f := sp.Map(0x1000, PageSize, ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	start := Addr(0x1000 + PageSize - 3)
+	sp.BeginJournal()
+	f := sp.Write(start, []byte("XXXXXX")) // 3 bytes land, then SEGV
+	if f == nil || f.Kind != FaultSegv {
+		t.Fatalf("expected SEGV crossing the mapping, got %v", f)
+	}
+	sp.RollbackJournal()
+	var buf [3]byte
+	if f := sp.Read(start, buf[:]); f != nil {
+		t.Fatal(f)
+	}
+	if buf != [3]byte{} {
+		t.Errorf("partial write not rolled back: %v", buf)
+	}
+}

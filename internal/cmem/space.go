@@ -92,6 +92,12 @@ type Space struct {
 	// fuel, when non-negative, is decremented on every access; hitting
 	// zero raises FaultHang. Negative means unlimited (the default).
 	fuel int64
+
+	// journal holds byte pre-images recorded while a write journal is
+	// armed; journalMarks are the nesting boundaries (see journal.go).
+	journal      []journalEntry
+	journalMarks []int
+	journalArmed bool
 }
 
 // NewSpace returns an empty address space with no mappings (every access
@@ -252,6 +258,9 @@ func (s *Space) WriteByteAt(a Addr, v byte) *Fault {
 	}
 	if pg.prot&ProtWrite == 0 {
 		return prot("write1", a, "")
+	}
+	if s.journalArmed {
+		s.journalWrite(pg, a)
 	}
 	s.stores++
 	if pg.data == nil {

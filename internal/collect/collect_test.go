@@ -268,3 +268,46 @@ func TestServerCloseStopsAccepting(t *testing.T) {
 		t.Error("Dial after Close succeeded")
 	}
 }
+
+// containmentProfile builds a profile whose function carries the
+// containment counters the recovery layer serializes.
+func containmentProfile(app string) *xmlrep.ProfileLog {
+	st := gen.NewState("libhealers_contain.so")
+	i := st.Index("strlen")
+	st.CallCount[i] = 20
+	st.ContainedCount[i] = 5
+	st.RetriedCount[i] = 3
+	st.BreakerTrips[i] = 1
+	return xmlrep.NewProfileLog("testhost", app, st)
+}
+
+// TestAggregateContainmentCounters: contained-fault, retry, and
+// breaker-trip counters uploaded by two processes fold into the fleet
+// aggregate alongside the older outcome counters.
+func TestAggregateContainmentCounters(t *testing.T) {
+	s := startServer(t)
+	for _, app := range []string{"a", "b"} {
+		if err := Upload(s.Addr(), containmentProfile(app)); err != nil {
+			t.Fatalf("Upload %s: %v", app, err)
+		}
+	}
+	waitCount(t, s, 2)
+	agg := s.Aggregate()
+	fa := agg.Funcs["strlen"]
+	if fa == nil {
+		t.Fatal("strlen missing from aggregate")
+	}
+	if fa.Contained != 10 || fa.Retried != 6 || fa.BreakerTrips != 2 {
+		t.Errorf("containment counters = %d/%d/%d, want 10/6/2",
+			fa.Contained, fa.Retried, fa.BreakerTrips)
+	}
+	if fa.Calls != 40 {
+		t.Errorf("calls = %d, want 40", fa.Calls)
+	}
+	// Aggregate hands out a copy: mutating it must not corrupt the
+	// server's streaming state.
+	fa.Contained = 999
+	if s.Aggregate().Funcs["strlen"].Contained != 10 {
+		t.Error("Aggregate returned a live reference, not a clone")
+	}
+}

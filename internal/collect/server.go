@@ -28,6 +28,12 @@ type FuncAggregate struct {
 	Passed uint64
 	// Substituted counts calls routed through a bounded substitution.
 	Substituted uint64
+	// Contained counts faults caught and virtualized by the containment
+	// wrapper; Retried counts its policy-issued retry attempts;
+	// BreakerTrips counts circuit-breaker trips.
+	Contained    uint64
+	Retried      uint64
+	BreakerTrips uint64
 	// Hist is the dense log2 latency histogram (gen.HistBuckets buckets),
 	// or nil when no uploaded profile carried latency data for this
 	// function (pre-observability clients).
@@ -71,6 +77,9 @@ func (a *FleetAggregate) merge(prof *xmlrep.ProfileLog) {
 		fa.Denied += f.Denied
 		fa.Passed += f.Passed
 		fa.Substituted += f.Substituted
+		fa.Contained += f.Contained
+		fa.Retried += f.Retried
+		fa.BreakerTrips += f.BreakerTrips
 		if f.Latency != nil {
 			for _, b := range f.Latency.Buckets {
 				if b.Bucket < 0 || b.Bucket >= gen.HistBuckets {
@@ -102,11 +111,14 @@ func (a *FleetAggregate) clone() *FleetAggregate {
 	out.Overflows = a.Overflows
 	for fn, fa := range a.Funcs {
 		c := &FuncAggregate{
-			Calls:       fa.Calls,
-			ExecNS:      fa.ExecNS,
-			Denied:      fa.Denied,
-			Passed:      fa.Passed,
-			Substituted: fa.Substituted,
+			Calls:        fa.Calls,
+			ExecNS:       fa.ExecNS,
+			Denied:       fa.Denied,
+			Passed:       fa.Passed,
+			Substituted:  fa.Substituted,
+			Contained:    fa.Contained,
+			Retried:      fa.Retried,
+			BreakerTrips: fa.BreakerTrips,
 		}
 		if fa.Hist != nil {
 			c.Hist = append([]uint64(nil), fa.Hist...)

@@ -91,6 +91,17 @@ func RenderProfile(log *xmlrep.ProfileLog) string {
 	if log.Overflows > 0 {
 		fmt.Fprintf(&b, "\noverflows detected: %d\n", log.Overflows)
 	}
+	hasContain := false
+	for _, f := range log.Funcs {
+		if f.Contained == 0 && f.Retried == 0 && f.BreakerTrips == 0 {
+			continue
+		}
+		if !hasContain {
+			b.WriteString("\nfault containment (contained / retried / breaker trips):\n")
+			hasContain = true
+		}
+		fmt.Fprintf(&b, "  %-12s %6d %6d %6d\n", f.Name, f.Contained, f.Retried, f.BreakerTrips)
+	}
 	return b.String()
 }
 

@@ -297,8 +297,36 @@ func (t *Toolkit) GenerateProfilingWrapper(target string, names []string) (*gen.
 	return st, t.installWrapper(wrapper, st)
 }
 
+// GenerateContainmentWrapper builds and installs the fault-containment
+// wrapper for target: journaled calls, caught faults virtualized into
+// errno returns under the given recovery policy. api may be nil (no
+// upfront argument checks); policy may be nil (deny-on-failure with the
+// default circuit breaker).
+func (t *Toolkit) GenerateContainmentWrapper(target string, api ctypes.RobustAPI, policy gen.ContainPolicy, names []string) (*gen.State, error) {
+	lib, ok := t.sys.Library(target)
+	if !ok {
+		return nil, fmt.Errorf("core: no such library %q", target)
+	}
+	wrapper, st, err := wrappers.Containment(lib, api, policy, names)
+	if err != nil {
+		return nil, err
+	}
+	return st, t.installWrapper(wrapper, st)
+}
+
+// LoadPolicyXML parses a recovery-policy document (healers-gen -policy)
+// into the engine the containment wrapper consults.
+func (t *Toolkit) LoadPolicyXML(data []byte) (*wrappers.PolicyEngine, error) {
+	doc, err := xmlrep.Unmarshal[xmlrep.PolicyDoc](data)
+	if err != nil {
+		return nil, err
+	}
+	return wrappers.PolicyFromDoc(doc)
+}
+
 // WrapperSource renders the generated C-like source of one function's
-// wrapper (Fig. 3). kind is "robustness", "security", or "profiling".
+// wrapper (Fig. 3). kind is "robustness", "security", "profiling", or
+// "containment".
 func (t *Toolkit) WrapperSource(kind, target, fn string, api ctypes.RobustAPI) (string, error) {
 	lib, ok := t.sys.Library(target)
 	if !ok {
@@ -316,6 +344,8 @@ func (t *Toolkit) WrapperSource(kind, target, fn string, api ctypes.RobustAPI) (
 		g = wrappers.SecurityGenerator()
 	case "profiling":
 		g = wrappers.ProfilingGenerator()
+	case "containment":
+		g = wrappers.ContainmentGenerator(api, nil)
 	default:
 		return "", fmt.Errorf("core: unknown wrapper kind %q", kind)
 	}
@@ -353,6 +383,67 @@ func (t *Toolkit) RunProfiled(app, stdin string, argv ...string) (*RunResult, er
 	res := p.Run(argv...)
 	log := xmlrep.NewProfileLog("sim-host", app, st)
 	return &RunResult{Proc: res, Profile: log}, nil
+}
+
+// RunContained executes an application with the fault-containment
+// wrapper preloaded (generating and installing it on first use under
+// policy) and returns the run result plus the wrapper's profile
+// document, containment counters included. A non-empty chaosSpec
+// ("RATE[:SEED]") arms chaos mode for the run, so the wrapper has
+// faults to contain.
+func (t *Toolkit) RunContained(app, stdin string, policy gen.ContainPolicy, chaosSpec string, argv ...string) (*RunResult, error) {
+	if _, ok := t.sys.Library(wrappers.ContainmentSoname); !ok {
+		if _, err := t.GenerateContainmentWrapper(clib.LibcSoname, nil, policy, nil); err != nil {
+			return nil, err
+		}
+	}
+	st := t.states[wrappers.ContainmentSoname]
+	st.Reset()
+	opts := []proc.Option{
+		proc.WithPreloads(wrappers.ContainmentSoname),
+		proc.WithStdin(stdin),
+	}
+	if chaosSpec != "" {
+		opts = append(opts, proc.WithEnvVar(proc.ChaosEnvVar, chaosSpec))
+	}
+	p, err := proc.Start(t.sys, app, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res := p.Run(argv...)
+	return &RunResult{Proc: res, Profile: xmlrep.NewProfileLog("sim-host", app, st)}, nil
+}
+
+// ChaosResult couples a chaos-mode run's outcome with the injector's
+// draw statistics, so survival claims can be checked against how many
+// faults were actually thrown at the process.
+type ChaosResult struct {
+	Proc proc.Result
+	// Calls counts chaos rolls (one per C-library call); Injected
+	// counts the faults the injector actually produced.
+	Calls    uint64
+	Injected uint64
+}
+
+// RunChaos executes an application under chaos mode: every C-library
+// call fails with probability rate, drawing from the deterministic
+// injector seeded with seed. Preloads (typically the containment
+// wrapper) interpose between the application and the failing libc —
+// the survival experiment of the recovery layer.
+func (t *Toolkit) RunChaos(app string, rate float64, seed uint64, preloads []string, stdin string, argv ...string) (*ChaosResult, error) {
+	p, err := proc.Start(t.sys, app,
+		proc.WithPreloads(preloads...),
+		proc.WithStdin(stdin),
+		proc.WithEnvVar(proc.ChaosEnvVar, fmt.Sprintf("%g:%d", rate, seed)))
+	if err != nil {
+		return nil, err
+	}
+	res := p.Run(argv...)
+	cr := &ChaosResult{Proc: res}
+	if c := p.Env().Chaos; c != nil {
+		cr.Calls, cr.Injected = c.Calls, c.Injected
+	}
+	return cr, nil
 }
 
 // Run executes an application with arbitrary preloads.

@@ -48,6 +48,12 @@ type Env struct {
 	// RandState is the rand()/srand() LCG state.
 	RandState uint64
 
+	// Chaos, when non-nil, is the armed chaos-mode fault injector: the
+	// C library rolls it on every call and fails probabilistically with
+	// the drawn fault (proc.Start arms it from HEALERS_CHAOS). A plain
+	// pointer keeps the disarmed hot path to one nil check.
+	Chaos *cmem.Chaos
+
 	// environ maps NAME -> value; addrCache materializes values into
 	// the data segment lazily so getenv can hand out stable pointers.
 	environ   map[string]string

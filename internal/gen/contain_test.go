@@ -1,0 +1,395 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"healers/internal/cheader"
+	"healers/internal/cmem"
+	"healers/internal/ctypes"
+	"healers/internal/cval"
+)
+
+// stubPolicy is a canned ContainPolicy for tests: a fixed decision plus
+// a simple trip-after-threshold breaker.
+type stubPolicy struct {
+	decision  ContainDecision
+	threshold int
+	failures  int
+	tripped   bool
+}
+
+func (p *stubPolicy) Decide(string, FailureClass) ContainDecision { return p.decision }
+
+func (p *stubPolicy) RecordFailure(string, FailureClass) bool {
+	p.failures++
+	if p.threshold > 0 && p.failures >= p.threshold && !p.tripped {
+		p.tripped = true
+		return true
+	}
+	return false
+}
+
+func (p *stubPolicy) Tripped(string) bool { return p.tripped }
+
+func intProto(t *testing.T) *ctypes.Prototype {
+	t.Helper()
+	p, err := cheader.ParsePrototype("int f(int a);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func containGenOf(policy ContainPolicy) *Generator {
+	return MustGenerator(MGPrototype(), MGWatchdog(0), MGContain(policy), MGCaller())
+}
+
+func TestContainVirtualizesCrash(t *testing.T) {
+	st := NewState("libcontain.so")
+	env, call := wrapLibc(t, containGenOf(nil), st, "strlen")
+
+	// strlen(NULL) faults in the real implementation; the containment
+	// wrapper must survive it as an errno return.
+	v, f := call("strlen", cval.Ptr(0))
+	if f != nil {
+		t.Fatalf("contained call faulted: %v", f)
+	}
+	if env.Errno != cval.EFAULT {
+		t.Errorf("errno = %d, want EFAULT", env.Errno)
+	}
+	if v.Int32() != -1 {
+		t.Errorf("virtualized return = %d, want -1", v.Int32())
+	}
+	idx := st.Index("strlen")
+	if st.ContainedCount[idx] != 1 {
+		t.Errorf("ContainedCount = %d, want 1", st.ContainedCount[idx])
+	}
+	if len(st.DenyLog) == 0 || !strings.Contains(st.DenyLog[0], "contained crash") {
+		t.Errorf("DenyLog = %v", st.DenyLog)
+	}
+	// The process survives: a healthy call still works afterwards.
+	s, _ := env.Img.StaticString("alive")
+	v, f = call("strlen", cval.Ptr(s))
+	if f != nil || v.Uint32() != 5 {
+		t.Errorf("post-containment strlen = %v, %v", v, f)
+	}
+	if env.Img.Space.JournalActive() {
+		t.Error("journal left armed after calls")
+	}
+}
+
+func TestContainRollsBackPartialWrites(t *testing.T) {
+	st := NewState("libcontain.so")
+	env, call := wrapLibc(t, containGenOf(nil), st, "strcpy")
+
+	// A destination with 4 writable bytes before unmapped space: strcpy
+	// copies 4 bytes, faults on the 5th, and containment must erase the
+	// partial copy.
+	const base = cmem.Addr(0x00900000)
+	if f := env.Img.Space.Map(base, cmem.PageSize, cmem.ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	dst := base + cmem.PageSize - 4
+	src, _ := env.Img.StaticString("overflowing")
+
+	if _, f := call("strcpy", cval.Ptr(dst), cval.Ptr(src)); f != nil {
+		t.Fatalf("contained strcpy faulted: %v", f)
+	}
+	if env.Errno != cval.EFAULT {
+		t.Errorf("errno = %d, want EFAULT", env.Errno)
+	}
+	var buf [4]byte
+	if f := env.Img.Space.Read(dst, buf[:]); f != nil {
+		t.Fatal(f)
+	}
+	if buf != [4]byte{} {
+		t.Errorf("partial strcpy not rolled back: %q", buf)
+	}
+}
+
+func TestWatchdogConvertsHangToEINTR(t *testing.T) {
+	st := NewState("libcontain.so")
+	g := MustGenerator(MGPrototype(), MGWatchdog(64), MGCaller())
+	env, call := wrapLibc(t, g, st, "strlen")
+
+	// 200 non-NUL bytes: strlen burns through the 64-access budget.
+	const base = cmem.Addr(0x00900000)
+	if f := env.Img.Space.Map(base, cmem.PageSize, cmem.ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	for i := cmem.Addr(0); i < 200; i++ {
+		if f := env.Img.Space.WriteByteAt(base+i, 'A'); f != nil {
+			t.Fatal(f)
+		}
+	}
+	v, f := call("strlen", cval.Ptr(base))
+	if f != nil {
+		t.Fatalf("watchdogged call faulted: %v", f)
+	}
+	if env.Errno != cval.EINTR {
+		t.Errorf("errno = %d, want EINTR", env.Errno)
+	}
+	if v.Int32() != -1 {
+		t.Errorf("return = %d, want -1", v.Int32())
+	}
+	if st.ContainedCount[st.Index("strlen")] != 1 {
+		t.Errorf("ContainedCount = %d, want 1", st.ContainedCount[st.Index("strlen")])
+	}
+	// The per-call budget is gone; the process's fuel is unlimited again.
+	if env.Img.Space.Fuel() != -1 {
+		t.Errorf("fuel after call = %d, want -1 (restored)", env.Img.Space.Fuel())
+	}
+}
+
+func TestWatchdogHonorsTighterOuterBudget(t *testing.T) {
+	st := NewState("libcontain.so")
+	g := MustGenerator(MGPrototype(), MGWatchdog(1<<20), MGCaller())
+	env, call := wrapLibc(t, g, st, "strlen")
+
+	s, _ := env.Img.StaticString("hi")
+	// An injector-style outer budget smaller than the watchdog's must
+	// stay in force and keep draining across calls.
+	env.Img.Space.SetFuel(1000)
+	if _, f := call("strlen", cval.Ptr(s)); f != nil {
+		t.Fatalf("call under outer budget: %v", f)
+	}
+	rem := env.Img.Space.Fuel()
+	if rem < 0 || rem >= 1000 {
+		t.Errorf("outer fuel after call = %d, want 0 < fuel < 1000", rem)
+	}
+}
+
+func TestContainRetrySucceeds(t *testing.T) {
+	p := intProto(t)
+	st := NewState("w")
+	policy := &stubPolicy{decision: ContainDecision{Action: ActionRetry, Retries: 3}}
+	calls := 0
+	var next cval.CFunc = func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		calls++
+		if calls < 3 {
+			return 0, &cmem.Fault{Kind: cmem.FaultSegv, Op: "f"}
+		}
+		return cval.Int(7), nil
+	}
+	w := containGenOf(policy).Build(p, &next, st)
+	env := cval.NewEnv()
+	v, f := w(env, []cval.Value{cval.Int(1)})
+	if f != nil {
+		t.Fatalf("retried call faulted: %v", f)
+	}
+	if v.Int32() != 7 {
+		t.Errorf("retried return = %d, want 7", v.Int32())
+	}
+	if calls != 3 {
+		t.Errorf("original invoked %d times, want 3", calls)
+	}
+	idx := st.Index("f")
+	if st.RetriedCount[idx] != 2 {
+		t.Errorf("RetriedCount = %d, want 2", st.RetriedCount[idx])
+	}
+	if st.ContainedCount[idx] != 0 {
+		t.Errorf("ContainedCount = %d, want 0 (recovered by retry)", st.ContainedCount[idx])
+	}
+	if st.PassedCount[idx] != 1 {
+		t.Errorf("PassedCount = %d, want 1", st.PassedCount[idx])
+	}
+}
+
+func TestContainRetryExhaustedFallsBackToDeny(t *testing.T) {
+	p := intProto(t)
+	st := NewState("w")
+	policy := &stubPolicy{decision: ContainDecision{Action: ActionRetry, Retries: 2}}
+	calls := 0
+	var next cval.CFunc = func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		calls++
+		return 0, &cmem.Fault{Kind: cmem.FaultSegv, Op: "f"}
+	}
+	w := containGenOf(policy).Build(p, &next, st)
+	env := cval.NewEnv()
+	v, f := w(env, []cval.Value{cval.Int(1)})
+	if f != nil {
+		t.Fatalf("call faulted after retry exhaustion: %v", f)
+	}
+	if calls != 3 { // original + 2 retries
+		t.Errorf("original invoked %d times, want 3", calls)
+	}
+	if v.Int32() != -1 || env.Errno != cval.EFAULT {
+		t.Errorf("ret=%d errno=%d, want -1/EFAULT", v.Int32(), env.Errno)
+	}
+	idx := st.Index("f")
+	if st.RetriedCount[idx] != 2 || st.ContainedCount[idx] != 1 {
+		t.Errorf("RetriedCount=%d ContainedCount=%d, want 2/1",
+			st.RetriedCount[idx], st.ContainedCount[idx])
+	}
+}
+
+func TestContainSubstituteReturnsSafeDefault(t *testing.T) {
+	p := intProto(t)
+	st := NewState("w")
+	sub := cval.Int(42)
+	policy := &stubPolicy{decision: ContainDecision{Action: ActionSubstitute, Substitute: &sub}}
+	var next cval.CFunc = func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		return 0, &cmem.Fault{Kind: cmem.FaultAbort, Op: "f"}
+	}
+	w := containGenOf(policy).Build(p, &next, st)
+	env := cval.NewEnv()
+	v, f := w(env, []cval.Value{cval.Int(1)})
+	if f != nil {
+		t.Fatalf("substituted call faulted: %v", f)
+	}
+	if v.Int32() != 42 {
+		t.Errorf("substituted return = %d, want 42", v.Int32())
+	}
+	if env.Errno != 0 {
+		t.Errorf("substitution set errno %d, want untouched", env.Errno)
+	}
+}
+
+func TestContainEscalatePropagates(t *testing.T) {
+	p := intProto(t)
+	st := NewState("w")
+	policy := &stubPolicy{decision: ContainDecision{Action: ActionEscalate}}
+	var next cval.CFunc = func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		return 0, &cmem.Fault{Kind: cmem.FaultHang, Op: "f"}
+	}
+	w := containGenOf(policy).Build(p, &next, st)
+	_, f := w(cval.NewEnv(), []cval.Value{cval.Int(1)})
+	if f == nil || f.Kind != cmem.FaultHang {
+		t.Errorf("escalated fault = %v, want the original hang", f)
+	}
+	if st.ContainedCount[st.Index("f")] != 0 {
+		t.Error("escalated fault counted as contained")
+	}
+}
+
+func TestBreakerTripsToUpfrontDeny(t *testing.T) {
+	p := intProto(t)
+	st := NewState("w")
+	policy := &stubPolicy{threshold: 2}
+	calls := 0
+	var next cval.CFunc = func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		calls++
+		return 0, &cmem.Fault{Kind: cmem.FaultSegv, Op: "f"}
+	}
+	w := containGenOf(policy).Build(p, &next, st)
+	env := cval.NewEnv()
+	for i := 0; i < 2; i++ {
+		if _, f := w(env, []cval.Value{cval.Int(1)}); f != nil {
+			t.Fatalf("contained call %d faulted: %v", i, f)
+		}
+	}
+	idx := st.Index("f")
+	if st.BreakerTrips[idx] != 1 {
+		t.Errorf("BreakerTrips = %d, want 1", st.BreakerTrips[idx])
+	}
+	// The breaker is open: the brittle implementation is not poked again.
+	env.Errno = 0
+	v, f := w(env, []cval.Value{cval.Int(1)})
+	if f != nil {
+		t.Fatalf("post-trip call faulted: %v", f)
+	}
+	if calls != 2 {
+		t.Errorf("original invoked %d times after trip, want 2", calls)
+	}
+	if env.Errno != cval.EDenied || v.Int32() != -1 {
+		t.Errorf("post-trip ret=%d errno=%d, want -1/EDenied", v.Int32(), env.Errno)
+	}
+	if st.DeniedCount[idx] != 3 { // 2 contained + 1 breaker deny
+		t.Errorf("DeniedCount = %d, want 3", st.DeniedCount[idx])
+	}
+}
+
+// optInGen arms Contain without installing a consuming postfix, to prove
+// the generator never silently swallows a caught fault.
+type optInGen struct{}
+
+func (optInGen) Name() string                               { return "opt-in" }
+func (optInGen) PrefixSource(*ctypes.Prototype) []string    { return nil }
+func (optInGen) PostfixSource(*ctypes.Prototype) []string   { return nil }
+func (optInGen) PostfixHook(*ctypes.Prototype, *State) Hook { return nil }
+func (optInGen) PrefixHook(*ctypes.Prototype, *State) Hook {
+	return func(ctx *CallCtx) *cmem.Fault {
+		ctx.Contain = true
+		return nil
+	}
+}
+
+func TestUnconsumedContainedFaultPropagates(t *testing.T) {
+	p := intProto(t)
+	st := NewState("w")
+	var next cval.CFunc = func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		return 0, &cmem.Fault{Kind: cmem.FaultBus, Op: "f"}
+	}
+	w := MustGenerator(MGPrototype(), optInGen{}, MGCaller()).Build(p, &next, st)
+	_, f := w(cval.NewEnv(), []cval.Value{cval.Int(1)})
+	if f == nil || f.Kind != cmem.FaultBus {
+		t.Errorf("unconsumed caught fault = %v, want the original bus error", f)
+	}
+}
+
+func TestContainmentSourceRendering(t *testing.T) {
+	p, err := cheader.ParsePrototype("size_t strlen(const char *s); // @s in_str")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := containGenOf(nil).Source(p)
+	for _, want := range []string{
+		"healers_fuel_push(1048576)",
+		"healers_breaker_open(NO_STRLEN)",
+		"healers_journal_begin();",
+		"healers_journal_rollback();",
+		"healers_recover(NO_STRLEN, healers_fault_class())",
+		"HEALERS_RETRY",
+		"healers_fuel_pop();",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("containment source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestClassifyFaultAndErrno(t *testing.T) {
+	cases := []struct {
+		kind  cmem.FaultKind
+		class FailureClass
+		errno int32
+	}{
+		{cmem.FaultSegv, ClassCrash, cval.EFAULT},
+		{cmem.FaultBus, ClassCrash, cval.EFAULT},
+		{cmem.FaultProt, ClassCrash, cval.EFAULT},
+		{cmem.FaultOverflow, ClassCrash, cval.EFAULT},
+		{cmem.FaultHang, ClassHang, cval.EINTR},
+		{cmem.FaultAbort, ClassAbort, cval.EINVAL},
+		{cmem.FaultFPE, ClassAbort, cval.EINVAL},
+		{cmem.FaultOOM, ClassOOM, cval.EINVAL},
+	}
+	for _, c := range cases {
+		got := ClassifyFault(&cmem.Fault{Kind: c.kind})
+		if got != c.class {
+			t.Errorf("ClassifyFault(%v) = %v, want %v", c.kind, got, c.class)
+		}
+		if e := ContainErrno(got); e != c.errno {
+			t.Errorf("ContainErrno(%v) = %d, want %d", got, e, c.errno)
+		}
+	}
+	if a, ok := ContainActionByName("retry"); !ok || a != ActionRetry {
+		t.Errorf("ContainActionByName(retry) = %v, %v", a, ok)
+	}
+	if _, ok := ContainActionByName("bogus"); ok {
+		t.Error("bogus action name accepted")
+	}
+}
+
+func TestStateResetClearsContainmentCounters(t *testing.T) {
+	st := NewState("w")
+	idx := st.Index("f")
+	st.noteContained(idx)
+	st.noteRetry(idx)
+	st.noteBreakerTrip(idx)
+	st.Reset()
+	if st.ContainedCount[idx] != 0 || st.RetriedCount[idx] != 0 || st.BreakerTrips[idx] != 0 {
+		t.Errorf("Reset left containment counters: %d/%d/%d",
+			st.ContainedCount[idx], st.RetriedCount[idx], st.BreakerTrips[idx])
+	}
+}

@@ -43,6 +43,30 @@ type CallCtx struct {
 	// FuncIndex is the wrapped function's index in the wrapper state's
 	// tables.
 	FuncIndex int
+	// Contain, set by a containment prefix hook, makes the generator
+	// catch a fault raised by the original function instead of
+	// propagating it: the fault lands in ContainedFault and the postfix
+	// hooks still run, so a containment postfix can virtualize it into
+	// an errno return. A caught fault no postfix consumes propagates
+	// after the postfix loop — containment never silently swallows.
+	Contain bool
+	// ContainedFault holds the caught fault while postfix hooks run; a
+	// consuming hook clears it after deciding the recovery action.
+	ContainedFault *cmem.Fault
+	// invoke re-runs the original function with the original arguments;
+	// set by the generator just before the real call so a containment
+	// postfix can implement retry-with-backoff.
+	invoke func() (cval.Value, *cmem.Fault)
+	// containArmed notes that the containment prefix armed the write
+	// journal (skipped for vetoed calls).
+	containArmed bool
+	// escalated marks a fault the recovery policy re-raised on purpose,
+	// so later postfix hooks don't try to consume it.
+	escalated bool
+	// watchdogArmed/watchdogPrev hold the watchdog's saved outer fuel
+	// budget across the call.
+	watchdogArmed bool
+	watchdogPrev  int64
 	// start is the exectime micro-generator's timestamp.
 	start time.Time
 	// traceStart is the trace micro-generator's timestamp, kept separate
@@ -112,6 +136,16 @@ type State struct {
 	// SubstCount counts calls routed through a bounded substitution
 	// (BuildLibrarySubst) instead of the micro-generator composition.
 	SubstCount []uint64
+	// ContainedCount counts faults the containment micro-generator
+	// caught and virtualized into errno returns, per function index.
+	ContainedCount []uint64
+	// RetriedCount counts retry attempts the recovery policy issued
+	// after a contained fault, per function index.
+	RetriedCount []uint64
+	// BreakerTrips counts circuit-breaker trips (a function flipped to
+	// always-deny after repeated contained failures), per function
+	// index.
+	BreakerTrips []uint64
 	// Overflows counts canary/bound violations detected.
 	Overflows uint64
 	// DenyLog records human-readable veto reasons (bounded).
@@ -152,6 +186,9 @@ func (st *State) Reset() {
 		st.DeniedCount[i] = 0
 		st.PassedCount[i] = 0
 		st.SubstCount[i] = 0
+		st.ContainedCount[i] = 0
+		st.RetriedCount[i] = 0
+		st.BreakerTrips[i] = 0
 		for j := range st.ExecHist[i] {
 			st.ExecHist[i][j] = 0
 		}
@@ -186,6 +223,9 @@ func (st *State) Index(name string) int {
 	st.DeniedCount = append(st.DeniedCount, 0)
 	st.PassedCount = append(st.PassedCount, 0)
 	st.SubstCount = append(st.SubstCount, 0)
+	st.ContainedCount = append(st.ContainedCount, 0)
+	st.RetriedCount = append(st.RetriedCount, 0)
+	st.BreakerTrips = append(st.BreakerTrips, 0)
 	return i
 }
 
@@ -214,8 +254,23 @@ func (st *State) TotalCalls() uint64 {
 	return n
 }
 
-// addCall bumps a function's call counter.
-func (st *State) addCall(idx int) {
+// ContainmentTotals sums the recovery layer's counters across every
+// wrapped function: faults contained, retries issued, breaker trips.
+func (st *State) ContainmentTotals() (contained, retried, trips uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := range st.ContainedCount {
+		contained += st.ContainedCount[i]
+		retried += st.RetriedCount[i]
+		trips += st.BreakerTrips[i]
+	}
+	return contained, retried, trips
+}
+
+// AddCall bumps a function's call counter. Exported so bounded
+// substitutions (wrappers/subst.go), which bypass the micro-generator
+// composition, account their calls through the same locked path.
+func (st *State) AddCall(idx int) {
 	st.mu.Lock()
 	st.CallCount[idx]++
 	st.mu.Unlock()
@@ -253,13 +308,39 @@ func (st *State) addOverflow() {
 	st.mu.Unlock()
 }
 
-// noteDeny records a veto.
-func (st *State) noteDeny(idx int, reason string) {
+// DenyLogCap bounds the DenyLog so a pathological workload cannot grow
+// the veto record without limit; DeniedCount keeps exact totals.
+const DenyLogCap = 1000
+
+// NoteDeny records a veto. Exported so bounded substitutions share the
+// one implementation (and its cap) instead of reimplementing it.
+func (st *State) NoteDeny(idx int, reason string) {
 	st.mu.Lock()
 	st.DeniedCount[idx]++
-	if len(st.DenyLog) < 1000 {
+	if len(st.DenyLog) < DenyLogCap {
 		st.DenyLog = append(st.DenyLog, reason)
 	}
+	st.mu.Unlock()
+}
+
+// noteContained counts a fault caught and virtualized for a function.
+func (st *State) noteContained(idx int) {
+	st.mu.Lock()
+	st.ContainedCount[idx]++
+	st.mu.Unlock()
+}
+
+// noteRetry counts one policy-issued retry attempt.
+func (st *State) noteRetry(idx int) {
+	st.mu.Lock()
+	st.RetriedCount[idx]++
+	st.mu.Unlock()
+}
+
+// noteBreakerTrip counts a circuit-breaker trip.
+func (st *State) noteBreakerTrip(idx int) {
+	st.mu.Lock()
+	st.BreakerTrips[idx]++
 	st.mu.Unlock()
 }
 
@@ -418,11 +499,18 @@ func (g *Generator) build(proto *ctypes.Prototype, resolve func() cval.CFunc, st
 			if fn == nil {
 				return 0, &cmem.Fault{Kind: cmem.FaultAbort, Op: "wrapper", Detail: fmt.Sprintf("RTLD_NEXT for %s unresolved", proto.Name)}
 			}
+			ctx.invoke = func() (cval.Value, *cmem.Fault) { return fn(env, args) }
 			ret, fault := fn(env, args)
-			if fault != nil {
+			switch {
+			case fault != nil && !ctx.Contain:
 				return 0, fault
+			case fault != nil:
+				// A containment prefix opted in: hold the fault and let
+				// the postfix hooks run so one of them can virtualize it.
+				ctx.ContainedFault = fault
+			default:
+				ctx.Ret = ret
 			}
-			ctx.Ret = ret
 		}
 		for i := len(pairs) - 1; i >= 0; i-- {
 			if pairs[i].post == nil || pairs[i].isCaller {
@@ -432,8 +520,14 @@ func (g *Generator) build(proto *ctypes.Prototype, resolve func() cval.CFunc, st
 				return 0, f
 			}
 		}
+		if ctx.ContainedFault != nil {
+			// Caught but not consumed — a containment micro-generator
+			// armed Contain yet no postfix virtualized the fault.
+			// Propagate rather than silently swallow it.
+			return 0, ctx.ContainedFault
+		}
 		// Outcome accounting: a call that was not vetoed and did not
-		// fault cleared every installed check (noteDeny covered the
+		// fault cleared every installed check (NoteDeny covered the
 		// veto case inside the checking hook).
 		if !ctx.Denied {
 			st.notePassed(idx)

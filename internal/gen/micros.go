@@ -106,7 +106,7 @@ func (callCounterGen) PostfixSource(*ctypes.Prototype) []string { return nil }
 
 func (callCounterGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
-		st.addCall(ctx.FuncIndex)
+		st.AddCall(ctx.FuncIndex)
 		return nil
 	}
 }
@@ -338,7 +338,7 @@ func (g *argCheckGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 			ctx.DenyReason = reason
 			ctx.Env.Errno = cval.EDenied
 			ctx.Ret = denyValue(ctx.Proto)
-			st.noteDeny(ctx.FuncIndex, reason)
+			st.NoteDeny(ctx.FuncIndex, reason)
 		}
 		for _, c := range checks {
 			var v cval.Value
@@ -563,7 +563,7 @@ func (fmtCheckGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 				ctx.DenyReason = fmt.Sprintf("%s: format string rejected", ctx.Proto.Name)
 				ctx.Env.Errno = cval.EDenied
 				ctx.Ret = denyValue(ctx.Proto)
-				st.noteDeny(ctx.FuncIndex, ctx.DenyReason)
+				st.NoteDeny(ctx.FuncIndex, ctx.DenyReason)
 				return nil
 			}
 		}

@@ -100,8 +100,17 @@ func Start(sys *simelf.System, exeName string, opts ...Option) (*Process, error)
 	for k, v := range cfg.envVars {
 		env.Setenv(k, v)
 	}
+	// Chaos mode: a HEALERS_CHAOS=RATE[:SEED] variable arms the
+	// deterministic runtime fault injector on this process.
+	if spec, ok := env.GetenvString(ChaosEnvVar); ok {
+		env.Chaos = cmem.ParseChaos(spec)
+	}
 	return &Process{name: exeName, exe: exe, env: env, lm: lm}, nil
 }
+
+// ChaosEnvVar names the environment variable that arms chaos mode on a
+// simulated process: "RATE" or "RATE:SEED", e.g. "0.02:1234".
+const ChaosEnvVar = "HEALERS_CHAOS"
 
 // Env returns the process's call environment.
 func (p *Process) Env() *cval.Env { return p.env }

@@ -219,3 +219,65 @@ func TestGoPanicPropagates(t *testing.T) {
 	}()
 	p.Run()
 }
+
+func TestChaosEnvVarArmsInjector(t *testing.T) {
+	noop := &simelf.Executable{
+		Name:   "noop",
+		Needed: []string{clib.LibcSoname},
+		Main:   func(c simelf.Caller, argv []string) int32 { return 0 },
+	}
+	sys := newSystem(t, noop)
+
+	p, err := Start(sys, "noop", WithEnvVar(ChaosEnvVar, "0.5:42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Env().Chaos == nil {
+		t.Fatal("HEALERS_CHAOS did not arm the injector")
+	}
+
+	// Without the variable (or with a malformed spec) chaos stays off.
+	p, err = Start(sys, "noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Env().Chaos != nil {
+		t.Error("chaos armed without HEALERS_CHAOS")
+	}
+	p, err = Start(sys, "noop", WithEnvVar(ChaosEnvVar, "not-a-rate"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Env().Chaos != nil {
+		t.Error("malformed HEALERS_CHAOS armed the injector")
+	}
+}
+
+func TestChaosInjectsThroughLibc(t *testing.T) {
+	// rate 1.0: the very first libc call must fail with an injected fault.
+	victim := &simelf.Executable{
+		Name:      "victim",
+		Needed:    []string{clib.LibcSoname},
+		Undefined: []string{"strlen"},
+		Main: func(c simelf.Caller, argv []string) int32 {
+			s, _ := c.Env().Img.StaticString("boom")
+			c.(*Process).MustCall("strlen", cval.Ptr(s))
+			return 0
+		},
+	}
+	sys := newSystem(t, victim)
+	p, err := Start(sys, "victim", WithEnvVar(ChaosEnvVar, "1.0:7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Run()
+	if !res.Crashed() {
+		t.Fatal("rate-1.0 chaos did not kill the unprotected victim")
+	}
+	if !strings.Contains(res.Fault.Detail, "chaos") {
+		t.Errorf("fault detail = %q, want chaos marker", res.Fault.Detail)
+	}
+	if p.Env().Chaos.Injected != 1 {
+		t.Errorf("Injected = %d, want 1", p.Env().Chaos.Injected)
+	}
+}

@@ -150,6 +150,21 @@ func writeProfileMetrics(b *strings.Builder, col *collect.Server) {
 		}
 	}
 
+	b.WriteString("# HELP healers_containment_total Fault-containment events per function: contained faults, retry attempts, breaker trips.\n")
+	b.WriteString("# TYPE healers_containment_total counter\n")
+	for _, fn := range names {
+		fa := agg.Funcs[fn]
+		for _, ev := range []struct {
+			name  string
+			count uint64
+		}{{"contained", fa.Contained}, {"retried", fa.Retried}, {"breaker_trips", fa.BreakerTrips}} {
+			if ev.count == 0 {
+				continue
+			}
+			fmt.Fprintf(b, "healers_containment_total{function=%q,event=%q} %d\n", promLabel(fn), ev.name, ev.count)
+		}
+	}
+
 	b.WriteString("# HELP healers_overflows_total Canary and bound violations detected fleet-wide.\n")
 	b.WriteString("# TYPE healers_overflows_total counter\n")
 	fmt.Fprintf(b, "healers_overflows_total %d\n", agg.Overflows)

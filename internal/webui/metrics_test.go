@@ -1,0 +1,59 @@
+package webui
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"healers/internal/collect"
+	"healers/internal/gen"
+	"healers/internal/xmlrep"
+)
+
+// TestMetricsContainmentFamily: containment counters uploaded in a
+// profile surface on /metrics as the healers_containment_total family,
+// one labeled series per non-zero event.
+func TestMetricsContainmentFamily(t *testing.T) {
+	col, err := collect.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	st := gen.NewState("libhealers_contain.so")
+	i := st.Index("strcpy")
+	st.CallCount[i] = 12
+	st.ContainedCount[i] = 4
+	st.RetriedCount[i] = 2
+	st.BreakerTrips[i] = 1
+	j := st.Index("strlen") // wrapped but never faulted
+	st.CallCount[j] = 3
+	if err := collect.Upload(col.Addr(), xmlrep.NewProfileLog("h", "app", st)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ts := httptest.NewServer(MetricsHandler(col, nil))
+	defer ts.Close()
+	body := get(t, ts.URL, 200)
+
+	for _, want := range []string{
+		"# TYPE healers_containment_total counter",
+		`healers_containment_total{function="strcpy",event="contained"} 4`,
+		`healers_containment_total{function="strcpy",event="retried"} 2`,
+		`healers_containment_total{function="strcpy",event="breaker_trips"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	// Zero-valued series are suppressed, so a healthy function emits no
+	// containment samples at all.
+	if strings.Contains(body, `healers_containment_total{function="strlen"`) {
+		t.Error("zero containment counters emitted for strlen")
+	}
+}

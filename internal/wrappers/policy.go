@@ -1,0 +1,190 @@
+package wrappers
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"healers/internal/cval"
+	"healers/internal/gen"
+	"healers/internal/xmlrep"
+)
+
+// PolicyEngine implements gen.ContainPolicy: a rule table mapping
+// (function, failure class) to a recovery action, plus a per-function
+// circuit breaker. The engine is shared by every wrapped function of a
+// containment wrapper library and, like gen.State, may be consulted from
+// concurrent probe processes — all mutable state sits behind one mutex.
+type PolicyEngine struct {
+	mu      sync.Mutex
+	rules   []PolicyRule
+	breaker BreakerConfig
+	state   map[string]*breakerState
+
+	// now is the clock, injectable for window tests.
+	now func() time.Time
+}
+
+// PolicyRule is one recovery rule; the first rule matching both Func and
+// Class wins. An empty or "*" Func/Class matches anything.
+type PolicyRule struct {
+	Func     string
+	Class    string
+	Decision gen.ContainDecision
+}
+
+// matches reports whether the rule applies to (fn, class).
+func (r *PolicyRule) matches(fn string, class gen.FailureClass) bool {
+	if r.Func != "" && r.Func != "*" && r.Func != fn {
+		return false
+	}
+	if r.Class != "" && r.Class != "*" && r.Class != class.String() {
+		return false
+	}
+	return true
+}
+
+// BreakerConfig parametrizes the circuit breaker: a function reaching
+// Threshold contained failures within Window flips to always-deny.
+// Threshold <= 0 disables the breaker.
+type BreakerConfig struct {
+	Threshold int
+	Window    time.Duration
+}
+
+// Circuit-breaker defaults: trip after 8 contained failures within a
+// minute. The window keeps one failure burst from condemning a function
+// forever on long-running processes with rare sporadic faults.
+const (
+	DefaultBreakerThreshold = 8
+	DefaultBreakerWindow    = time.Minute
+)
+
+// breakerState is one function's failure record.
+type breakerState struct {
+	failures []time.Time
+	tripped  bool
+}
+
+// NewPolicyEngine builds an engine from a rule table and breaker
+// configuration. A zero-valued BreakerConfig gets the defaults; rules
+// may be nil (every failure is denied with its class errno).
+func NewPolicyEngine(rules []PolicyRule, breaker BreakerConfig) *PolicyEngine {
+	if breaker.Threshold == 0 {
+		breaker.Threshold = DefaultBreakerThreshold
+	}
+	if breaker.Window <= 0 {
+		breaker.Window = DefaultBreakerWindow
+	}
+	return &PolicyEngine{
+		rules:   rules,
+		breaker: breaker,
+		state:   make(map[string]*breakerState),
+		now:     time.Now,
+	}
+}
+
+// DefaultPolicy is the containment wrapper's stock policy: deny every
+// failure with its class errno, default breaker.
+func DefaultPolicy() *PolicyEngine { return NewPolicyEngine(nil, BreakerConfig{}) }
+
+// Decide implements gen.ContainPolicy.
+func (e *PolicyEngine) Decide(fn string, class gen.FailureClass) gen.ContainDecision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.rules {
+		if e.rules[i].matches(fn, class) {
+			return e.rules[i].Decision
+		}
+	}
+	return gen.ContainDecision{Action: gen.ActionDeny}
+}
+
+// RecordFailure implements gen.ContainPolicy: it notes one contained
+// failure of fn and reports the trip transition.
+func (e *PolicyEngine) RecordFailure(fn string, class gen.FailureClass) bool {
+	if e.breaker.Threshold <= 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bs := e.state[fn]
+	if bs == nil {
+		bs = &breakerState{}
+		e.state[fn] = bs
+	}
+	if bs.tripped {
+		return false
+	}
+	now := e.now()
+	cutoff := now.Add(-e.breaker.Window)
+	kept := bs.failures[:0]
+	for _, t := range bs.failures {
+		if t.After(cutoff) {
+			kept = append(kept, t)
+		}
+	}
+	bs.failures = append(kept, now)
+	if len(bs.failures) >= e.breaker.Threshold {
+		bs.tripped = true
+		bs.failures = nil
+		return true
+	}
+	return false
+}
+
+// Tripped implements gen.ContainPolicy.
+func (e *PolicyEngine) Tripped(fn string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bs := e.state[fn]
+	return bs != nil && bs.tripped
+}
+
+// ResetBreakers clears every function's failure record and trip latch —
+// between profiled runs of one long-lived wrapper library.
+func (e *PolicyEngine) ResetBreakers() {
+	e.mu.Lock()
+	e.state = make(map[string]*breakerState)
+	e.mu.Unlock()
+}
+
+// PolicyFromDoc builds the engine a policy XML document describes.
+func PolicyFromDoc(doc *xmlrep.PolicyDoc) (*PolicyEngine, error) {
+	rules := make([]PolicyRule, 0, len(doc.Rules))
+	for i, rx := range doc.Rules {
+		action, ok := gen.ContainActionByName(rx.Action)
+		if !ok {
+			return nil, fmt.Errorf("wrappers: policy rule %d: unknown action %q", i, rx.Action)
+		}
+		if rx.Class != "" && rx.Class != "*" {
+			known := false
+			for c := gen.ClassCrash; c <= gen.ClassOOM; c++ {
+				if c.String() == rx.Class {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return nil, fmt.Errorf("wrappers: policy rule %d: unknown failure class %q", i, rx.Class)
+			}
+		}
+		d := gen.ContainDecision{
+			Action:  action,
+			Retries: rx.Retries,
+			Backoff: time.Duration(rx.BackoffMS) * time.Millisecond,
+		}
+		if action == gen.ActionRetry && d.Retries <= 0 {
+			d.Retries = 1
+		}
+		if action == gen.ActionSubstitute {
+			v := cval.Int(rx.Value)
+			d.Substitute = &v
+		}
+		rules = append(rules, PolicyRule{Func: rx.Func, Class: rx.Class, Decision: d})
+	}
+	return NewPolicyEngine(rules, BreakerConfig{
+		Threshold: doc.BreakerThreshold,
+		Window:    time.Duration(doc.BreakerWindowMS) * time.Millisecond,
+	}), nil
+}

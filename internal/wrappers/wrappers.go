@@ -23,9 +23,10 @@ import (
 
 // Sonames of the generated wrapper libraries.
 const (
-	RobustnessSoname = "libhealers_robust.so"
-	SecuritySoname   = "libhealers_sec.so"
-	ProfilingSoname  = "libhealers_prof.so"
+	RobustnessSoname  = "libhealers_robust.so"
+	SecuritySoname    = "libhealers_sec.so"
+	ProfilingSoname   = "libhealers_prof.so"
+	ContainmentSoname = "libhealers_contain.so"
 )
 
 // protosOf collects the prototypes for the named functions from a target
@@ -118,6 +119,54 @@ func Profiling(target *simelf.Library, names []string) (*simelf.Library, *gen.St
 	)
 	st := gen.NewState(ProfilingSoname)
 	return g.BuildLibrary(ProfilingSoname, protos, st), st, nil
+}
+
+// containmentMicros is the containment wrapper's composition. The
+// watchdog and containment micro-generators sit last before the caller
+// so their postfixes run first: the caught fault is rolled back and
+// virtualized before any observing micro-generator sees the call. An
+// optional robust API adds argument checking in front — deny-before-call
+// and contain-after-call compose.
+func containmentMicros(api ctypes.RobustAPI, policy gen.ContainPolicy) []gen.MicroGenerator {
+	micros := []gen.MicroGenerator{
+		gen.MGPrototype(),
+		gen.MGCallCounter(),
+	}
+	if api != nil {
+		micros = append(micros, gen.MGArgCheck(api))
+	}
+	return append(micros,
+		gen.MGWatchdog(0),
+		gen.MGContain(policy),
+		gen.MGCaller(),
+	)
+}
+
+// Containment builds the fault-containment wrapper: every intercepted
+// call runs under a write journal and a per-call access budget; a fault
+// in the original function is rolled back and virtualized into an errno
+// return as the recovery policy directs (deny, retry, substitute, or
+// escalate), with a circuit breaker flipping repeatedly failing
+// functions to always-deny. policy == nil installs DefaultPolicy();
+// api != nil additionally vetoes calls violating the robust API before
+// they run. names == nil wraps the whole library.
+func Containment(target *simelf.Library, api ctypes.RobustAPI, policy gen.ContainPolicy, names []string) (*simelf.Library, *gen.State, error) {
+	protos, err := protosOf(target, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	if policy == nil {
+		policy = DefaultPolicy()
+	}
+	g := gen.MustGenerator(containmentMicros(api, policy)...)
+	st := gen.NewState(ContainmentSoname)
+	return g.BuildLibrary(ContainmentSoname, protos, st), st, nil
+}
+
+// ContainmentGenerator exposes the containment composition for source
+// rendering.
+func ContainmentGenerator(api ctypes.RobustAPI, policy gen.ContainPolicy) *gen.Generator {
+	return gen.MustGenerator(containmentMicros(api, policy)...)
 }
 
 // ProfilingGenerator exposes the paper-faithful profiling micro-generator

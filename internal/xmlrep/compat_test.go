@@ -115,6 +115,40 @@ func TestProfileLogObservabilityRoundTrip(t *testing.T) {
 	}
 }
 
+// TestContainmentCountersRoundTrip: the recovery layer's counters
+// (contained faults, retries, breaker trips) survive the profile
+// Marshal -> Unmarshal cycle as attributes on the per-function element,
+// alongside the pre-existing outcome counters.
+func TestContainmentCountersRoundTrip(t *testing.T) {
+	st := gen.NewState("libhealers_contain.so")
+	idx := st.Index("strcpy")
+	st.CallCount[idx] = 9
+	st.DeniedCount[idx] = 6
+	st.ContainedCount[idx] = 5
+	st.RetriedCount[idx] = 2
+	st.BreakerTrips[idx] = 1
+
+	data, err := Marshal(NewProfileLog("host-a", "victim", st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal[ProfileLog](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Funcs) != 1 {
+		t.Fatalf("round-trip lost functions: %+v", back.Funcs)
+	}
+	f := back.Funcs[0]
+	if f.Contained != 5 || f.Retried != 2 || f.BreakerTrips != 1 {
+		t.Errorf("containment counters = %d/%d/%d, want 5/2/1",
+			f.Contained, f.Retried, f.BreakerTrips)
+	}
+	if f.Calls != 9 || f.Denied != 6 {
+		t.Errorf("older counters disturbed: %+v", f)
+	}
+}
+
 // TestEmptyObservabilityOmitted pins wire hygiene: a State with no
 // latency samples, outcomes, or traces serializes without any of the new
 // elements, so fresh-but-idle wrappers produce documents an old reader
@@ -126,7 +160,8 @@ func TestEmptyObservabilityOmitted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, forbidden := range []string{"<latency>", "<trace>", "passed=", "substituted="} {
+	for _, forbidden := range []string{"<latency>", "<trace>", "passed=", "substituted=",
+		"contained=", "retried=", "breaker_trips="} {
 		if bytes.Contains(data, []byte(forbidden)) {
 			t.Errorf("idle profile contains %q:\n%s", forbidden, data)
 		}

@@ -37,6 +37,7 @@ const (
 	KindRobustAPI     DocKind = "robust-api"
 	KindProfile       DocKind = "profile"
 	KindCampaignCache DocKind = "campaign-cache"
+	KindPolicy        DocKind = "policy"
 )
 
 // ParamDecl is one parameter in a declaration file.
@@ -216,6 +217,44 @@ func (d *CampaignCacheDoc) ComputeChecksum() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// PolicyRuleXML is one recovery rule of a policy document: what the
+// containment wrapper does when Func fails with a Class failure. Func
+// and Class may be "*" (or empty) to match anything; the first matching
+// rule in document order wins.
+type PolicyRuleXML struct {
+	Func  string `xml:"func,attr,omitempty"`
+	Class string `xml:"class,attr,omitempty"`
+	// Action is deny, retry, substitute, or escalate.
+	Action string `xml:"action,attr"`
+	// Retries and BackoffMS parametrize retry.
+	Retries   int `xml:"retries,attr,omitempty"`
+	BackoffMS int `xml:"backoff_ms,attr,omitempty"`
+	// Value is the substitute action's return value.
+	Value int64 `xml:"value,attr,omitempty"`
+}
+
+// PolicyDoc configures the containment wrapper's recovery policy engine:
+// the rule table plus the circuit-breaker parameters (a function whose
+// contained failures reach BreakerThreshold within BreakerWindowMS flips
+// to always-deny).
+type PolicyDoc struct {
+	XMLName          xml.Name        `xml:"healers-policy"`
+	Generated        string          `xml:"generated,attr,omitempty"`
+	BreakerThreshold int             `xml:"breaker_threshold,attr,omitempty"`
+	BreakerWindowMS  int             `xml:"breaker_window_ms,attr,omitempty"`
+	Rules            []PolicyRuleXML `xml:"rule"`
+}
+
+// NewPolicyDoc stamps a policy document for serialization.
+func NewPolicyDoc(threshold, windowMS int, rules []PolicyRuleXML) *PolicyDoc {
+	return &PolicyDoc{
+		Generated:        timestamp(),
+		BreakerThreshold: threshold,
+		BreakerWindowMS:  windowMS,
+		Rules:            rules,
+	}
+}
+
 // ErrnoCount is one errno histogram bucket.
 type ErrnoCount struct {
 	Errno string `xml:"errno,attr"`
@@ -261,14 +300,19 @@ type TraceXML struct {
 // reader that predates them ignores the extra attributes and elements —
 // both directions stay compatible without a schema version bump.
 type FuncProfile struct {
-	Name        string       `xml:"name,attr"`
-	Calls       uint64       `xml:"calls,attr"`
-	ExecNS      int64        `xml:"exec_ns,attr"`
-	Denied      uint64       `xml:"denied,attr,omitempty"`
-	Passed      uint64       `xml:"passed,attr,omitempty"`
-	Substituted uint64       `xml:"substituted,attr,omitempty"`
-	Errnos      []ErrnoCount `xml:"error"`
-	Latency     *LatencyXML  `xml:"latency"`
+	Name        string `xml:"name,attr"`
+	Calls       uint64 `xml:"calls,attr"`
+	ExecNS      int64  `xml:"exec_ns,attr"`
+	Denied      uint64 `xml:"denied,attr,omitempty"`
+	Passed      uint64 `xml:"passed,attr,omitempty"`
+	Substituted uint64 `xml:"substituted,attr,omitempty"`
+	// Containment counters (omitempty like the observability fields, so
+	// pre-containment readers and the compat golden stay unaffected).
+	Contained    uint64       `xml:"contained,attr,omitempty"`
+	Retried      uint64       `xml:"retried,attr,omitempty"`
+	BreakerTrips uint64       `xml:"breaker_trips,attr,omitempty"`
+	Errnos       []ErrnoCount `xml:"error"`
+	Latency      *LatencyXML  `xml:"latency"`
 }
 
 // LatencyDense expands the sparse serialized latency buckets into a dense
@@ -324,12 +368,15 @@ func NewProfileLog(host, app string, st *gen.State) *ProfileLog {
 	}
 	for i, name := range st.FuncNames() {
 		fp := FuncProfile{
-			Name:        name,
-			Calls:       st.CallCount[i],
-			ExecNS:      st.ExecTime[i].Nanoseconds(),
-			Denied:      st.DeniedCount[i],
-			Passed:      st.PassedCount[i],
-			Substituted: st.SubstCount[i],
+			Name:         name,
+			Calls:        st.CallCount[i],
+			ExecNS:       st.ExecTime[i].Nanoseconds(),
+			Denied:       st.DeniedCount[i],
+			Passed:       st.PassedCount[i],
+			Substituted:  st.SubstCount[i],
+			Contained:    st.ContainedCount[i],
+			Retried:      st.RetriedCount[i],
+			BreakerTrips: st.BreakerTrips[i],
 		}
 		for e, cnt := range st.FuncErrno[i] {
 			if cnt > 0 {
@@ -410,6 +457,8 @@ func Kind(data []byte) (DocKind, error) {
 				return KindProfile, nil
 			case "healers-campaign-cache":
 				return KindCampaignCache, nil
+			case "healers-policy":
+				return KindPolicy, nil
 			default:
 				return "", fmt.Errorf("xmlrep: unknown document root %q", se.Name.Local)
 			}

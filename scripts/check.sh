@@ -24,7 +24,8 @@ fi
 # milliseconds).
 sh scripts/verify-api.sh
 
-# Smoke-run the collect ingest benchmarks: one iteration each proves the
-# upload path, the bounded store, both aggregation paths, and the
-# histogram-merge path (BenchmarkCollectHistMerge) still work.
-go test -run '^$' -bench 'BenchmarkCollect' -benchtime=1x .
+# Smoke-run the collect ingest benchmarks (upload path, bounded store,
+# both aggregation paths, histogram merge) and the chaos-survival
+# benchmark (the containment wrapper keeping a chaos-stricken workload
+# alive end to end): one iteration each proves the paths still work.
+go test -run '^$' -bench 'BenchmarkCollect|BenchmarkChaosSurvival' -benchtime=1x .
