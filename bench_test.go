@@ -799,6 +799,61 @@ func BenchmarkF3_ContainOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkCaptureContention prices the statistics-capture hot path of
+// one wrapped call under concurrency: the full counter stack of the
+// profiling wrapper (call counter, exectime + latency histogram, global
+// and per-function errno collectors) shared by every goroutine through
+// one gen.State, each goroutine driving its own simulated process. Run
+// with -cpu 1,4,8 — per-call cost must stay in the tens of ns and
+// roughly flat as goroutines are added (sharded capture); a
+// lock-serialized capture path shows up as ns/op climbing with the cpu
+// count. Smoke-run by make check.
+func BenchmarkCaptureContention(b *testing.B) {
+	libc := clib.MustRegistry().AsLibrary()
+	proto := libc.Proto("strlen")
+	base, _ := libc.Lookup("strlen")
+	g, err := gen.NewGenerator(
+		gen.MGPrototype(),
+		gen.MGExectime(),
+		gen.MGCollectErrors(),
+		gen.MGFuncErrors(),
+		gen.MGCallCounter(),
+		gen.MGCaller(),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	next := base
+	st := gen.NewState("bench-contention")
+	fn := g.Build(proto, &next, st)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		// One Env per goroutine, like one simulated process per worker;
+		// capture lands in the goroutine's own counter shard.
+		env := cval.NewEnv()
+		a, f := env.Img.StaticString("the quick brown fox jumps over the lazy dog")
+		if f != nil {
+			b.Fatal(f)
+		}
+		arg := []cval.Value{cval.Ptr(a)}
+		for pb.Next() {
+			if _, f := fn(env, arg); f != nil {
+				b.Fatal(f)
+			}
+		}
+	})
+	b.StopTimer()
+	st.Sync()
+	if total := st.TotalCalls(); total != uint64(b.N) {
+		b.Fatalf("TotalCalls = %d, want %d (lost increments)", total, b.N)
+	}
+	for i := range st.FuncNames() {
+		if hist := gen.HistTotal(st.ExecHist[i]); hist != st.CallCount[i] {
+			b.Fatalf("bucket sum %d != call count %d", hist, st.CallCount[i])
+		}
+	}
+}
+
 // BenchmarkChaosSurvival runs the stress workload under chaos mode with
 // the containment wrapper preloaded, asserting survival every
 // iteration — the recovery layer's end-to-end path, also smoke-run by

@@ -49,22 +49,32 @@ func NewChaos(rate float64, seed uint64) *Chaos {
 
 // ParseChaos parses a "RATE" or "RATE:SEED" specification (the
 // HEALERS_CHAOS environment-variable format), e.g. "0.05" or
-// "0.02:1234". It returns nil for an empty or malformed spec — chaos
-// stays disarmed rather than firing with garbage parameters.
-func ParseChaos(spec string) *Chaos {
+// "0.02:1234". An empty spec means chaos stays disarmed: (nil, nil). A
+// malformed spec — unparseable rate, out-of-range rate, trailing
+// garbage after the seed — is an error, never a silently mis-armed
+// injector. A seedless spec uses seed 0, which NewChaos folds to its
+// fixed constant, so HEALERS_CHAOS=0.05 and NewChaos(0.05, 0) replay
+// the identical fault sequence.
+func ParseChaos(spec string) (*Chaos, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
 	rateStr, seedStr, hasSeed := strings.Cut(spec, ":")
 	rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
-	if err != nil || rate <= 0 {
-		return nil
+	if err != nil {
+		return nil, fmt.Errorf("cmem: chaos spec %q: bad rate: %w", spec, err)
 	}
-	var seed uint64 = 1
+	if rate <= 0 || rate > 1 {
+		return nil, fmt.Errorf("cmem: chaos spec %q: rate must be in (0,1]", spec)
+	}
+	var seed uint64
 	if hasSeed {
 		seed, err = strconv.ParseUint(strings.TrimSpace(seedStr), 10, 64)
 		if err != nil {
-			return nil
+			return nil, fmt.Errorf("cmem: chaos spec %q: bad seed: %w", spec, err)
 		}
 	}
-	return NewChaos(rate, seed)
+	return NewChaos(rate, seed), nil
 }
 
 // Spec renders the injector back into the ParseChaos format.

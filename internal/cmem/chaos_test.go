@@ -47,22 +47,56 @@ func TestChaosZeroRateNeverFires(t *testing.T) {
 }
 
 func TestParseChaos(t *testing.T) {
-	if c := ParseChaos("0.05:42"); c == nil {
-		t.Error("valid spec rejected")
+	if c, err := ParseChaos("0.05:42"); c == nil || err != nil {
+		t.Errorf("valid spec rejected: %v", err)
 	}
-	if c := ParseChaos("0.05"); c == nil {
-		t.Error("seedless spec rejected")
+	if c, err := ParseChaos("0.05"); c == nil || err != nil {
+		t.Errorf("seedless spec rejected: %v", err)
 	}
-	for _, bad := range []string{"", "zero", "-1", "0", "0.5:notanumber"} {
-		if c := ParseChaos(bad); c != nil {
+	// An unset/empty spec means disarmed, not an error.
+	if c, err := ParseChaos(""); c != nil || err != nil {
+		t.Errorf("empty spec: got (%v, %v), want (nil, nil)", c, err)
+	}
+	for _, bad := range []string{"zero", "-1", "0", "1.5", "0.5:notanumber", "0.05:12x", "0.05:12:9"} {
+		c, err := ParseChaos(bad)
+		if err == nil {
 			t.Errorf("malformed spec %q accepted", bad)
+		}
+		if c != nil {
+			t.Errorf("malformed spec %q returned an injector", bad)
 		}
 	}
 	// Same spec, same sequence.
-	a, b := ParseChaos("0.2:9"), ParseChaos("0.2:9")
+	a, _ := ParseChaos("0.2:9")
+	b, _ := ParseChaos("0.2:9")
 	for i := 0; i < 100; i++ {
 		if (a.Roll("x") == nil) != (b.Roll("x") == nil) {
 			t.Fatal("identical specs diverged")
 		}
+	}
+}
+
+// TestParseChaosSeedlessMatchesZeroSeed pins the seed-default contract:
+// a seedless HEALERS_CHAOS spec replays the same fault sequence as
+// NewChaos with a zero seed — the divergence this test guards against
+// had ParseChaos defaulting to seed 1 while NewChaos folded 0 to its
+// golden-ratio constant.
+func TestParseChaosSeedlessMatchesZeroSeed(t *testing.T) {
+	parsed, err := ParseChaos("0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := NewChaos(0.3, 0)
+	for i := 0; i < 1000; i++ {
+		fp, fd := parsed.Roll("op"), direct.Roll("op")
+		if (fp == nil) != (fd == nil) {
+			t.Fatalf("roll %d diverged: parsed=%v direct=%v", i, fp, fd)
+		}
+		if fp != nil && fp.Kind != fd.Kind {
+			t.Fatalf("roll %d kind diverged: %v vs %v", i, fp.Kind, fd.Kind)
+		}
+	}
+	if parsed.Injected != direct.Injected {
+		t.Errorf("injected counts diverged: %d vs %d", parsed.Injected, direct.Injected)
 	}
 }

@@ -218,6 +218,7 @@ func TestGenerateWrappersAndRun(t *testing.T) {
 	if !res.Crashed() {
 		t.Fatalf("exploit not stopped: %v", res)
 	}
+	st.Sync()
 	if st.Overflows == 0 {
 		t.Error("security state did not count the overflow")
 	}

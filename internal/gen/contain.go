@@ -211,7 +211,7 @@ func (g *containGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 			ctx.DenyReason = ctx.Proto.Name + ": circuit breaker open"
 			ctx.Env.Errno = cval.EDenied
 			ctx.Ret = denyValue(ctx.Proto)
-			st.NoteDeny(ctx.FuncIndex, ctx.DenyReason)
+			st.NoteDeny(ctx.Env, ctx.FuncIndex, ctx.DenyReason)
 			return nil
 		}
 		ctx.Contain = true
@@ -244,7 +244,7 @@ func (g *containGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 
 		if decision.Action == ActionRetry && ctx.invoke != nil {
 			for attempt := 0; attempt < decision.Retries; attempt++ {
-				st.noteRetry(ctx.FuncIndex)
+				st.noteRetry(ctx.Env, ctx.FuncIndex)
 				sp.BeginJournal()
 				ret, f := ctx.invoke()
 				if f == nil {
@@ -266,13 +266,13 @@ func (g *containGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 			return nil
 		}
 
-		st.noteContained(ctx.FuncIndex)
+		st.noteContained(ctx.Env, ctx.FuncIndex)
 		if g.policy != nil && g.policy.RecordFailure(ctx.Proto.Name, class) {
-			st.noteBreakerTrip(ctx.FuncIndex)
+			st.noteBreakerTrip(ctx.Env, ctx.FuncIndex)
 		}
 		ctx.Denied = true
 		ctx.DenyReason = fmt.Sprintf("%s: contained %s (%s)", ctx.Proto.Name, class, fault.Kind)
-		st.NoteDeny(ctx.FuncIndex, ctx.DenyReason)
+		st.NoteDeny(ctx.Env, ctx.FuncIndex, ctx.DenyReason)
 		if decision.Action == ActionSubstitute && decision.Substitute != nil {
 			ctx.Ret = *decision.Substitute
 			return nil
@@ -320,52 +320,69 @@ func (*watchdogGen) PostfixSource(proto *ctypes.Prototype) []string {
 	return []string{"    healers_fuel_pop();"}
 }
 
+// watchdogFrame saves one watchdog micro-generator's view of the outer
+// fuel budget across a call. Every watchdog prefix pushes exactly one
+// frame (armed or not) and every watchdog postfix pops exactly one, so
+// nested watchdogs restore LIFO: the inner pop charges the inner
+// budget's usage against the outer budget, and the outer pop charges
+// that in turn against its own saved budget.
+type watchdogFrame struct {
+	prev   int64
+	budget int64
+	armed  bool
+}
+
 func (g *watchdogGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
-		if ctx.Denied {
-			return nil
+		fr := watchdogFrame{}
+		if !ctx.Denied {
+			sp := ctx.Env.Img.Space
+			prev := sp.Fuel()
+			// Under an injector-armed outer budget, the call gets the
+			// smaller of the two — the watchdog must not extend a
+			// probe's deadline.
+			if prev < 0 || prev > g.budget {
+				fr = watchdogFrame{prev: prev, budget: g.budget, armed: true}
+				sp.SetFuel(g.budget)
+			}
+			ctx.Contain = true
 		}
-		sp := ctx.Env.Img.Space
-		prev := sp.Fuel()
-		// Under an injector-armed outer budget, the call gets the
-		// smaller of the two — the watchdog must not extend a probe's
-		// deadline.
-		if prev < 0 || prev > g.budget {
-			ctx.watchdogArmed = true
-			ctx.watchdogPrev = prev
-			sp.SetFuel(g.budget)
-		}
-		ctx.Contain = true
+		ctx.watchdogStack = append(ctx.watchdogStack, fr)
 		return nil
 	}
 }
 
 func (g *watchdogGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
-		if ctx.watchdogArmed {
-			ctx.watchdogArmed = false
-			sp := ctx.Env.Img.Space
-			used := g.budget - sp.Fuel()
-			if sp.Fuel() < 0 {
-				used = g.budget
-			}
-			switch prev := ctx.watchdogPrev; {
-			case prev < 0:
-				sp.SetFuel(-1)
-			case prev > used:
-				sp.SetFuel(prev - used)
-			default:
-				sp.SetFuel(0)
+		if n := len(ctx.watchdogStack); n > 0 {
+			fr := ctx.watchdogStack[n-1]
+			ctx.watchdogStack = ctx.watchdogStack[:n-1]
+			if fr.armed {
+				sp := ctx.Env.Img.Space
+				used := fr.budget - sp.Fuel()
+				if sp.Fuel() < 0 {
+					// The call exhausted its budget and the hang fault
+					// left fuel disarmed: charge the full budget.
+					used = fr.budget
+				}
+				switch {
+				case fr.prev < 0:
+					sp.SetFuel(-1)
+				case fr.prev > used:
+					sp.SetFuel(fr.prev - used)
+				default:
+					sp.SetFuel(0)
+				}
 			}
 		}
 		// Consume a hang fault when no containment micro-generator ran
 		// before us (composition without MGContain).
 		if f := ctx.ContainedFault; f != nil && !ctx.escalated && ClassifyFault(f) == ClassHang {
 			ctx.ContainedFault = nil
-			st.noteContained(ctx.FuncIndex)
+			st.noteContained(ctx.Env, ctx.FuncIndex)
 			ctx.Denied = true
 			ctx.DenyReason = fmt.Sprintf("%s: watchdog budget exhausted", ctx.Proto.Name)
-			st.NoteDeny(ctx.FuncIndex, ctx.DenyReason)
+			st.NoteDeny(ctx.Env, ctx.FuncIndex, ctx.DenyReason)
 			ctx.Env.Errno = cval.EINTR
 			ctx.Ret = denyValue(ctx.Proto)
 		}

@@ -61,6 +61,7 @@ func TestContainVirtualizesCrash(t *testing.T) {
 	if v.Int32() != -1 {
 		t.Errorf("virtualized return = %d, want -1", v.Int32())
 	}
+	st.Sync()
 	idx := st.Index("strlen")
 	if st.ContainedCount[idx] != 1 {
 		t.Errorf("ContainedCount = %d, want 1", st.ContainedCount[idx])
@@ -133,6 +134,7 @@ func TestWatchdogConvertsHangToEINTR(t *testing.T) {
 	if v.Int32() != -1 {
 		t.Errorf("return = %d, want -1", v.Int32())
 	}
+	st.Sync()
 	if st.ContainedCount[st.Index("strlen")] != 1 {
 		t.Errorf("ContainedCount = %d, want 1", st.ContainedCount[st.Index("strlen")])
 	}
@@ -160,6 +162,91 @@ func TestWatchdogHonorsTighterOuterBudget(t *testing.T) {
 	}
 }
 
+// TestWatchdogFuelRestoreTable drives the fuel-restore arithmetic of
+// the watchdog postfix through its edges: unlimited outer fuel, an
+// outer budget looser or tighter than the watchdog's, and a call that
+// exhausts its budget to exactly 0. The wrapped function simulates
+// consumption by decrementing fuel directly, so each case's usage is
+// exact.
+func TestWatchdogFuelRestoreTable(t *testing.T) {
+	const budget = 100
+	cases := []struct {
+		name    string
+		outer   int64 // fuel before the call; -1 = unlimited
+		consume int64 // fuel the inner call burns (from its armed view)
+		want    int64 // fuel after the call returns
+	}{
+		{"unlimited_outer", -1, 30, -1},
+		{"unlimited_outer_exhaust_to_zero", -1, budget, -1},
+		{"looser_outer_charged", 1000, 30, 970},
+		{"looser_outer_exhaust_to_zero", 150, budget, 50},
+		{"outer_equals_usage", budget + 0, 20, 80}, // prev==budget: not armed, drains outer directly
+		{"tighter_outer_untouched", 50, 20, 30},    // watchdog must not extend the probe deadline
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := intProto(t)
+			st := NewState("w")
+			var next cval.CFunc = func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+				sp := env.Img.Space
+				if f := sp.Fuel(); f >= 0 {
+					sp.SetFuel(f - c.consume)
+				}
+				return cval.Int(0), nil
+			}
+			g := MustGenerator(MGPrototype(), MGWatchdog(budget), MGCaller())
+			w := g.Build(p, &next, st)
+			env := cval.NewEnv()
+			env.Img.Space.SetFuel(c.outer)
+			if _, f := w(env, []cval.Value{cval.Int(1)}); f != nil {
+				t.Fatalf("call faulted: %v", f)
+			}
+			if got := env.Img.Space.Fuel(); got != c.want {
+				t.Errorf("fuel after call = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+// TestWatchdogNestedBudgetsStack pins nested watchdog composition: an
+// inner (tighter) watchdog's usage must be charged against the outer
+// watchdog's budget, and the outer must still restore the original
+// fuel — with one shared save slot instead of a stack, the outer
+// watchdog's restore was silently skipped.
+func TestWatchdogNestedBudgetsStack(t *testing.T) {
+	p := intProto(t)
+	st := NewState("w")
+	const consume = 25
+	var sawFuel int64
+	var next cval.CFunc = func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		sp := env.Img.Space
+		sawFuel = sp.Fuel()
+		sp.SetFuel(sawFuel - consume)
+		return cval.Int(0), nil
+	}
+	g := MustGenerator(MGPrototype(), MGWatchdog(100), MGWatchdog(40), MGCaller())
+	w := g.Build(p, &next, st)
+	env := cval.NewEnv()
+	if _, f := w(env, []cval.Value{cval.Int(1)}); f != nil {
+		t.Fatalf("nested watchdog call faulted: %v", f)
+	}
+	if sawFuel != 40 {
+		t.Errorf("inner call saw fuel %d, want 40 (innermost budget wins)", sawFuel)
+	}
+	if got := env.Img.Space.Fuel(); got != -1 {
+		t.Errorf("fuel after nested call = %d, want -1 (fully restored)", got)
+	}
+
+	// Under an outer probe budget, both pops charge the usage through.
+	env.Img.Space.SetFuel(500)
+	if _, f := w(env, []cval.Value{cval.Int(1)}); f != nil {
+		t.Fatalf("nested watchdog call under probe budget faulted: %v", f)
+	}
+	if got := env.Img.Space.Fuel(); got != 500-consume {
+		t.Errorf("probe fuel after nested call = %d, want %d", got, 500-consume)
+	}
+}
+
 func TestContainRetrySucceeds(t *testing.T) {
 	p := intProto(t)
 	st := NewState("w")
@@ -184,6 +271,7 @@ func TestContainRetrySucceeds(t *testing.T) {
 	if calls != 3 {
 		t.Errorf("original invoked %d times, want 3", calls)
 	}
+	st.Sync()
 	idx := st.Index("f")
 	if st.RetriedCount[idx] != 2 {
 		t.Errorf("RetriedCount = %d, want 2", st.RetriedCount[idx])
@@ -217,6 +305,7 @@ func TestContainRetryExhaustedFallsBackToDeny(t *testing.T) {
 	if v.Int32() != -1 || env.Errno != cval.EFAULT {
 		t.Errorf("ret=%d errno=%d, want -1/EFAULT", v.Int32(), env.Errno)
 	}
+	st.Sync()
 	idx := st.Index("f")
 	if st.RetriedCount[idx] != 2 || st.ContainedCount[idx] != 1 {
 		t.Errorf("RetriedCount=%d ContainedCount=%d, want 2/1",
@@ -258,6 +347,7 @@ func TestContainEscalatePropagates(t *testing.T) {
 	if f == nil || f.Kind != cmem.FaultHang {
 		t.Errorf("escalated fault = %v, want the original hang", f)
 	}
+	st.Sync()
 	if st.ContainedCount[st.Index("f")] != 0 {
 		t.Error("escalated fault counted as contained")
 	}
@@ -279,6 +369,7 @@ func TestBreakerTripsToUpfrontDeny(t *testing.T) {
 			t.Fatalf("contained call %d faulted: %v", i, f)
 		}
 	}
+	st.Sync()
 	idx := st.Index("f")
 	if st.BreakerTrips[idx] != 1 {
 		t.Errorf("BreakerTrips = %d, want 1", st.BreakerTrips[idx])
@@ -295,6 +386,7 @@ func TestBreakerTripsToUpfrontDeny(t *testing.T) {
 	if env.Errno != cval.EDenied || v.Int32() != -1 {
 		t.Errorf("post-trip ret=%d errno=%d, want -1/EDenied", v.Int32(), env.Errno)
 	}
+	st.Sync()
 	if st.DeniedCount[idx] != 3 { // 2 contained + 1 breaker deny
 		t.Errorf("DeniedCount = %d, want 3", st.DeniedCount[idx])
 	}
@@ -384,9 +476,9 @@ func TestClassifyFaultAndErrno(t *testing.T) {
 func TestStateResetClearsContainmentCounters(t *testing.T) {
 	st := NewState("w")
 	idx := st.Index("f")
-	st.noteContained(idx)
-	st.noteRetry(idx)
-	st.noteBreakerTrip(idx)
+	st.noteContained(nil, idx)
+	st.noteRetry(nil, idx)
+	st.noteBreakerTrip(nil, idx)
 	st.Reset()
 	if st.ContainedCount[idx] != 0 || st.RetriedCount[idx] != 0 || st.BreakerTrips[idx] != 0 {
 		t.Errorf("Reset left containment counters: %d/%d/%d",

@@ -63,17 +63,24 @@ type CallCtx struct {
 	// escalated marks a fault the recovery policy re-raised on purpose,
 	// so later postfix hooks don't try to consume it.
 	escalated bool
-	// watchdogArmed/watchdogPrev hold the watchdog's saved outer fuel
-	// budget across the call.
-	watchdogArmed bool
-	watchdogPrev  int64
+	// watchdogStack holds each watchdog micro-generator's saved outer
+	// fuel budget across the call — a stack, pushed in prefix order and
+	// popped in (reverse) postfix order, so nested watchdogs restore
+	// their budgets in the right order instead of clobbering one shared
+	// slot.
+	watchdogStack []watchdogFrame
 	// start is the exectime micro-generator's timestamp.
 	start time.Time
 	// traceStart is the trace micro-generator's timestamp, kept separate
 	// from start so either micro-generator composes without the other.
 	traceStart time.Time
-	// errnoAt tracks errno snapshots keyed by micro-generator name.
-	errnoAt map[string]int32
+	// errnoCollect/errnoFunc/errnoTrace are the errno snapshots the
+	// collect-errors, func-errors, and trace micro-generators take in
+	// their prefixes — fixed fields rather than a map so arming a
+	// snapshot costs a word store, not an allocation per call.
+	errnoCollect int32
+	errnoFunc    int32
+	errnoTrace   int32
 }
 
 // Hook is one runtime action; returning a fault terminates the process
@@ -94,33 +101,73 @@ type MicroGenerator interface {
 	PostfixHook(proto *ctypes.Prototype, st *State) Hook
 }
 
+// StateShards is the number of counter shards a State spreads capture
+// over — a power of two so shard selection is one mask. Each shard's
+// counters live in their own heap arrays, so concurrent writers on
+// different shards never touch the same cache line.
+const StateShards = 16
+
+// stateShard is one worker's slice of the capture counters. Every slot
+// is bumped with a single atomic add (two writers can share a shard
+// after a token collision), and drained losslessly by fold() with an
+// atomic swap — the write path never takes a lock.
+type stateShard struct {
+	callCount  []uint64
+	execTimeNS []int64
+	execHist   [][]uint64
+	funcErrno  [][]uint64
+	denied     []uint64
+	passed     []uint64
+	subst      []uint64
+	contained  []uint64
+	retried    []uint64
+	trips      []uint64
+
+	globalErrno []uint64
+	overflows   uint64
+}
+
 // State is the mutable statistics store shared by every wrapped function
 // of one generated wrapper library — the arrays the paper's generated code
 // indexes (call_counter_num_calls[1206] and friends). One State belongs to
-// one wrapper library instance. A single simulated process is
-// single-threaded, but a parallel fault-injection campaign runs many
-// probe processes against the same preloaded wrapper library at once, so
-// every counter mutation goes through the locked helpers below; direct
-// field access is safe only once execution has quiesced (rendering a
-// profile, test assertions).
+// one wrapper library instance.
+//
+// Capture is sharded: a parallel fault-injection campaign (or a fleet
+// process) runs many simulated processes against the same preloaded
+// wrapper library at once, and every counter mutation is one atomic add
+// into the calling process's shard (cval.Env.StatShard selects it) —
+// no lock is taken on the hot path. The exported fields hold the
+// *merged* totals: Sync (or any totalling method) folds the shard
+// deltas in, so invariants like "histogram bucket sum == call count"
+// hold at read time, after capture has quiesced, rather than at write
+// time. Direct field access is safe for fabricating profiles on an
+// idle State and for reading after quiesce + Sync.
 type State struct {
 	// Soname names the wrapper library this state belongs to.
 	Soname string
 
-	// mu guards every counter and the index tables against concurrent
-	// probe processes.
+	// mu guards the index tables, the merged fields, and DenyLog. The
+	// capture hot path does not take it; Sync/Reset and the read-side
+	// helpers do.
 	mu sync.Mutex
 
 	funcIndex map[string]int
 	funcNames []string
+
+	// shards are the per-worker capture counters; writers pick one via
+	// the Env's shard token. Per-function slots are grown by Index,
+	// which must not run concurrently with capture (a wrapper is built
+	// — indexing every symbol — before any process can call it).
+	shards [StateShards]stateShard
 
 	// CallCount counts calls per function index.
 	CallCount []uint64
 	// ExecTime accumulates time spent per function index.
 	ExecTime []time.Duration
 	// ExecHist holds one log2 latency histogram per function index
-	// (HistBuckets buckets, see HistBucket); the bucket sum equals the
-	// number of calls the exectime micro-generator timed to completion.
+	// (HistBuckets buckets, see HistBucket); once merged, the bucket sum
+	// equals the number of calls the exectime micro-generator timed to
+	// completion.
 	ExecHist [][]uint64
 	// FuncErrno histograms errno changes per function.
 	FuncErrno [][]uint64
@@ -151,11 +198,21 @@ type State struct {
 	// DenyLog records human-readable veto reasons (bounded).
 	DenyLog []string
 
-	// trace is the trace micro-generator's bounded ring of recent calls;
-	// traceCap its capacity and traceSeq the global call sequence.
-	trace    []TraceEntry
-	traceCap int
-	traceSeq uint64
+	// traceMu guards the trace ring separately from mu: trace entries
+	// need a total order (the ring's whole point), so their capture
+	// stays serialized, but on a lock the counter path never touches.
+	traceMu sync.Mutex
+	// trace is the trace micro-generator's bounded ring of recent
+	// calls, traceCap entries of backing store once armed. traceHead is
+	// the next write slot and traceLen the live entry count; traceSeq
+	// is the global call sequence, strictly monotonic for the State's
+	// lifetime — Reset drops the entries but never rewinds it, so Seq
+	// values from before and after a Reset remain comparable.
+	trace     []TraceEntry
+	traceCap  int
+	traceHead int
+	traceLen  int
+	traceSeq  uint64
 
 	// OnExit, when set, runs once when a wrapped process calls exit()
 	// with the exit-flush micro-generator installed — the paper's "just
@@ -168,18 +225,35 @@ type State struct {
 
 // NewState creates an empty state for a wrapper library.
 func NewState(soname string) *State {
-	return &State{
+	st := &State{
 		Soname:      soname,
 		funcIndex:   make(map[string]int),
 		GlobalErrno: make([]uint64, cval.MaxErrno+1),
 	}
+	for s := range st.shards {
+		st.shards[s].globalErrno = make([]uint64, cval.MaxErrno+1)
+	}
+	return st
 }
 
-// Reset zeroes every counter while keeping the function index table, so
-// one generated wrapper library can profile several runs independently.
+// shard maps a process environment to its counter shard. A nil env
+// (fabrication, direct helper calls in tests) lands in shard 0.
+func (st *State) shard(env *cval.Env) *stateShard {
+	if env == nil {
+		return &st.shards[0]
+	}
+	return &st.shards[env.StatShard()&(StateShards-1)]
+}
+
+// Reset zeroes every counter — merged fields and shard deltas — while
+// keeping the function index table, so one generated wrapper library can
+// profile several runs independently. The trace ring is emptied but
+// stays armed, and traceSeq keeps counting: post-Reset entries continue
+// the global sequence. Concurrent writers are not stopped; an increment
+// in flight during Reset may survive it, so run-exact assertions must
+// quiesce capture first.
 func (st *State) Reset() {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	for i := range st.CallCount {
 		st.CallCount[i] = 0
 		st.ExecTime[i] = 0
@@ -201,12 +275,86 @@ func (st *State) Reset() {
 	}
 	st.Overflows = 0
 	st.DenyLog = nil
-	st.trace = nil
-	st.traceSeq = 0
+	st.drainShards()
+	st.mu.Unlock()
+
+	st.traceMu.Lock()
+	st.traceHead = 0
+	st.traceLen = 0
+	st.traceMu.Unlock()
+}
+
+// drainShards discards every shard's pending deltas. Caller holds mu.
+func (st *State) drainShards() {
+	for s := range st.shards {
+		sh := &st.shards[s]
+		for i := range sh.callCount {
+			atomic.SwapUint64(&sh.callCount[i], 0)
+			atomic.SwapInt64(&sh.execTimeNS[i], 0)
+			atomic.SwapUint64(&sh.denied[i], 0)
+			atomic.SwapUint64(&sh.passed[i], 0)
+			atomic.SwapUint64(&sh.subst[i], 0)
+			atomic.SwapUint64(&sh.contained[i], 0)
+			atomic.SwapUint64(&sh.retried[i], 0)
+			atomic.SwapUint64(&sh.trips[i], 0)
+			for j := range sh.execHist[i] {
+				atomic.SwapUint64(&sh.execHist[i][j], 0)
+			}
+			for j := range sh.funcErrno[i] {
+				atomic.SwapUint64(&sh.funcErrno[i][j], 0)
+			}
+		}
+		for j := range sh.globalErrno {
+			atomic.SwapUint64(&sh.globalErrno[j], 0)
+		}
+		atomic.SwapUint64(&sh.overflows, 0)
+	}
+}
+
+// Sync folds every shard's pending deltas into the exported merged
+// fields and zeroes the shards. Fold is additive, so profiles
+// fabricated by writing the fields directly are preserved, and calling
+// Sync twice is idempotent. Safe to call while capture is running (the
+// drain is atomic per slot); the merged fields are only *complete* —
+// and the bucket-sum == call-count invariant only exact — once capture
+// has quiesced.
+func (st *State) Sync() {
+	st.mu.Lock()
+	st.fold()
+	st.mu.Unlock()
+}
+
+// fold merges shard deltas into the exported fields. Caller holds mu.
+func (st *State) fold() {
+	for s := range st.shards {
+		sh := &st.shards[s]
+		for i := range sh.callCount {
+			st.CallCount[i] += atomic.SwapUint64(&sh.callCount[i], 0)
+			st.ExecTime[i] += time.Duration(atomic.SwapInt64(&sh.execTimeNS[i], 0))
+			st.DeniedCount[i] += atomic.SwapUint64(&sh.denied[i], 0)
+			st.PassedCount[i] += atomic.SwapUint64(&sh.passed[i], 0)
+			st.SubstCount[i] += atomic.SwapUint64(&sh.subst[i], 0)
+			st.ContainedCount[i] += atomic.SwapUint64(&sh.contained[i], 0)
+			st.RetriedCount[i] += atomic.SwapUint64(&sh.retried[i], 0)
+			st.BreakerTrips[i] += atomic.SwapUint64(&sh.trips[i], 0)
+			for j := range sh.execHist[i] {
+				st.ExecHist[i][j] += atomic.SwapUint64(&sh.execHist[i][j], 0)
+			}
+			for j := range sh.funcErrno[i] {
+				st.FuncErrno[i][j] += atomic.SwapUint64(&sh.funcErrno[i][j], 0)
+			}
+		}
+		for j := range sh.globalErrno {
+			st.GlobalErrno[j] += atomic.SwapUint64(&sh.globalErrno[j], 0)
+		}
+		st.Overflows += atomic.SwapUint64(&sh.overflows, 0)
+	}
 }
 
 // Index returns the stable index for a function name, allocating on first
-// use.
+// use. Allocation grows every shard's counter slots and must therefore
+// not race with capture — which it cannot in practice: a wrapper library
+// indexes all its symbols at build time, before any process can call it.
 func (st *State) Index(name string) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -226,6 +374,19 @@ func (st *State) Index(name string) int {
 	st.ContainedCount = append(st.ContainedCount, 0)
 	st.RetriedCount = append(st.RetriedCount, 0)
 	st.BreakerTrips = append(st.BreakerTrips, 0)
+	for s := range st.shards {
+		sh := &st.shards[s]
+		sh.callCount = append(sh.callCount, 0)
+		sh.execTimeNS = append(sh.execTimeNS, 0)
+		sh.execHist = append(sh.execHist, make([]uint64, HistBuckets))
+		sh.funcErrno = append(sh.funcErrno, make([]uint64, cval.MaxErrno+1))
+		sh.denied = append(sh.denied, 0)
+		sh.passed = append(sh.passed, 0)
+		sh.subst = append(sh.subst, 0)
+		sh.contained = append(sh.contained, 0)
+		sh.retried = append(sh.retried, 0)
+		sh.trips = append(sh.trips, 0)
+	}
 	return i
 }
 
@@ -243,10 +404,11 @@ func (st *State) Name(i int) string {
 	return st.funcNames[i]
 }
 
-// TotalCalls sums the call counters.
+// TotalCalls folds pending shard deltas and sums the call counters.
 func (st *State) TotalCalls() uint64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.fold()
 	var n uint64
 	for _, c := range st.CallCount {
 		n += c
@@ -254,11 +416,13 @@ func (st *State) TotalCalls() uint64 {
 	return n
 }
 
-// ContainmentTotals sums the recovery layer's counters across every
-// wrapped function: faults contained, retries issued, breaker trips.
+// ContainmentTotals folds pending shard deltas and sums the recovery
+// layer's counters across every wrapped function: faults contained,
+// retries issued, breaker trips.
 func (st *State) ContainmentTotals() (contained, retried, trips uint64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.fold()
 	for i := range st.ContainedCount {
 		contained += st.ContainedCount[i]
 		retried += st.RetriedCount[i]
@@ -267,56 +431,51 @@ func (st *State) ContainmentTotals() (contained, retried, trips uint64) {
 	return contained, retried, trips
 }
 
-// AddCall bumps a function's call counter. Exported so bounded
-// substitutions (wrappers/subst.go), which bypass the micro-generator
-// composition, account their calls through the same locked path.
-func (st *State) AddCall(idx int) {
-	st.mu.Lock()
-	st.CallCount[idx]++
-	st.mu.Unlock()
+// AddCall bumps a function's call counter in env's shard — one atomic
+// add, no lock. Exported so bounded substitutions (wrappers/subst.go),
+// which bypass the micro-generator composition, account their calls
+// through the same path.
+func (st *State) AddCall(env *cval.Env, idx int) {
+	atomic.AddUint64(&st.shard(env).callCount[idx], 1)
 }
 
 // addExecSample accumulates time spent in a wrapped function and bumps
-// its latency histogram bucket — one lock for both, so the total and the
-// bucket sum cannot drift apart under concurrent probes.
-func (st *State) addExecSample(idx int, d time.Duration) {
-	b := HistBucket(d)
-	st.mu.Lock()
-	st.ExecTime[idx] += d
-	st.ExecHist[idx][b]++
-	st.mu.Unlock()
+// its latency histogram bucket, both in env's shard. The total and the
+// bucket sum are reconciled when fold() merges the shards, so the
+// histogram invariant holds at read time after capture quiesces.
+func (st *State) addExecSample(env *cval.Env, idx int, d time.Duration) {
+	sh := st.shard(env)
+	atomic.AddInt64(&sh.execTimeNS[idx], int64(d))
+	atomic.AddUint64(&sh.execHist[idx][HistBucket(d)], 1)
 }
 
 // addGlobalErrno bumps the cross-function errno histogram.
-func (st *State) addGlobalErrno(slot int) {
-	st.mu.Lock()
-	st.GlobalErrno[slot]++
-	st.mu.Unlock()
+func (st *State) addGlobalErrno(env *cval.Env, slot int) {
+	atomic.AddUint64(&st.shard(env).globalErrno[slot], 1)
 }
 
 // addFuncErrno bumps one function's errno histogram.
-func (st *State) addFuncErrno(idx, slot int) {
-	st.mu.Lock()
-	st.FuncErrno[idx][slot]++
-	st.mu.Unlock()
+func (st *State) addFuncErrno(env *cval.Env, idx, slot int) {
+	atomic.AddUint64(&st.shard(env).funcErrno[idx][slot], 1)
 }
 
 // addOverflow counts a detected canary/bound violation.
-func (st *State) addOverflow() {
-	st.mu.Lock()
-	st.Overflows++
-	st.mu.Unlock()
+func (st *State) addOverflow(env *cval.Env) {
+	atomic.AddUint64(&st.shard(env).overflows, 1)
 }
 
 // DenyLogCap bounds the DenyLog so a pathological workload cannot grow
 // the veto record without limit; DeniedCount keeps exact totals.
 const DenyLogCap = 1000
 
-// NoteDeny records a veto. Exported so bounded substitutions share the
-// one implementation (and its cap) instead of reimplementing it.
-func (st *State) NoteDeny(idx int, reason string) {
+// NoteDeny records a veto: the counter goes to env's shard, the
+// human-readable reason to the locked DenyLog. Denies are rare (each one
+// is a blocked attack or injected fault), so the log's lock is off the
+// common path by construction. Exported so bounded substitutions share
+// the one implementation (and its cap) instead of reimplementing it.
+func (st *State) NoteDeny(env *cval.Env, idx int, reason string) {
+	atomic.AddUint64(&st.shard(env).denied[idx], 1)
 	st.mu.Lock()
-	st.DeniedCount[idx]++
 	if len(st.DenyLog) < DenyLogCap {
 		st.DenyLog = append(st.DenyLog, reason)
 	}
@@ -324,84 +483,90 @@ func (st *State) NoteDeny(idx int, reason string) {
 }
 
 // noteContained counts a fault caught and virtualized for a function.
-func (st *State) noteContained(idx int) {
-	st.mu.Lock()
-	st.ContainedCount[idx]++
-	st.mu.Unlock()
+func (st *State) noteContained(env *cval.Env, idx int) {
+	atomic.AddUint64(&st.shard(env).contained[idx], 1)
 }
 
 // noteRetry counts one policy-issued retry attempt.
-func (st *State) noteRetry(idx int) {
-	st.mu.Lock()
-	st.RetriedCount[idx]++
-	st.mu.Unlock()
+func (st *State) noteRetry(env *cval.Env, idx int) {
+	atomic.AddUint64(&st.shard(env).retried[idx], 1)
 }
 
 // noteBreakerTrip counts a circuit-breaker trip.
-func (st *State) noteBreakerTrip(idx int) {
-	st.mu.Lock()
-	st.BreakerTrips[idx]++
-	st.mu.Unlock()
+func (st *State) noteBreakerTrip(env *cval.Env, idx int) {
+	atomic.AddUint64(&st.shard(env).trips[idx], 1)
 }
 
 // notePassed counts a call that cleared every installed check.
-func (st *State) notePassed(idx int) {
-	st.mu.Lock()
-	st.PassedCount[idx]++
-	st.mu.Unlock()
+func (st *State) notePassed(env *cval.Env, idx int) {
+	atomic.AddUint64(&st.shard(env).passed[idx], 1)
 }
 
 // noteSubst counts a call routed through a bounded substitution.
-func (st *State) noteSubst(idx int) {
-	st.mu.Lock()
-	st.SubstCount[idx]++
-	st.mu.Unlock()
+func (st *State) noteSubst(env *cval.Env, idx int) {
+	atomic.AddUint64(&st.shard(env).subst[idx], 1)
 }
 
 // SetTraceCap arms the trace ring; the largest capacity requested by any
-// trace micro-generator sharing this state wins.
+// trace micro-generator sharing this state wins. Growing re-linearizes
+// the live entries oldest-first into the larger backing store.
 func (st *State) SetTraceCap(n int) {
 	if n <= 0 {
 		return
 	}
-	st.mu.Lock()
+	st.traceMu.Lock()
 	if n > st.traceCap {
+		live := st.traceSnapshot()
+		st.trace = make([]TraceEntry, n)
+		copy(st.trace, live)
 		st.traceCap = n
+		st.traceHead = len(live) % n
+		st.traceLen = len(live)
 	}
-	st.mu.Unlock()
+	st.traceMu.Unlock()
 }
 
 // AddTrace appends one call record to the bounded ring, overwriting the
 // oldest entry once the ring is full; it assigns the entry's sequence
-// number. A no-op until SetTraceCap arms the ring.
+// number. Seq is strictly monotonic for the State's lifetime, surviving
+// Reset. A no-op until SetTraceCap arms the ring.
 func (st *State) AddTrace(e TraceEntry) {
-	st.mu.Lock()
+	st.traceMu.Lock()
 	if st.traceCap > 0 {
 		st.traceSeq++
 		e.Seq = st.traceSeq
-		if len(st.trace) < st.traceCap {
-			st.trace = append(st.trace, e)
-		} else {
-			st.trace[int((st.traceSeq-1)%uint64(st.traceCap))] = e
+		st.trace[st.traceHead] = e
+		st.traceHead = (st.traceHead + 1) % st.traceCap
+		if st.traceLen < st.traceCap {
+			st.traceLen++
 		}
 	}
-	st.mu.Unlock()
+	st.traceMu.Unlock()
 }
 
-// Trace snapshots the trace ring, oldest entry first.
+// Trace snapshots the trace ring, oldest entry first. Entries are in
+// strictly increasing Seq order; the oldest retained entry is the one
+// traceCap calls behind the newest.
 func (st *State) Trace() []TraceEntry {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if len(st.trace) == 0 {
+	st.traceMu.Lock()
+	defer st.traceMu.Unlock()
+	return st.traceSnapshot()
+}
+
+// traceSnapshot linearizes the ring oldest-first. Caller holds traceMu.
+func (st *State) traceSnapshot() []TraceEntry {
+	if st.traceLen == 0 {
 		return nil
 	}
-	out := make([]TraceEntry, 0, len(st.trace))
-	if len(st.trace) < st.traceCap || st.traceCap == 0 {
-		return append(out, st.trace...)
+	start := st.traceHead - st.traceLen
+	if start < 0 {
+		start += st.traceCap
 	}
-	head := int(st.traceSeq % uint64(st.traceCap))
-	out = append(out, st.trace[head:]...)
-	return append(out, st.trace[:head]...)
+	out := make([]TraceEntry, 0, st.traceLen)
+	for k := 0; k < st.traceLen; k++ {
+		out = append(out, st.trace[(start+k)%st.traceCap])
+	}
+	return out
 }
 
 // errnoSlot clamps an errno to the histogram range, like the MAX_ERRNO
@@ -484,7 +649,6 @@ func (g *Generator) build(proto *ctypes.Prototype, resolve func() cval.CFunc, st
 			Proto:     proto,
 			Args:      args,
 			FuncIndex: idx,
-			errnoAt:   make(map[string]int32, 2),
 		}
 		for _, p := range pairs {
 			if p.pre == nil {
@@ -499,7 +663,11 @@ func (g *Generator) build(proto *ctypes.Prototype, resolve func() cval.CFunc, st
 			if fn == nil {
 				return 0, &cmem.Fault{Kind: cmem.FaultAbort, Op: "wrapper", Detail: fmt.Sprintf("RTLD_NEXT for %s unresolved", proto.Name)}
 			}
-			ctx.invoke = func() (cval.Value, *cmem.Fault) { return fn(env, args) }
+			if ctx.Contain {
+				// Only a containment postfix ever re-invokes; skip the
+				// closure allocation on the uncontained fast path.
+				ctx.invoke = func() (cval.Value, *cmem.Fault) { return fn(env, args) }
+			}
 			ret, fault := fn(env, args)
 			switch {
 			case fault != nil && !ctx.Contain:
@@ -530,7 +698,7 @@ func (g *Generator) build(proto *ctypes.Prototype, resolve func() cval.CFunc, st
 		// fault cleared every installed check (NoteDeny covered the
 		// veto case inside the checking hook).
 		if !ctx.Denied {
-			st.notePassed(idx)
+			st.notePassed(env, idx)
 		}
 		return ctx.Ret, nil
 	}
@@ -590,7 +758,7 @@ func (g *Generator) BuildLibrarySubst(soname string, protos []*ctypes.Prototype,
 				if fn == nil {
 					return 0, &cmem.Fault{Kind: cmem.FaultAbort, Op: "wrapper", Detail: "substitute unresolved"}
 				}
-				st.noteSubst(idx)
+				st.noteSubst(env, idx)
 				return fn(env, args)
 			})
 			continue

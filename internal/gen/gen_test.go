@@ -166,6 +166,7 @@ func TestProfilingHooksCollect(t *testing.T) {
 		t.Fatalf("wrapped wctrans: %v", f)
 	}
 
+	st.Sync()
 	idx := st.Index("strlen")
 	if st.CallCount[idx] != 3 {
 		t.Errorf("strlen count = %d, want 3", st.CallCount[idx])
@@ -255,6 +256,7 @@ func TestArgCheckDenies(t *testing.T) {
 	if v.Int32() != -1 {
 		t.Errorf("denied return = %d, want -1", v.Int32())
 	}
+	st.Sync()
 	if st.DeniedCount[st.Index("strlen")] != 1 {
 		t.Errorf("DeniedCount = %d", st.DeniedCount[st.Index("strlen")])
 	}

@@ -99,9 +99,10 @@ func TestFormatNS(t *testing.T) {
 func TestExecSampleFeedsHistogram(t *testing.T) {
 	st := NewState("libtest.so")
 	idx := st.Index("strlen")
-	st.addExecSample(idx, 40*time.Nanosecond)  // bucket 5
-	st.addExecSample(idx, 40*time.Nanosecond)  // bucket 5
-	st.addExecSample(idx, 300*time.Nanosecond) // bucket 8
+	st.addExecSample(nil, idx, 40*time.Nanosecond)  // bucket 5
+	st.addExecSample(nil, idx, 40*time.Nanosecond)  // bucket 5
+	st.addExecSample(nil, idx, 300*time.Nanosecond) // bucket 8
+	st.Sync()
 	if st.ExecHist[idx][5] != 2 || st.ExecHist[idx][8] != 1 {
 		t.Errorf("histogram = %v", st.ExecHist[idx])
 	}
@@ -143,6 +144,69 @@ func TestTraceRing(t *testing.T) {
 	st.Reset()
 	if got := st.Trace(); got != nil {
 		t.Errorf("ring after Reset = %v, want empty", got)
+	}
+}
+
+// TestTraceRingResetRefill pins the Reset-then-refill contract: the ring
+// stays armed, refills with correct oldest-first ordering through
+// wraparound, and Seq continues the pre-Reset global sequence instead of
+// restarting at 1 — so trace entries from before and after a Reset stay
+// comparable.
+func TestTraceRingResetRefill(t *testing.T) {
+	st := NewState("libtest.so")
+	st.SetTraceCap(3)
+	for i := 0; i < 5; i++ { // seq 1..5; ring holds 3,4,5
+		st.AddTrace(TraceEntry{Func: "a"})
+	}
+	st.Reset()
+
+	// Refill past capacity: seq 6..9, ring holds 7,8,9 oldest-first.
+	for i := 0; i < 4; i++ {
+		st.AddTrace(TraceEntry{Func: "b", Dur: time.Duration(i)})
+	}
+	got := st.Trace()
+	if len(got) != 3 {
+		t.Fatalf("refilled ring holds %d entries, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+7) {
+			t.Errorf("entry %d has seq %d, want %d (monotonic across Reset)", i, e.Seq, i+7)
+		}
+		if i > 0 && got[i].Seq <= got[i-1].Seq {
+			t.Errorf("snapshot not in increasing Seq order: %d then %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+
+	// A partially refilled ring (fewer entries than capacity after
+	// Reset) must not resurrect pre-Reset slots.
+	st.Reset()
+	st.AddTrace(TraceEntry{Func: "c"})
+	got = st.Trace()
+	if len(got) != 1 || got[0].Func != "c" || got[0].Seq != 10 {
+		t.Errorf("partial refill = %+v, want one entry func=c seq=10", got)
+	}
+}
+
+// TestTraceRingGrow pins SetTraceCap growth on a live ring: the
+// surviving entries re-linearize oldest-first into the larger store and
+// subsequent adds extend them in order.
+func TestTraceRingGrow(t *testing.T) {
+	st := NewState("libtest.so")
+	st.SetTraceCap(2)
+	for i := 0; i < 3; i++ { // seq 1..3; ring holds 2,3
+		st.AddTrace(TraceEntry{Func: "a"})
+	}
+	st.SetTraceCap(4)
+	st.AddTrace(TraceEntry{Func: "b"}) // seq 4
+	got := st.Trace()
+	want := []uint64{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("grown ring holds %d entries, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Seq != want[i] {
+			t.Errorf("entry %d has seq %d, want %d", i, e.Seq, want[i])
+		}
 	}
 }
 

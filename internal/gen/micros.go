@@ -106,7 +106,7 @@ func (callCounterGen) PostfixSource(*ctypes.Prototype) []string { return nil }
 
 func (callCounterGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
-		st.AddCall(ctx.FuncIndex)
+		st.AddCall(ctx.Env, ctx.FuncIndex)
 		return nil
 	}
 }
@@ -157,7 +157,7 @@ func (exectimeGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 
 func (exectimeGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
-		st.addExecSample(ctx.FuncIndex, time.Since(ctx.start))
+		st.addExecSample(ctx.Env, ctx.FuncIndex, time.Since(ctx.start))
 		return nil
 	}
 }
@@ -188,15 +188,15 @@ func (collectErrorsGen) PostfixSource(*ctypes.Prototype) []string {
 
 func (collectErrorsGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
-		ctx.errnoAt["collect"] = ctx.Env.Errno
+		ctx.errnoCollect = ctx.Env.Errno
 		return nil
 	}
 }
 
 func (collectErrorsGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
-		if ctx.Env.Errno != ctx.errnoAt["collect"] {
-			st.addGlobalErrno(errnoSlot(ctx.Env.Errno))
+		if ctx.Env.Errno != ctx.errnoCollect {
+			st.addGlobalErrno(ctx.Env, errnoSlot(ctx.Env.Errno))
 		}
 		return nil
 	}
@@ -225,15 +225,15 @@ func (funcErrorsGen) PostfixSource(proto *ctypes.Prototype) []string {
 
 func (funcErrorsGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
-		ctx.errnoAt["func"] = ctx.Env.Errno
+		ctx.errnoFunc = ctx.Env.Errno
 		return nil
 	}
 }
 
 func (funcErrorsGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
-		if ctx.Env.Errno != ctx.errnoAt["func"] {
-			st.addFuncErrno(ctx.FuncIndex, errnoSlot(ctx.Env.Errno))
+		if ctx.Env.Errno != ctx.errnoFunc {
+			st.addFuncErrno(ctx.Env, ctx.FuncIndex, errnoSlot(ctx.Env.Errno))
 		}
 		return nil
 	}
@@ -338,7 +338,7 @@ func (g *argCheckGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 			ctx.DenyReason = reason
 			ctx.Env.Errno = cval.EDenied
 			ctx.Ret = denyValue(ctx.Proto)
-			st.NoteDeny(ctx.FuncIndex, reason)
+			st.NoteDeny(ctx.Env, ctx.FuncIndex, reason)
 		}
 		for _, c := range checks {
 			var v cval.Value
@@ -414,11 +414,11 @@ func (heapCheckGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 			ctx.Env.Img.Stack.SetGuards(true)
 		}
 		if f := heap.CheckIntegrity(); f != nil {
-			st.addOverflow()
+			st.addOverflow(ctx.Env)
 			return f
 		}
 		if f := ctx.Env.Img.Stack.CheckGuards(); f != nil {
-			st.addOverflow()
+			st.addOverflow(ctx.Env)
 			return f
 		}
 		return nil
@@ -428,14 +428,14 @@ func (heapCheckGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 func (heapCheckGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 	return func(ctx *CallCtx) *cmem.Fault {
 		if f := ctx.Env.Img.Heap.CheckIntegrity(); f != nil {
-			st.addOverflow()
+			st.addOverflow(ctx.Env)
 			return f
 		}
 		// A library call that wrote through a stack buffer (read into
 		// a local, gets into a local) is detected here, before the
 		// caller can return through the smashed frame.
 		if f := ctx.Env.Img.Stack.CheckGuards(); f != nil {
-			st.addOverflow()
+			st.addOverflow(ctx.Env)
 			return f
 		}
 		return nil
@@ -500,7 +500,7 @@ func (boundCheckGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 				room = 0
 			}
 			if need.Bytes > room {
-				st.addOverflow()
+				st.addOverflow(ctx.Env)
 				return &cmem.Fault{
 					Kind: cmem.FaultOverflow, Addr: dst, Op: ctx.Proto.Name,
 					Detail: fmt.Sprintf("write of %d bytes into %d-byte chunk prevented", need.Bytes, room),
@@ -563,7 +563,7 @@ func (fmtCheckGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 				ctx.DenyReason = fmt.Sprintf("%s: format string rejected", ctx.Proto.Name)
 				ctx.Env.Errno = cval.EDenied
 				ctx.Ret = denyValue(ctx.Proto)
-				st.NoteDeny(ctx.FuncIndex, ctx.DenyReason)
+				st.NoteDeny(ctx.Env, ctx.FuncIndex, ctx.DenyReason)
 				return nil
 			}
 		}
@@ -633,7 +633,7 @@ func (g *traceGen) PrefixHook(proto *ctypes.Prototype, st *State) Hook {
 	st.SetTraceCap(g.capacity)
 	return func(ctx *CallCtx) *cmem.Fault {
 		ctx.traceStart = time.Now()
-		ctx.errnoAt["trace"] = ctx.Env.Errno
+		ctx.errnoTrace = ctx.Env.Errno
 		return nil
 	}
 }
@@ -644,7 +644,7 @@ func (g *traceGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 		switch {
 		case ctx.Denied:
 			outcome = "denied"
-		case ctx.Env.Errno != ctx.errnoAt["trace"]:
+		case ctx.Env.Errno != ctx.errnoTrace:
 			outcome = "errno=" + cval.ErrnoName(ctx.Env.Errno)
 		}
 		st.AddTrace(TraceEntry{

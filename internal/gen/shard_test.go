@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"healers/internal/cheader"
+	"healers/internal/cmem"
+	"healers/internal/ctypes"
+	"healers/internal/cval"
+)
+
+// TestShardedCaptureRaceHammer hammers one wrapped function from many
+// goroutines — each with its own Env, and therefore its own counter
+// shard — and asserts the merged counters are *exact* after the writers
+// quiesce: bucket-sum == call-count, errno totals, and deny/pass splits
+// all come out to the arithmetic of the workload, not merely
+// race-detector-clean. A first phase interleaves Reset and Sync with
+// live writers (no exactness is possible there — an in-flight increment
+// may survive a Reset — but the race detector sees every pairing); the
+// exact phase then starts from a quiesced Reset. Run under -race via
+// make check.
+func TestShardedCaptureRaceHammer(t *testing.T) {
+	proto, err := cheader.ParsePrototype("size_t f(const char *s); // @s in_str")
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := ctypes.RobustAPI{
+		"f": {{Name: "s", Chain: "in_str", Level: 3, LevelName: "cstring"}},
+	}
+	st := NewState("libhammer.so")
+	// Call counter sits before the arg check so denied calls are counted
+	// too; every postfix (histogram, errno collectors) runs for denied
+	// and passed calls alike, keeping the expected totals exact.
+	g := MustGenerator(MGPrototype(), MGExectime(), MGCollectErrors(),
+		MGFuncErrors(), MGCallCounter(), MGArgCheck(api), MGCaller())
+	var next cval.CFunc = func(env *cval.Env, args []cval.Value) (cval.Value, *cmem.Fault) {
+		env.Errno = cval.EINVAL
+		return cval.Uint(3), nil
+	}
+	w := g.Build(proto, &next, st)
+	idx := st.Index("f")
+
+	const workers = 8
+	const iters = 400 // even: half valid, half denied per worker
+
+	hammer := func() {
+		var wg sync.WaitGroup
+		for n := 0; n < workers; n++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				env := cval.NewEnv()
+				valid, f := env.Img.StaticString("abc")
+				if f != nil {
+					panic(f)
+				}
+				for i := 0; i < iters; i++ {
+					env.Errno = 0
+					arg := cval.Ptr(valid)
+					if i%2 == 1 {
+						arg = cval.Ptr(0) // fails the cstring check
+					}
+					if _, fault := w(env, []cval.Value{arg}); fault != nil {
+						panic(fault)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: writers race with Reset and Sync. Only freedom from data
+	// races is asserted here.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		hammer()
+	}()
+	for i := 0; i < 50; i++ {
+		st.Reset()
+		st.Sync()
+	}
+	<-done
+
+	// Phase 2: quiesced Reset, then an exact workload.
+	st.Reset()
+	hammer()
+	st.Sync()
+
+	const calls = workers * iters
+	const denied = calls / 2
+	const passed = calls - denied
+	if got := st.TotalCalls(); got != calls {
+		t.Errorf("TotalCalls = %d, want %d", got, calls)
+	}
+	if st.CallCount[idx] != calls {
+		t.Errorf("CallCount = %d, want %d", st.CallCount[idx], calls)
+	}
+	if got := HistTotal(st.ExecHist[idx]); got != calls {
+		t.Errorf("histogram bucket sum = %d, want %d (== call count)", got, calls)
+	}
+	if st.PassedCount[idx] != passed {
+		t.Errorf("PassedCount = %d, want %d", st.PassedCount[idx], passed)
+	}
+	if st.DeniedCount[idx] != denied {
+		t.Errorf("DeniedCount = %d, want %d", st.DeniedCount[idx], denied)
+	}
+	// Every call flips errno (0 -> EINVAL when passed, 0 -> EDenied when
+	// vetoed; EDenied clamps to the histogram's overflow slot), so both
+	// errno histograms account every call exactly.
+	if got := st.FuncErrno[idx][cval.EINVAL]; got != passed {
+		t.Errorf("FuncErrno[EINVAL] = %d, want %d", got, passed)
+	}
+	if got := st.FuncErrno[idx][cval.MaxErrno]; got != denied {
+		t.Errorf("FuncErrno[EDenied overflow slot] = %d, want %d", got, denied)
+	}
+	if got := st.GlobalErrno[cval.EINVAL]; got != passed {
+		t.Errorf("GlobalErrno[EINVAL] = %d, want %d", got, passed)
+	}
+	if got := st.GlobalErrno[cval.MaxErrno]; got != denied {
+		t.Errorf("GlobalErrno[EDenied overflow slot] = %d, want %d", got, denied)
+	}
+	if got := len(st.DenyLog); got != DenyLogCap {
+		t.Errorf("DenyLog length = %d, want capped at %d", got, DenyLogCap)
+	}
+	// Sync is idempotent once the shards are drained.
+	st.Sync()
+	if got := st.TotalCalls(); got != calls {
+		t.Errorf("TotalCalls after second Sync = %d, want %d (double-fold)", got, calls)
+	}
+}
+
+// BenchmarkShardCounterCapture prices one call's worth of pure counter
+// capture — call count, latency histogram bucket, global and
+// per-function errno — on the sharded path, with the wrapper
+// scaffolding and timestamping a full interception adds stripped away.
+// This is the cost the sharding bounds: a handful of uncontended atomic
+// adds into the goroutine's own shard. Run with -cpu 1,4,8; the
+// end-to-end view lives in the root package's
+// BenchmarkCaptureContention.
+func BenchmarkShardCounterCapture(b *testing.B) {
+	st := NewState("bench-shard")
+	idx := st.Index("f")
+	slot := errnoSlot(cval.EINVAL)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		env := cval.NewEnv() // own Env, own counter shard
+		for pb.Next() {
+			st.AddCall(env, idx)
+			st.addExecSample(env, idx, 1500*time.Nanosecond)
+			st.addGlobalErrno(env, slot)
+			st.addFuncErrno(env, idx, slot)
+		}
+	})
+	b.StopTimer()
+	st.Sync()
+	if st.CallCount[idx] != uint64(b.N) {
+		b.Fatalf("CallCount = %d, want %d (lost increments)", st.CallCount[idx], b.N)
+	}
+	if hist := HistTotal(st.ExecHist[idx]); hist != uint64(b.N) {
+		b.Fatalf("bucket sum %d != %d calls", hist, b.N)
+	}
+}

@@ -293,7 +293,10 @@ func New(sys *simelf.System, soname string, opts ...CampaignOption) (*Campaign, 
 // satisfied lattice level, call, classify. injected < 0 is the niladic
 // "plain call" probe: no arguments, but the same fuel budget, stdin
 // seeding, and outcome classification as every parameterized probe.
-func (c *Campaign) runProbe(proto *ctypes.Prototype, injected int, probe Probe) (ProbeResult, error) {
+// shard pins the probe process's statistics-shard token, so a worker
+// pool's probes write disjoint wrapper-state counter shards (sequential
+// callers pass 0).
+func (c *Campaign) runProbe(proto *ctypes.Prototype, injected int, probe Probe, shard uint32) (ProbeResult, error) {
 	opts := []proc.Option{proc.WithPreloads(c.preloads...)}
 	if c.stdin != "" {
 		opts = append(opts, proc.WithStdin(c.stdin))
@@ -303,6 +306,7 @@ func (c *Campaign) runProbe(proto *ctypes.Prototype, injected int, probe Probe) 
 		return ProbeResult{}, fmt.Errorf("inject: starting probe host: %w", err)
 	}
 	env := p.Env()
+	env.SetStatShard(shard)
 	if err := prepareProbeRegions(env); err != nil {
 		return ProbeResult{}, err
 	}
@@ -491,7 +495,7 @@ func (c *Campaign) RunFunction(name string) (*FuncReport, error) {
 	specs := planFunction(proto)
 	results := make([]ProbeResult, 0, len(specs))
 	for _, sp := range specs {
-		r, err := c.runProbe(proto, sp.param, sp.probe)
+		r, err := c.runProbe(proto, sp.param, sp.probe, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -572,7 +576,7 @@ func (c *Campaign) runLibrarySequential() (*LibReport, *CampaignStats, error) {
 			results := make([]ProbeResult, 0, len(fp.specs))
 			fnStart := time.Now()
 			for _, sp := range fp.specs {
-				r, err := c.runProbe(fp.proto, sp.param, sp.probe)
+				r, err := c.runProbe(fp.proto, sp.param, sp.probe, 0)
 				if err != nil {
 					return nil, nil, err
 				}

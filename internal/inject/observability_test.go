@@ -37,20 +37,67 @@ func TestParallelProfilingHistogramConsistency(t *testing.T) {
 	if _, err := c.RunLibraryParallel(4); err != nil {
 		t.Fatalf("parallel sweep under profiling wrapper: %v", err)
 	}
-	// The campaign has quiesced; direct State field access is safe now.
-	var total uint64
-	for i, name := range st.FuncNames() {
-		calls := st.CallCount[i]
-		hist := gen.HistTotal(st.ExecHist[i])
-		if hist != calls {
-			t.Errorf("%s: histogram bucket sum %d != call counter %d (lost increments)", name, hist, calls)
-		}
-		total += calls
-	}
+	// The campaign has quiesced; fold the capture shards, then direct
+	// State field access is safe.
+	st.Sync()
+	total := checkProfilingConsistency(t, st)
 	if total == 0 {
 		t.Fatal("campaign drove no calls through the profiling wrapper")
 	}
 	if st.TotalCalls() != total {
 		t.Errorf("TotalCalls = %d, want %d", st.TotalCalls(), total)
 	}
+
+	// Reset and sweep again: the second run must land on exactly the
+	// same totals — leftover shard deltas surviving the Reset, or
+	// increments lost to it, would both break the equality (the sweep
+	// itself is deterministic for any worker count).
+	st.Reset()
+	if _, err := c.RunLibraryParallel(4); err != nil {
+		t.Fatalf("post-Reset parallel sweep: %v", err)
+	}
+	st.Sync()
+	if again := checkProfilingConsistency(t, st); again != total {
+		t.Errorf("post-Reset sweep total = %d, want %d (same deterministic campaign)", again, total)
+	}
+}
+
+// checkProfilingConsistency asserts the quiesce-time invariants of a
+// profiling-wrapper State — bucket-sum == call-count per function, every
+// completed call counted as passed, errno histograms consistent across
+// the per-function and global views, nothing denied/substituted — and
+// returns the total call count.
+func checkProfilingConsistency(t *testing.T, st *gen.State) uint64 {
+	t.Helper()
+	var total, funcErrno uint64
+	for i, name := range st.FuncNames() {
+		calls := st.CallCount[i]
+		hist := gen.HistTotal(st.ExecHist[i])
+		if hist != calls {
+			t.Errorf("%s: histogram bucket sum %d != call counter %d (lost increments)", name, hist, calls)
+		}
+		// libm probes never fault and the profiling wrapper never
+		// denies, so every counted call also completed every check.
+		if st.PassedCount[i] != calls {
+			t.Errorf("%s: PassedCount = %d, want %d (== calls)", name, st.PassedCount[i], calls)
+		}
+		if st.DeniedCount[i] != 0 || st.SubstCount[i] != 0 || st.ContainedCount[i] != 0 {
+			t.Errorf("%s: deny/subst/contain = %d/%d/%d, want all 0 under pure profiling",
+				name, st.DeniedCount[i], st.SubstCount[i], st.ContainedCount[i])
+		}
+		for _, n := range st.FuncErrno[i] {
+			funcErrno += n
+		}
+		total += calls
+	}
+	// The collect-errors and func-errors micro-generators observe the
+	// same calls, so their histogram totals must agree exactly.
+	var globalErrno uint64
+	for _, n := range st.GlobalErrno {
+		globalErrno += n
+	}
+	if funcErrno != globalErrno {
+		t.Errorf("per-function errno total %d != global errno total %d", funcErrno, globalErrno)
+	}
+	return total
 }

@@ -201,7 +201,7 @@ func (c *Campaign) runLibraryParallel(workers int) (*LibReport, *CampaignStats, 
 				t := tasks[idx]
 				fp := plan.funcs[t.fn]
 				t0 := time.Now()
-				r, err := c.runProbe(fp.proto, fp.specs[t.sp].param, fp.specs[t.sp].probe)
+				r, err := c.runProbe(fp.proto, fp.specs[t.sp].param, fp.specs[t.sp].probe, uint32(worker))
 				d := time.Since(t0)
 				stats.WorkerBusy[worker] += d
 				if err != nil {

@@ -101,9 +101,15 @@ func Start(sys *simelf.System, exeName string, opts ...Option) (*Process, error)
 		env.Setenv(k, v)
 	}
 	// Chaos mode: a HEALERS_CHAOS=RATE[:SEED] variable arms the
-	// deterministic runtime fault injector on this process.
+	// deterministic runtime fault injector on this process. A malformed
+	// spec fails the start — running un-injected when the operator asked
+	// for chaos would silently invalidate the experiment.
 	if spec, ok := env.GetenvString(ChaosEnvVar); ok {
-		env.Chaos = cmem.ParseChaos(spec)
+		chaos, err := cmem.ParseChaos(spec)
+		if err != nil {
+			return nil, fmt.Errorf("proc: %s: %w", ChaosEnvVar, err)
+		}
+		env.Chaos = chaos
 	}
 	return &Process{name: exeName, exe: exe, env: env, lm: lm}, nil
 }

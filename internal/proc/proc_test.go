@@ -236,7 +236,7 @@ func TestChaosEnvVarArmsInjector(t *testing.T) {
 		t.Fatal("HEALERS_CHAOS did not arm the injector")
 	}
 
-	// Without the variable (or with a malformed spec) chaos stays off.
+	// Without the variable chaos stays off.
 	p, err = Start(sys, "noop")
 	if err != nil {
 		t.Fatal(err)
@@ -244,12 +244,13 @@ func TestChaosEnvVarArmsInjector(t *testing.T) {
 	if p.Env().Chaos != nil {
 		t.Error("chaos armed without HEALERS_CHAOS")
 	}
-	p, err = Start(sys, "noop", WithEnvVar(ChaosEnvVar, "not-a-rate"))
-	if err != nil {
-		t.Fatal(err)
+	// A malformed spec refuses to start rather than silently running
+	// un-injected.
+	if _, err = Start(sys, "noop", WithEnvVar(ChaosEnvVar, "not-a-rate")); err == nil {
+		t.Error("malformed HEALERS_CHAOS did not fail Start")
 	}
-	if p.Env().Chaos != nil {
-		t.Error("malformed HEALERS_CHAOS armed the injector")
+	if _, err = Start(sys, "noop", WithEnvVar(ChaosEnvVar, "0.05:12x")); err == nil {
+		t.Error("HEALERS_CHAOS with trailing seed garbage did not fail Start")
 	}
 }
 

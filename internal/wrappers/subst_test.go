@@ -54,6 +54,7 @@ func TestSubstSprintfTooFewArgs(t *testing.T) {
 	if v.Int32() != -1 || env.Errno != cval.EDenied {
 		t.Errorf("argless sprintf = %d, errno %d; want -1/EDenied", v.Int32(), env.Errno)
 	}
+	st.Sync()
 	idx := st.Index("sprintf")
 	if st.DeniedCount[idx] != 1 || st.CallCount[idx] != 1 {
 		t.Errorf("denied=%d calls=%d, want 1/1", st.DeniedCount[idx], st.CallCount[idx])
@@ -82,6 +83,7 @@ func TestSubstGetsTooFewArgs(t *testing.T) {
 	if !v.IsNull() || env.Errno != cval.EDenied {
 		t.Errorf("argless gets = %v, errno %d; want NULL/EDenied", v, env.Errno)
 	}
+	st.Sync()
 	if st.DeniedCount[st.Index("gets")] != 1 {
 		t.Errorf("DeniedCount = %d, want 1", st.DeniedCount[st.Index("gets")])
 	}
@@ -110,6 +112,7 @@ func TestSubstGetsUnwritableDestination(t *testing.T) {
 	if v, _ := call("gets", cval.Ptr(ro)); !v.IsNull() || env.Errno != cval.EDenied {
 		t.Errorf("gets(rodata) = %v, errno %d; want NULL/EDenied", v, env.Errno)
 	}
+	st.Sync()
 	if got := st.DeniedCount[st.Index("gets")]; got != 2 {
 		t.Errorf("DeniedCount = %d, want 2", got)
 	}
@@ -176,6 +179,7 @@ func TestSubstSprintfParallelProbes(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+	st.Sync()
 	idx := st.Index("sprintf")
 	if st.CallCount[idx] != workers*iters*2 {
 		t.Errorf("CallCount = %d, want %d", st.CallCount[idx], workers*iters*2)

@@ -76,6 +76,7 @@ func TestRobustnessWrapperDeniesAndPasses(t *testing.T) {
 	if f != nil || !v.IsNull() || env.Errno != cval.EDenied {
 		t.Errorf("strchr(NULL) = %v, %v, errno %d", v, f, env.Errno)
 	}
+	st.Sync()
 	if st.DeniedCount[st.Index("strlen")] != 1 {
 		t.Errorf("strlen denied count = %d", st.DeniedCount[st.Index("strlen")])
 	}
@@ -117,6 +118,7 @@ func TestRobustnessSubstitutionSprintf(t *testing.T) {
 	if v, _ := call("sprintf", cval.Ptr(small), cval.Ptr(evil)); v.Int32() != -1 || env.Errno != cval.EDenied {
 		t.Errorf("sprintf %%n not rejected: %v errno %d", v, env.Errno)
 	}
+	st.Sync()
 	if st.DeniedCount[st.Index("sprintf")] != 2 {
 		t.Errorf("sprintf denials = %d, want 2", st.DeniedCount[st.Index("sprintf")])
 	}
@@ -168,6 +170,7 @@ func TestSecurityWrapperDetectsSmashPostCall(t *testing.T) {
 	if f == nil || f.Kind != cmem.FaultOverflow {
 		t.Errorf("post-smash call: fault = %v, want OVERFLOW", f)
 	}
+	st.Sync()
 	if st.Overflows == 0 {
 		t.Error("overflow not counted")
 	}
@@ -246,6 +249,7 @@ func TestProfilingWrapperCollects(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		call0(t, call, "strlen", cval.Ptr(s))
 	}
+	st.Sync()
 	if st.CallCount[st.Index("strlen")] != 5 {
 		t.Errorf("strlen count = %d", st.CallCount[st.Index("strlen")])
 	}

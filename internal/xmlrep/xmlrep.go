@@ -357,8 +357,11 @@ func (l *ProfileLog) TraceEntries() []TraceEntryXML {
 }
 
 // NewProfileLog snapshots a wrapper State into its document form. The
-// State must be quiesced (no concurrent probe processes mutating it).
+// State must be quiesced (no concurrent probe processes mutating it);
+// the snapshot folds any pending capture-shard deltas first, so the
+// document sees the merged totals.
 func NewProfileLog(host, app string, st *gen.State) *ProfileLog {
+	st.Sync()
 	log := &ProfileLog{
 		Host:      host,
 		App:       app,

@@ -25,7 +25,9 @@ fi
 sh scripts/verify-api.sh
 
 # Smoke-run the collect ingest benchmarks (upload path, bounded store,
-# both aggregation paths, histogram merge) and the chaos-survival
-# benchmark (the containment wrapper keeping a chaos-stricken workload
-# alive end to end): one iteration each proves the paths still work.
-go test -run '^$' -bench 'BenchmarkCollect|BenchmarkChaosSurvival' -benchtime=1x .
+# both aggregation paths, histogram merge), the chaos-survival benchmark
+# (the containment wrapper keeping a chaos-stricken workload alive end
+# to end), and the capture-contention benchmark (its post-run check
+# asserts the sharded counters stayed exact under parallel load): one
+# iteration each proves the paths still work.
+go test -run '^$' -bench 'BenchmarkCollect|BenchmarkChaosSurvival|BenchmarkCaptureContention' -benchtime=1x .
