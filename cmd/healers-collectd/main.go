@@ -93,8 +93,13 @@ func run(addr string, maxDocs int, showStats bool, capDocs int, capBytes int64, 
 }
 
 // report prints documents received since cursor and returns the new one.
+// Documents evicted before the poll could see them are reported as an
+// explicit gap instead of silently skipped.
 func report(srv *collect.Server, cursor uint64) uint64 {
-	docs, next := srv.DocsSince(cursor)
+	docs, next, evicted := srv.DocsSince(cursor)
+	if evicted > 0 {
+		fmt.Printf("WARNING: %d document(s) evicted before this poll (retention budget too small for the poll interval)\n", evicted)
+	}
 	for _, d := range docs {
 		fmt.Printf("received %-14s from %-21s (%d bytes)\n", d.Kind, d.From, len(d.Data))
 	}

@@ -13,6 +13,14 @@
 //	healers-inject -cache FILE          # reuse cached per-function outcomes
 //	healers-inject -checkpoint FILE     # flush results after every function
 //	healers-inject -verify-baseline F   # CI gate: diff against baseline F
+//	healers-inject -coordinator H:P     # serve the sweep to worker processes
+//	healers-inject -worker H:P          # process shard leases from a coordinator
+//
+// Distributed campaigns: `-coordinator host:port` plans the sweep, shards
+// it into `-shards` work units, and leases shards to every `-worker`
+// process that connects; the merged report (and `-xml` output) is
+// byte-identical to a single-process run. Workers exit on their own once
+// the coordinator reports the sweep complete.
 //
 // Exit status: 0 on success, 1 on a campaign or I/O error, 2 on a usage
 // error, 3 when -verify-baseline found a robustness regression.
@@ -22,11 +30,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"healers"
 	"healers/internal/inject"
+	"healers/internal/webui"
 	"healers/internal/xmlrep"
 )
 
@@ -49,10 +60,27 @@ func main() {
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: like -cache but flushed after every completed function")
 	flag.StringVar(&o.verifyBaseline, "verify-baseline", "", "diff the derivation against this robust-API baseline file; exit 3 on regression")
 	flag.StringVar(&o.writeBaseline, "write-baseline", "", "write the derivation as a robustness baseline file and exit")
+	flag.StringVar(&o.coordinator, "coordinator", "", "serve a distributed campaign to workers on this host:port")
+	flag.StringVar(&o.worker, "worker", "", "join the distributed-campaign coordinator at this host:port")
+	flag.IntVar(&o.shards, "shards", 0, "work units a -coordinator sweep is sharded into (0 = default)")
+	flag.StringVar(&o.metricsAddr, "metrics", "", "with -coordinator: serve Prometheus /metrics on this host:port")
 	flag.Parse()
 
 	if o.pairwise && o.fn == "" {
 		fmt.Fprintln(os.Stderr, "healers-inject: -pairwise requires -func")
+		os.Exit(2)
+	}
+	if o.coordinator != "" && o.worker != "" {
+		fmt.Fprintln(os.Stderr, "healers-inject: -coordinator and -worker are mutually exclusive")
+		os.Exit(2)
+	}
+	if (o.coordinator != "" || o.worker != "") &&
+		(o.fn != "" || o.verify || o.verifyBaseline != "" || o.writeBaseline != "") {
+		fmt.Fprintln(os.Stderr, "healers-inject: distributed mode only runs whole-library sweeps (no -func, -verify, or baseline flags)")
+		os.Exit(2)
+	}
+	if o.metricsAddr != "" && o.coordinator == "" {
+		fmt.Fprintln(os.Stderr, "healers-inject: -metrics requires -coordinator")
 		os.Exit(2)
 	}
 	if err := run(o); err != nil {
@@ -77,6 +105,10 @@ type options struct {
 	checkpoint     string
 	verifyBaseline string
 	writeBaseline  string
+	coordinator    string
+	worker         string
+	shards         int
+	metricsAddr    string
 }
 
 // campaignOpts translates the flags into campaign options. Collected
@@ -159,7 +191,15 @@ func run(o options) error {
 	copts := o.campaignOpts(&stats, cache)
 	defer func() { printStats(stats) }()
 
-	runErr := dispatch(o, tk, copts)
+	var runErr error
+	switch {
+	case o.worker != "":
+		runErr = runWorker(o, tk, cache)
+	case o.coordinator != "":
+		runErr = runCoordinator(o, tk, copts)
+	default:
+		runErr = dispatch(o, tk, copts)
+	}
 
 	// Persist what the campaign learned, even after a regression — the
 	// cache is valid either way. A save failure surfaces unless the run
@@ -176,6 +216,66 @@ func run(o options) error {
 		}
 	}
 	return runErr
+}
+
+// runCoordinator serves the sweep to worker processes, waits for the
+// merged report, and renders it through the same paths as a local run.
+func runCoordinator(o options, tk *healers.Toolkit, copts []inject.CampaignOption) error {
+	co, err := tk.InjectCoordinator(o.lib, o.shards, copts)
+	if err != nil {
+		return err
+	}
+	if err := co.Serve(o.coordinator); err != nil {
+		return err
+	}
+	defer co.Close()
+	// The smoke scripts and operators parse this line for the bound
+	// address (useful with an ephemeral ":0" port).
+	fmt.Fprintf(os.Stderr, "healers-inject: coordinator listening on %s\n", co.Addr())
+	if o.metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(o.metricsAddr, webui.CoordinatorMetricsHandler(co)); err != nil {
+				fmt.Fprintln(os.Stderr, "healers-inject: metrics server:", err)
+			}
+		}()
+	}
+	lr, _, err := co.Wait()
+	if err != nil {
+		return err
+	}
+	// Keep answering polls until every worker has been told the sweep is
+	// over, so they exit cleanly instead of erroring on a dead port.
+	co.Drain(2 * time.Second)
+	if o.asXML {
+		data, err := xmlrep.Marshal(xmlrep.NewRobustAPIDoc(o.lib, lr.RobustAPI()))
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(data); err != nil {
+			return fmt.Errorf("writing robust-API XML: %w", err)
+		}
+		return nil
+	}
+	fmt.Print(healers.RenderCampaign(lr))
+	return nil
+}
+
+// runWorker joins a coordinator and processes shard leases until the
+// sweep completes. The active cache (-cache / -checkpoint) doubles as
+// the worker's local cache; results it holds are reported without
+// re-probing.
+func runWorker(o options, tk *healers.Toolkit, cache *inject.Cache) error {
+	var wopts []inject.WorkerOption
+	if cache != nil {
+		wopts = append(wopts, inject.WithWorkerCache(cache))
+	}
+	sum, err := tk.RunInjectWorker(o.worker, wopts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "healers-inject: worker %s done: %d lease(s), %d function(s) (%d cached, %d duplicate), %d probes\n",
+		sum.Worker, sum.Leases, sum.Funcs, sum.Cached, sum.Duplicates, sum.Probes)
+	return nil
 }
 
 // dispatch executes the mode the flags selected.

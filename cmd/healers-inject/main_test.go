@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -113,5 +114,66 @@ func TestCheckpointFlag(t *testing.T) {
 		if _, err := os.Stat(p); err != nil {
 			t.Errorf("%s not written: %v", p, err)
 		}
+	}
+}
+
+// freePort reserves an ephemeral loopback port and releases it for the
+// coordinator to bind. The tiny bind race is acceptable in tests.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDistributedFlags drives -coordinator and -worker end to end in one
+// process: the coordinator run and two worker runs share nothing but the
+// wire, and the coordinator's cache file afterwards serves a fully warm
+// local run.
+func TestDistributedFlags(t *testing.T) {
+	addr := freePort(t)
+	cacheFile := filepath.Join(t.TempDir(), "cache.xml")
+
+	coordDone := make(chan error, 1)
+	go func() {
+		coordDone <- run(options{lib: "libm.so.6", coordinator: addr, shards: 3, cacheFile: cacheFile, stats: true})
+	}()
+
+	// Two workers race the sweep; a small libm sweep can finish before
+	// the second one even connects, in which case that worker fails with
+	// a dial error against the departed coordinator — acceptable here,
+	// as long as the sweep itself completed and at least one worker ran
+	// it. Multi-worker participation is pinned down in the inject
+	// package's tests.
+	workerDone := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { workerDone <- run(options{lib: "libm.so.6", worker: addr}) }()
+	}
+	succeeded := 0
+	for i := 0; i < 2; i++ {
+		err := <-workerDone
+		switch {
+		case err == nil:
+			succeeded++
+		case strings.Contains(err.Error(), "dial"):
+		default:
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	if succeeded == 0 {
+		t.Fatal("no worker completed the sweep")
+	}
+	if err := <-coordDone; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	// The distributed sweep must have filled the cache: a warm local run
+	// touches zero probes (observable as it completing against libm).
+	if err := run(options{lib: "libm.so.6", cacheFile: cacheFile}); err != nil {
+		t.Fatalf("warm run after distributed sweep: %v", err)
 	}
 }

@@ -62,6 +62,13 @@ type (
 	// CampaignCache is the persistent content-addressed store of
 	// per-function campaign outcomes (and the checkpoint file format).
 	CampaignCache = inject.Cache
+	// Coordinator serves a sharded fault-injection sweep to worker
+	// processes over the collect wire protocol.
+	Coordinator = inject.Coordinator
+	// WorkerStat is one worker's share of a distributed sweep.
+	WorkerStat = inject.WorkerStat
+	// WorkerSummary is a distributed-campaign worker's own accounting.
+	WorkerSummary = inject.WorkerSummary
 	// BaselineDiff is one difference the robustness-regression gate
 	// found between a fresh derivation and the checked-in baseline.
 	BaselineDiff = core.BaselineDiff

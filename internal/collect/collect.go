@@ -47,10 +47,11 @@ type Received struct {
 	At time.Time
 }
 
-// writeFrame writes one length-prefixed document. The server-side read
-// lives in Server.handle, where the idle and per-frame deadlines
-// interleave with the header and body reads.
-func writeFrame(w io.Writer, data []byte) error {
+// WriteFrame writes one length-prefixed document — the wire protocol's
+// only frame shape, shared by uploads, requests, and responses. The
+// server-side read lives in Server.handle, where the idle and per-frame
+// deadlines interleave with the header and body reads.
+func WriteFrame(w io.Writer, data []byte) error {
 	if len(data) == 0 || len(data) > MaxDocSize {
 		return fmt.Errorf("collect: bad document size %d", len(data))
 	}
@@ -61,4 +62,26 @@ func writeFrame(w io.Writer, data []byte) error {
 	}
 	_, err := w.Write(data)
 	return err
+}
+
+// writeFrame is the package-internal alias WriteFrame grew out of.
+func writeFrame(w io.Writer, data []byte) error { return WriteFrame(w, data) }
+
+// ReadFrame reads one length-prefixed document, enforcing the MaxDocSize
+// bound. It is the client-side read of a request/response exchange; the
+// caller is responsible for any read deadline on r's connection.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxDocSize {
+		return nil, fmt.Errorf("collect: bad frame size %d", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
 }

@@ -11,9 +11,9 @@ import (
 	"healers/internal/xmlrep"
 )
 
-func startServer(t *testing.T) *Server {
+func startServer(t *testing.T, opts ...Option) *Server {
 	t.Helper()
-	s, err := Serve("127.0.0.1:0")
+	s, err := Serve("127.0.0.1:0", opts...)
 	if err != nil {
 		t.Fatalf("Serve: %v", err)
 	}
@@ -309,5 +309,95 @@ func TestAggregateContainmentCounters(t *testing.T) {
 	fa.Contained = 999
 	if s.Aggregate().Funcs["strlen"].Contained != 10 {
 		t.Error("Aggregate returned a live reference, not a clone")
+	}
+}
+
+// TestZeroValueClientWriteDeadline is the stall-protection regression
+// test: a zero-value Client{Addr: ...} — which bypasses NewClient and
+// used to carry no timeouts at all — must still get the default write
+// deadline at use time, so a collector that accepts the connection but
+// never drains it cannot wedge the sender.
+func TestZeroValueClientWriteDeadline(t *testing.T) {
+	oldWrite := DefaultWriteTimeout
+	DefaultWriteTimeout = 200 * time.Millisecond
+	defer func() { DefaultWriteTimeout = oldWrite }()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stalled := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		stalled <- conn // hold the connection open, never read
+	}()
+
+	c := &Client{Addr: ln.Addr().String()} // literally the zero value plus an address
+	defer c.Close()
+	defer func() {
+		select {
+		case conn := <-stalled:
+			conn.Close()
+		default:
+		}
+	}()
+	frame := make([]byte, 1<<20)
+	start := time.Now()
+	var sendErr error
+	for i := 0; i < 64 && sendErr == nil; i++ {
+		sendErr = c.SendRaw(frame)
+	}
+	if sendErr == nil {
+		t.Fatal("64 MB into a non-reading collector succeeded with a zero-value client")
+	}
+	var ne net.Error
+	if !errors.As(sendErr, &ne) || !ne.Timeout() {
+		t.Fatalf("SendRaw error = %v, want a timeout", sendErr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline took %v to fire; the zero value is still unprotected", elapsed)
+	}
+}
+
+// TestCallRequestResponse covers the request/response extension: a
+// handler-answered document comes back as one response frame on the same
+// connection, declined documents fall through to the store, and the
+// handled count lands in Stats.
+func TestCallRequestResponse(t *testing.T) {
+	ackFrame, err := xmlrep.Marshal(&xmlrep.WorkAck{OK: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startServer(t, WithHandler(func(from string, kind xmlrep.DocKind, data []byte) []byte {
+		if kind == xmlrep.KindWorkRequest {
+			return ackFrame
+		}
+		return nil // everything else stores as usual
+	}))
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Call(&xmlrep.WorkRequest{Worker: "w1"})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if kind, _ := xmlrep.Kind(resp); kind != xmlrep.KindWorkAck {
+		t.Fatalf("response = %q, want a work-ack", resp)
+	}
+
+	// A declined kind on the same session still lands in the store.
+	if err := c.Send(sampleProfile("app", 5)); err != nil {
+		t.Fatalf("Send after Call: %v", err)
+	}
+	waitCount(t, s, 1)
+	if st := s.Stats(); st.RequestsHandled != 1 || st.DocsReceived != 1 {
+		t.Errorf("stats = %+v, want 1 handled request and 1 stored doc", st)
 	}
 }

@@ -153,12 +153,18 @@ const (
 	DefaultReadTimeout = 30 * time.Second
 )
 
+// Handler answers request documents on the wire (see WithHandler). It
+// returns the marshalled response frame, or nil to decline the document —
+// a declined document falls through to the ordinary store path.
+type Handler func(from string, kind xmlrep.DocKind, data []byte) []byte
+
 type config struct {
 	maxConns    int
 	maxDocs     int
 	maxBytes    int64
 	idleTimeout time.Duration
 	readTimeout time.Duration
+	handler     Handler
 }
 
 // Option configures a Server at Serve time.
@@ -186,6 +192,16 @@ func WithIdleTimeout(d time.Duration) Option { return func(c *config) { c.idleTi
 // d <= 0 disables the deadline.
 func WithReadTimeout(d time.Duration) Option { return func(c *config) { c.readTimeout = d } }
 
+// WithHandler installs a request handler: a received document the handler
+// answers (non-nil return) gets its response written back on the same
+// connection as one frame, turning the one-way upload protocol into
+// request/response without changing the framing. Documents the handler
+// declines are stored as usual. The handler runs on the connection's
+// goroutine and may be called concurrently across connections; response
+// writes run under the server's read timeout so a non-draining peer
+// cannot pin a handler.
+func WithHandler(h Handler) Option { return func(c *config) { c.handler = h } }
+
 // Stats are the server's ingest counters. All counters are cumulative
 // over the server's lifetime except ActiveConns and the Retained pair,
 // which describe the current moment.
@@ -201,6 +217,9 @@ type Stats struct {
 	ActiveConns    int    // connections currently being served
 	DocsRetained   int    // documents currently held
 	BytesRetained  int64  // their raw XML bytes
+	// RequestsHandled counts documents answered by the WithHandler
+	// request handler instead of being stored.
+	RequestsHandled uint64
 }
 
 // Server is the central collection daemon.
@@ -384,8 +403,37 @@ func (s *Server) handle(conn net.Conn) {
 			s.bumpFramesRejected()
 			return
 		}
-		s.store(from, data)
+		if !s.dispatch(conn, from, data) {
+			return
+		}
 	}
+}
+
+// dispatch routes one received document: request kinds go to the handler
+// (response written back on the connection), everything else to the
+// store. It returns false when the session must end (a response write
+// failed — the peer is gone or not draining).
+func (s *Server) dispatch(conn net.Conn, from string, data []byte) bool {
+	if s.cfg.handler != nil {
+		kind, err := xmlrep.Kind(data)
+		if err == nil {
+			if resp := s.cfg.handler(from, kind, data); resp != nil {
+				s.mu.Lock()
+				s.stats.RequestsHandled++
+				s.mu.Unlock()
+				if s.cfg.readTimeout > 0 {
+					conn.SetWriteDeadline(time.Now().Add(s.cfg.readTimeout))
+				}
+				if err := writeFrame(conn, resp); err != nil {
+					return false
+				}
+				conn.SetWriteDeadline(time.Time{})
+				return true
+			}
+		}
+	}
+	s.store(from, data)
+	return true
 }
 
 func (s *Server) dropConn(conn net.Conn) {
@@ -491,20 +539,34 @@ func (s *Server) Docs(kind xmlrep.DocKind) []Received {
 	return out
 }
 
-// DocsSince returns the retained documents with sequence number >= seq
-// and the cursor to pass next time — a pollable drain that never re-copies
-// already-seen documents. Documents evicted before being polled are not
-// replayed (their bytes are gone), but their counts survive in Stats.
-func (s *Server) DocsSince(seq uint64) ([]Received, uint64) {
+// DocsSince returns the retained documents with sequence number >= seq,
+// the cursor to pass next time, and the number of documents in [seq,
+// next) that were evicted before this poll could see them — a pollable
+// drain that never re-copies already-seen documents and never hides
+// loss. A poller whose cursor fell behind the retention budget gets the
+// surviving suffix plus an explicit evicted count instead of a silent
+// gap; a drain that cannot tolerate loss (the distributed campaign
+// coordinator's) must treat evicted > 0 as an error. Evicted documents'
+// cumulative counts also survive in Stats.
+func (s *Server) DocsSince(seq uint64) (docs []Received, next uint64, evicted uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	live := s.docs[s.head:]
-	i := sort.Search(len(live), func(i int) bool { return live[i].Seq >= seq })
-	var out []Received
-	if i < len(live) {
-		out = append(out, live[i:]...)
+	// Sequence numbers are dense (one per stored document), so the gap
+	// between the cursor and the oldest surviving document IS the
+	// evicted count.
+	oldest := s.next
+	if len(live) > 0 {
+		oldest = live[0].Seq
 	}
-	return out, s.next
+	if seq < oldest {
+		evicted = oldest - seq
+	}
+	i := sort.Search(len(live), func(i int) bool { return live[i].Seq >= seq })
+	if i < len(live) {
+		docs = append(docs, live[i:]...)
+	}
+	return docs, s.next, evicted
 }
 
 // KindCounts returns the cumulative per-kind received counts, maintained

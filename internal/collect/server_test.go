@@ -200,10 +200,11 @@ func TestEvictionUnderDocsBudget(t *testing.T) {
 	if full["strlen"] != 30 {
 		t.Errorf("re-parsed strlen = %d, want 30 across retained docs", full["strlen"])
 	}
-	// Sequence numbers are stable across eviction.
-	docs, next := s.DocsSince(0)
-	if len(docs) != 3 || docs[0].Seq != 2 || docs[2].Seq != 4 || next != 5 {
-		t.Errorf("DocsSince(0) = %d docs, first seq %d, next %d", len(docs), docs[0].Seq, next)
+	// Sequence numbers are stable across eviction, and the gap is
+	// reported.
+	docs, next, evicted := s.DocsSince(0)
+	if len(docs) != 3 || docs[0].Seq != 2 || docs[2].Seq != 4 || next != 5 || evicted != 2 {
+		t.Errorf("DocsSince(0) = %d docs, first seq %d, next %d, evicted %d", len(docs), docs[0].Seq, next, evicted)
 	}
 }
 
@@ -241,22 +242,50 @@ func TestDocsSinceCursor(t *testing.T) {
 		}
 	}
 	waitReceived(t, s, 2)
-	docs, next := s.DocsSince(0)
-	if len(docs) != 2 || next != 2 {
-		t.Fatalf("DocsSince(0) = %d docs, next %d", len(docs), next)
+	docs, next, evicted := s.DocsSince(0)
+	if len(docs) != 2 || next != 2 || evicted != 0 {
+		t.Fatalf("DocsSince(0) = %d docs, next %d, evicted %d", len(docs), next, evicted)
 	}
 	// Nothing new: the cursor returns an empty batch, not a re-copy.
-	docs, next = s.DocsSince(next)
-	if len(docs) != 0 || next != 2 {
-		t.Fatalf("DocsSince(2) = %d docs, next %d", len(docs), next)
+	docs, next, evicted = s.DocsSince(next)
+	if len(docs) != 0 || next != 2 || evicted != 0 {
+		t.Fatalf("DocsSince(2) = %d docs, next %d, evicted %d", len(docs), next, evicted)
 	}
 	if err := Upload(s.Addr(), sampleProfile("b", 2)); err != nil {
 		t.Fatal(err)
 	}
 	waitReceived(t, s, 3)
-	docs, next = s.DocsSince(next)
-	if len(docs) != 1 || docs[0].Seq != 2 || next != 3 {
-		t.Fatalf("incremental batch = %d docs, next %d", len(docs), next)
+	docs, next, evicted = s.DocsSince(next)
+	if len(docs) != 1 || docs[0].Seq != 2 || next != 3 || evicted != 0 {
+		t.Fatalf("incremental batch = %d docs, next %d, evicted %d", len(docs), next, evicted)
+	}
+}
+
+// TestDocsSinceReportsEvictionGap pins the loss signal: a poller whose
+// cursor fell behind the retention budget must learn exactly how many
+// documents it can never see, not silently receive the surviving suffix.
+func TestDocsSinceReportsEvictionGap(t *testing.T) {
+	s := startServer(t, WithMaxDocs(2))
+	for i := 0; i < 5; i++ {
+		if err := Upload(s.Addr(), sampleProfile(fmt.Sprintf("app%d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitReceived(t, s, 5)
+	// Seqs 0..4 stored; only 3 and 4 survive the 2-doc budget.
+	docs, next, evicted := s.DocsSince(0)
+	if len(docs) != 2 || docs[0].Seq != 3 || next != 5 || evicted != 3 {
+		t.Fatalf("DocsSince(0) = %d docs (first seq %d), next %d, evicted %d; want 2 docs from seq 3, next 5, evicted 3",
+			len(docs), docs[0].Seq, next, evicted)
+	}
+	// A cursor inside the evicted range sees only its own share of the
+	// gap.
+	if _, _, evicted = s.DocsSince(2); evicted != 1 {
+		t.Fatalf("DocsSince(2) evicted = %d, want 1", evicted)
+	}
+	// A caught-up cursor sees no gap, and an empty batch.
+	if docs, _, evicted = s.DocsSince(next); len(docs) != 0 || evicted != 0 {
+		t.Fatalf("caught-up poll = %d docs, evicted %d", len(docs), evicted)
 	}
 }
 

@@ -70,7 +70,7 @@ func TestSpoolerReplayAfterCollectorRestart(t *testing.T) {
 	if agg["strlen"] != 60 {
 		t.Errorf("replayed aggregate strlen = %d, want 60", agg["strlen"])
 	}
-	docs, _ := s2.DocsSince(0)
+	docs, _, _ := s2.DocsSince(0)
 	if len(docs) != 3 || docs[0].Seq > docs[2].Seq {
 		t.Errorf("replay out of order: %d docs", len(docs))
 	}

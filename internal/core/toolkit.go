@@ -201,6 +201,24 @@ func (t *Toolkit) InjectFunction(soname, fn string, opts ...inject.CampaignOptio
 	return c.RunFunction(fn)
 }
 
+// InjectCoordinator plans a distributed campaign over soname and returns
+// the coordinator, ready to Serve worker processes and Wait for the
+// merged report — which is byte-identical to a sequential Inject run for
+// any worker count.
+func (t *Toolkit) InjectCoordinator(soname string, nshards int, opts []inject.CampaignOption, copts ...inject.CoordOption) (*inject.Coordinator, error) {
+	c, err := inject.New(t.sys, soname, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return inject.NewCoordinator(c, nshards, copts...), nil
+}
+
+// RunInjectWorker joins the distributed-campaign coordinator at addr and
+// processes shard leases until the sweep completes.
+func (t *Toolkit) RunInjectWorker(addr string, opts ...inject.WorkerOption) (*inject.WorkerSummary, error) {
+	return inject.RunWorker(t.sys, addr, opts...)
+}
+
 // LoadRobustAPIXML parses a robust-API document previously produced by a
 // campaign (healers-inject -xml), so a wrapper can be generated without
 // re-running injection — the "adapt quickly to new software releases"

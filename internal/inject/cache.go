@@ -233,11 +233,17 @@ func (c *Cache) MergeFrom(other *Cache) {
 
 // lookup returns the cached report for key, or nil. The returned report
 // is a fresh shallow copy; callers attach the live prototype.
-func (c *Cache) lookup(key string) *FuncReport {
+//
+// config is cross-checked against the entry's recorded injector config:
+// the key already mixes the config hash in, so a mismatch can only mean
+// a corrupted or hand-edited checkpoint — and a report derived under a
+// different target/stdin/preload configuration must never satisfy a
+// resume, so such entries are rejected rather than trusted.
+func (c *Cache) lookup(key, config string) *FuncReport {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
-	if !ok {
+	if !ok || e.config != config {
 		return nil
 	}
 	cp := *e.report

@@ -306,3 +306,47 @@ func TestCacheMergeFrom(t *testing.T) {
 		t.Errorf("merged checkpoint reused %d functions, want %d", stats.CachedFuncs, len(cold.Funcs))
 	}
 }
+
+// TestLookupRejectsConfigMismatch is the checkpoint-resume gate: an
+// entry whose recorded injector config differs from the resuming
+// campaign's must not satisfy a lookup, even if its key matches (which
+// can only happen to a corrupted or hand-edited checkpoint, since the
+// key mixes the config hash in).
+func TestLookupRejectsConfigMismatch(t *testing.T) {
+	cache := openTestCache(t, cachePath(t))
+	fr := &FuncReport{Name: "f", Probes: 3}
+	if err := cache.put("f", "config-a", "key-1", fr); err != nil {
+		t.Fatal(err)
+	}
+	if cache.lookup("key-1", "config-a") == nil {
+		t.Fatal("matching config rejected")
+	}
+	if got := cache.lookup("key-1", "config-b"); got != nil {
+		t.Fatalf("config-mismatched entry served from cache: %+v", got)
+	}
+}
+
+// TestResumeIgnoresOtherConfigsEntries: resuming a checkpointed sweep
+// under a different injector configuration (here: different stdin) must
+// re-probe everything — results derived under another configuration are
+// not comparable.
+func TestResumeIgnoresOtherConfigsEntries(t *testing.T) {
+	path := cachePath(t)
+	cache := openTestCache(t, path)
+	runCached(t, libmSystem, cmath.Soname, cache, WithStdin("config A"))
+	if err := cache.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := openTestCache(t, path)
+	if resumed.Len() == 0 {
+		t.Fatal("checkpoint did not persist")
+	}
+	_, stats := runCached(t, libmSystem, cmath.Soname, resumed, WithStdin("config B"))
+	if stats.CachedFuncs != 0 {
+		t.Errorf("resume with different stdin served %d functions from the checkpoint, want 0", stats.CachedFuncs)
+	}
+	if stats.Probes == 0 {
+		t.Error("resume with different stdin executed no probes")
+	}
+}

@@ -553,7 +553,7 @@ func (c *Campaign) cacheLookup(fp *funcPlan, config string) (fr *FuncReport, key
 		return nil, ""
 	}
 	key = funcKey(fp.proto, config)
-	if fr = c.cache.lookup(key); fr != nil {
+	if fr = c.cache.lookup(key, config); fr != nil {
 		fr.Proto = fp.proto
 	}
 	return fr, key

@@ -190,6 +190,50 @@ func writeIngestMetrics(b *strings.Builder, col *collect.Server) {
 	fmt.Fprintf(b, "# HELP healers_ingest_active_conns Upload connections currently served.\n# TYPE healers_ingest_active_conns gauge\nhealers_ingest_active_conns %d\n", st.ActiveConns)
 }
 
+// CoordinatorMetricsHandler serves the distributed-campaign lease table
+// and per-worker throughput in Prometheus text format. healers-inject
+// -coordinator mounts it under -metrics, so a long sweep across a worker
+// fleet is observable while it runs.
+func CoordinatorMetricsHandler(co *inject.Coordinator) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		writeCoordinatorMetrics(&b, co)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, b.String())
+	})
+}
+
+func writeCoordinatorMetrics(b *strings.Builder, co *inject.Coordinator) {
+	workers := co.WorkerStats()
+	shards := co.Shards()
+
+	fmt.Fprintf(b, "# HELP healers_coordinator_workers Worker processes seen by the coordinator.\n# TYPE healers_coordinator_workers gauge\nhealers_coordinator_workers %d\n", len(workers))
+	fmt.Fprintf(b, "# HELP healers_coordinator_funcs_remaining Functions still lacking a result.\n# TYPE healers_coordinator_funcs_remaining gauge\nhealers_coordinator_funcs_remaining %d\n", co.Remaining())
+
+	b.WriteString("# HELP healers_coordinator_shards Lease-table population by state.\n# TYPE healers_coordinator_shards gauge\n")
+	for _, st := range []struct {
+		name  string
+		count int
+	}{{"pending", shards.Pending}, {"leased", shards.Leased}, {"done", shards.Done}} {
+		fmt.Fprintf(b, "healers_coordinator_shards{state=%q} %d\n", st.name, st.count)
+	}
+	fmt.Fprintf(b, "# HELP healers_coordinator_releases_total Shards re-leased after a lease timeout.\n# TYPE healers_coordinator_releases_total counter\nhealers_coordinator_releases_total %d\n", shards.Releases)
+	fmt.Fprintf(b, "# HELP healers_coordinator_stragglers_total Speculative duplicate leases past the straggler deadline.\n# TYPE healers_coordinator_stragglers_total counter\nhealers_coordinator_stragglers_total %d\n", shards.Stragglers)
+
+	b.WriteString("# HELP healers_coordinator_worker_funcs_total Accepted function results per worker.\n# TYPE healers_coordinator_worker_funcs_total counter\n")
+	for _, ws := range workers {
+		fmt.Fprintf(b, "healers_coordinator_worker_funcs_total{worker=%q} %d\n", promLabel(ws.Name), ws.Funcs)
+	}
+	b.WriteString("# HELP healers_coordinator_worker_probes_total Probes behind each worker's accepted results.\n# TYPE healers_coordinator_worker_probes_total counter\n")
+	for _, ws := range workers {
+		fmt.Fprintf(b, "healers_coordinator_worker_probes_total{worker=%q} %d\n", promLabel(ws.Name), ws.Probes)
+	}
+	b.WriteString("# HELP healers_coordinator_worker_busy_seconds_total Worker-reported probing wall time.\n# TYPE healers_coordinator_worker_busy_seconds_total counter\n")
+	for _, ws := range workers {
+		fmt.Fprintf(b, "healers_coordinator_worker_busy_seconds_total{worker=%q} %g\n", promLabel(ws.Name), ws.Busy.Seconds())
+	}
+}
+
 func writeCampaignMetrics(b *strings.Builder, camp *CampaignMetrics) {
 	runs, probes, last, seen := camp.snapshot()
 	fmt.Fprintf(b, "# HELP healers_campaign_runs_total Fault-injection campaigns completed.\n# TYPE healers_campaign_runs_total counter\nhealers_campaign_runs_total %d\n", runs)

@@ -6,8 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"healers/internal/clib"
 	"healers/internal/collect"
 	"healers/internal/gen"
+	"healers/internal/inject"
+	"healers/internal/simelf"
 	"healers/internal/xmlrep"
 )
 
@@ -55,5 +58,34 @@ func TestMetricsContainmentFamily(t *testing.T) {
 	// containment samples at all.
 	if strings.Contains(body, `healers_containment_total{function="strlen"`) {
 		t.Error("zero containment counters emitted for strlen")
+	}
+}
+
+// TestCoordinatorMetrics: a distributed-campaign coordinator's lease
+// table and per-worker throughput surface through its own /metrics
+// handler.
+func TestCoordinatorMetrics(t *testing.T) {
+	sys := simelf.NewSystem()
+	if err := sys.AddLibrary(clib.MustRegistry().AsLibrary()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := inject.New(sys, clib.LibcSoname)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := inject.NewCoordinator(c, 4)
+
+	rec := httptest.NewRecorder()
+	CoordinatorMetricsHandler(co).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"healers_coordinator_workers 0",
+		`healers_coordinator_shards{state="pending"} 4`,
+		"healers_coordinator_releases_total 0",
+		"healers_coordinator_funcs_remaining",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }

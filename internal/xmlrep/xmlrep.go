@@ -21,6 +21,8 @@ import (
 	"encoding/hex"
 	"encoding/xml"
 	"fmt"
+	"io"
+	"strings"
 	"time"
 
 	"healers/internal/ctypes"
@@ -38,6 +40,14 @@ const (
 	KindProfile       DocKind = "profile"
 	KindCampaignCache DocKind = "campaign-cache"
 	KindPolicy        DocKind = "policy"
+	// Distributed-campaign kinds: the coordinator/worker exchange of a
+	// sharded fault-injection sweep rides the collect framing as
+	// ordinary self-describing documents.
+	KindWorkRequest DocKind = "work-request"
+	KindWorkLease   DocKind = "work-lease"
+	KindWorkResult  DocKind = "work-result"
+	KindHeartbeat   DocKind = "heartbeat"
+	KindWorkAck     DocKind = "work-ack"
 )
 
 // ParamDecl is one parameter in a declaration file.
@@ -204,17 +214,149 @@ func (d *CampaignCacheDoc) ComputeChecksum() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "hierarchy=%s\n", d.Hierarchy)
 	for _, f := range d.Funcs {
-		fmt.Fprintf(h, "func=%s key=%s config=%s probes=%d failures=%d nc=%v\n",
-			f.Name, f.Key, f.Config, f.Probes, f.Failures, f.NeedsContainment)
-		for _, p := range f.Params {
-			fmt.Fprintf(h, " param=%s chain=%s level=%s\n", p.Name, p.Chain, p.Level)
-		}
-		for _, r := range f.Results {
-			fmt.Fprintf(h, " probe=%d/%s sat=%d out=%s fault=%d/%d/%s/%s\n",
-				r.Param, r.Probe, r.Sat, r.Outcome, r.FaultKind, r.FaultAddr, r.FaultOp, r.FaultDetail)
-		}
+		hashCacheFunc(h, &f)
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashCacheFunc folds one cache entry's semantic content into h — the
+// shared integrity unit of the campaign-cache and work-result documents.
+func hashCacheFunc(h io.Writer, f *CacheFuncXML) {
+	fmt.Fprintf(h, "func=%s key=%s config=%s probes=%d failures=%d nc=%v\n",
+		f.Name, f.Key, f.Config, f.Probes, f.Failures, f.NeedsContainment)
+	for _, p := range f.Params {
+		fmt.Fprintf(h, " param=%s chain=%s level=%s\n", p.Name, p.Chain, p.Level)
+	}
+	for _, r := range f.Results {
+		fmt.Fprintf(h, " probe=%d/%s sat=%d out=%s fault=%d/%d/%s/%s\n",
+			r.Param, r.Probe, r.Sat, r.Outcome, r.FaultKind, r.FaultAddr, r.FaultOp, r.FaultDetail)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Distributed campaign wire documents. A coordinator plans a library
+// sweep, shards its function list, and leases shards to worker processes
+// over the collect framing; workers stream per-function results back and
+// heartbeat long shards. Every exchange is a worker-initiated
+// request/response pair, so the coordinator needs no reverse channel.
+
+// WorkRequest asks the coordinator for a shard lease. Hierarchy is the
+// worker's probe-hierarchy version; the coordinator refuses a worker
+// whose hierarchy differs from its own (mismatched binaries would derive
+// incomparable results).
+type WorkRequest struct {
+	XMLName   xml.Name `xml:"healers-work-request"`
+	Worker    string   `xml:"worker,attr"`
+	Hierarchy string   `xml:"hierarchy,attr"`
+}
+
+// WorkLease is the coordinator's answer to a WorkRequest: a shard of
+// function names plus everything the worker needs to reproduce the
+// coordinator's campaign configuration exactly (library, stdin seed,
+// preload stack). Config is the coordinator's injector-config hash; the
+// worker must derive the same hash from the replayed configuration or
+// abort, which pins both processes to identical probe semantics.
+//
+// Done means the sweep is complete and the worker should exit. An empty
+// Funcs list with Done unset means "no shard available right now, poll
+// again in RetryMS" (all shards are leased to live workers).
+type WorkLease struct {
+	XMLName xml.Name `xml:"healers-work-lease"`
+	// Shard and Attempt identify the lease; a re-issued shard carries a
+	// higher attempt so stale results remain attributable.
+	Shard   int `xml:"shard,attr"`
+	Attempt int `xml:"attempt,attr"`
+	// Library, Stdin and Preloads replay the campaign configuration.
+	Library  string   `xml:"library,attr,omitempty"`
+	Stdin    string   `xml:"stdin,attr,omitempty"`
+	Preloads []string `xml:"preload,omitempty"`
+	// Config and Hierarchy pin the configuration content hashes.
+	Config    string `xml:"config,attr,omitempty"`
+	Hierarchy string `xml:"hierarchy,attr,omitempty"`
+	// LeaseMS is how long the coordinator holds the shard for this
+	// worker without hearing a heartbeat or result before re-leasing.
+	LeaseMS int `xml:"lease_ms,attr,omitempty"`
+	// RetryMS tells an idle worker when to ask again.
+	RetryMS  int      `xml:"retry_ms,attr,omitempty"`
+	Done     bool     `xml:"done,attr,omitempty"`
+	Funcs    []string `xml:"func"`
+	Checksum string   `xml:"checksum,attr,omitempty"`
+}
+
+// ComputeChecksum returns the lease's integrity hash (Checksum itself
+// excluded).
+func (l *WorkLease) ComputeChecksum() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "shard=%d attempt=%d lib=%s stdin=%q preloads=%q config=%s hier=%s lease=%d retry=%d done=%v funcs=%q",
+		l.Shard, l.Attempt, l.Library, l.Stdin, strings.Join(l.Preloads, ","), l.Config,
+		l.Hierarchy, l.LeaseMS, l.RetryMS, l.Done, strings.Join(l.Funcs, ","))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// WorkFuncXML is one completed function in a work-result document: the
+// campaign-cache entry (key, config, per-probe record, verdicts) plus the
+// worker-side wall time the coordinator's throughput stats attribute to
+// the worker.
+type WorkFuncXML struct {
+	CacheFuncXML
+	WallNS int64 `xml:"wall_ns,attr,omitempty"`
+}
+
+// WorkResult streams completed functions back to the coordinator: one
+// document per finished function (so a crashed worker loses at most the
+// function in flight). Entries are full cache entries, which is what lets
+// the coordinator fold them into its persistent campaign cache via the
+// ordinary merge path. Config must match the coordinator's; the per-entry
+// Key dedups replayed results after a re-lease.
+type WorkResult struct {
+	XMLName xml.Name `xml:"healers-work-result"`
+	Worker  string   `xml:"worker,attr"`
+	Shard   int      `xml:"shard,attr"`
+	Attempt int      `xml:"attempt,attr"`
+	Config  string   `xml:"config,attr"`
+	// CachedLocal marks results the worker served from its own local
+	// cache rather than probing (counted, not timed).
+	CachedLocal bool          `xml:"cached_local,attr,omitempty"`
+	Funcs       []WorkFuncXML `xml:"function"`
+	Checksum    string        `xml:"checksum,attr,omitempty"`
+}
+
+// ComputeChecksum returns the result's integrity hash (Checksum itself
+// excluded). A coordinator discards results whose checksum does not
+// match rather than merging a truncated or corrupted frame.
+func (r *WorkResult) ComputeChecksum() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "worker=%s shard=%d attempt=%d config=%s cached=%v\n",
+		r.Worker, r.Shard, r.Attempt, r.Config, r.CachedLocal)
+	for _, f := range r.Funcs {
+		hashCacheFunc(h, &f.CacheFuncXML)
+		fmt.Fprintf(h, " wall=%d\n", f.WallNS)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Heartbeat extends a shard lease while a worker grinds through a slow
+// function, so the coordinator does not re-lease work that is still
+// progressing.
+type Heartbeat struct {
+	XMLName xml.Name `xml:"healers-heartbeat"`
+	Worker  string   `xml:"worker,attr"`
+	Shard   int      `xml:"shard,attr"`
+	Attempt int      `xml:"attempt,attr"`
+	// DoneFuncs reports shard progress, for operator visibility.
+	DoneFuncs int `xml:"done_funcs,attr,omitempty"`
+}
+
+// WorkAck is the coordinator's response to results and heartbeats. OK
+// false carries a Reason the worker must treat as fatal (configuration
+// or hierarchy skew — retrying cannot help).
+type WorkAck struct {
+	XMLName xml.Name `xml:"healers-work-ack"`
+	OK      bool     `xml:"ok,attr"`
+	Reason  string   `xml:"reason,attr,omitempty"`
+	// Accepted counts the result entries the coordinator merged (the
+	// rest were duplicates it already had).
+	Accepted int `xml:"accepted,attr,omitempty"`
 }
 
 // PolicyRuleXML is one recovery rule of a policy document: what the
@@ -462,6 +604,16 @@ func Kind(data []byte) (DocKind, error) {
 				return KindCampaignCache, nil
 			case "healers-policy":
 				return KindPolicy, nil
+			case "healers-work-request":
+				return KindWorkRequest, nil
+			case "healers-work-lease":
+				return KindWorkLease, nil
+			case "healers-work-result":
+				return KindWorkResult, nil
+			case "healers-heartbeat":
+				return KindHeartbeat, nil
+			case "healers-work-ack":
+				return KindWorkAck, nil
 			default:
 				return "", fmt.Errorf("xmlrep: unknown document root %q", se.Name.Local)
 			}

@@ -24,6 +24,10 @@ fi
 # milliseconds).
 sh scripts/verify-api.sh
 
+# Distributed-campaign smoke: a 2-worker loopback sweep must render
+# byte-identical robust-API XML to a sequential run.
+sh scripts/smoke-distributed.sh
+
 # Smoke-run the collect ingest benchmarks (upload path, bounded store,
 # both aggregation paths, histogram merge), the chaos-survival benchmark
 # (the containment wrapper keeping a chaos-stricken workload alive end
