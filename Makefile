@@ -18,10 +18,14 @@ verify-api:
 ci: check
 	go test -run '^$$' -bench . -benchtime=1x .
 
-# Documentation hygiene: every flag named in README.md/CHANGES.md must
-# exist in some cmd/* front end, and the examples must be gofmt-clean.
+# Documentation hygiene: flags and README.md must agree in both
+# directions, the embedding API's exported surface must be godoc'd
+# (audit script plus go vet, which also proofreads comment placement),
+# and the examples must be gofmt-clean.
 docs:
 	sh scripts/check-docs.sh
+	sh scripts/check-godoc.sh
+	go vet ./internal/wrappers ./internal/collect
 	@fmt=$$(gofmt -l examples); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed in examples:"; echo "$$fmt"; exit 1; fi
 

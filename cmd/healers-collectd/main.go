@@ -3,12 +3,24 @@
 // TCP; the server stores them (under a bounded retention budget) and
 // prints a summary of everything it has received.
 //
+// It is also the fleet's policy control plane: containment processes
+// poll it for recovery-policy documents (healers-policy-request frames)
+// and hot-reload whatever newer revision it serves, and operators push
+// stamped policy documents at it with -push-policy. With -derive the
+// collector closes the loop itself: it folds the fleet's per-(function,
+// failure-class) containment counters into escalation decisions,
+// publishes each tightened policy as a new revision, and — when a
+// campaign cache is at hand — re-probes escalated functions through the
+// ordinary cache-aware injection engine.
+//
 // Usage:
 //
 //	healers-collectd -addr 127.0.0.1:7099            # run until interrupted
 //	healers-collectd -addr 127.0.0.1:0 -max 3        # exit after 3 documents
 //	healers-collectd -stats -max-docs 4096           # print ingest counters on exit
 //	healers-collectd -metrics 127.0.0.1:9099         # Prometheus /metrics endpoint
+//	healers-collectd -policy recovery.xml -derive    # closed-loop adaptive hardening
+//	healers-collectd -push-policy recovery.xml -addr HOST:7099   # operator push
 package main
 
 import (
@@ -21,7 +33,10 @@ import (
 	"time"
 
 	"healers/internal/collect"
+	"healers/internal/core"
+	"healers/internal/inject"
 	"healers/internal/webui"
+	"healers/internal/xmlrep"
 )
 
 func main() {
@@ -32,32 +47,114 @@ func main() {
 	capBytes := flag.Int64("max-bytes", collect.DefaultMaxBytes, "retention budget: raw XML bytes kept before oldest are evicted (0 = unbounded)")
 	maxConns := flag.Int("max-conns", collect.DefaultMaxConns, "concurrent upload connection cap (0 = unbounded)")
 	metricsAddr := flag.String("metrics", "", "serve the Prometheus /metrics endpoint on this HTTP address (empty = disabled)")
+	policyFile := flag.String("policy", "", "stamped recovery-policy document to serve; -derive writes escalated revisions back to it")
+	pushPolicy := flag.String("push-policy", "", "client mode: push this stamped policy document to -addr and exit")
+	derive := flag.Bool("derive", false, "adaptive re-derivation: escalate recovery rules from fleet containment counters")
+	deriveRate := flag.Float64("derive-rate", core.DefaultEscalationRate, "containment rate per (function, class) that triggers escalation")
+	deriveMinCalls := flag.Uint64("derive-min-calls", core.DefaultEscalationMinCalls, "evidence floor: functions with fewer calls are never escalated")
+	deriveEvery := flag.Duration("derive-every", 2*time.Second, "how often the -derive pass re-evaluates the fleet aggregate")
+	reprobeLib := flag.String("reprobe", "", "with -derive: re-probe escalated functions of this library via the campaign cache")
+	cachePath := flag.String("cache", "", "campaign cache file for -reprobe")
 	flag.Parse()
 
-	if err := run(*addr, *maxDocs, *stats, *capDocs, *capBytes, *maxConns, *metricsAddr); err != nil {
+	if *pushPolicy != "" {
+		if err := runPush(*addr, *pushPolicy); err != nil {
+			fmt.Fprintln(os.Stderr, "healers-collectd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	cfg := serveConfig{
+		addr: *addr, maxDocs: *maxDocs, showStats: *stats,
+		capDocs: *capDocs, capBytes: *capBytes, maxConns: *maxConns,
+		metricsAddr: *metricsAddr, policyFile: *policyFile,
+		derive: *derive, deriveEvery: *deriveEvery,
+		escalation: core.EscalationConfig{FaultRate: *deriveRate, MinCalls: *deriveMinCalls},
+		reprobeLib: *reprobeLib, cachePath: *cachePath,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-collectd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxDocs int, showStats bool, capDocs int, capBytes int64, maxConns int, metricsAddr string) error {
-	srv, err := collect.Serve(addr,
-		collect.WithMaxDocs(capDocs),
-		collect.WithMaxBytes(capBytes),
-		collect.WithMaxConns(maxConns))
+// runPush is the operator's one-shot policy push: send the stamped
+// document to a running collector and report its ack.
+func runPush(addr, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := xmlrep.Unmarshal[xmlrep.PolicyDoc](data)
+	if err != nil {
+		return err
+	}
+	ack, err := collect.PushPolicy(addr, doc)
+	if err != nil {
+		return err
+	}
+	if !ack.OK {
+		return fmt.Errorf("policy push refused (serving revision %d): %s", ack.Revision, ack.Reason)
+	}
+	fmt.Printf("policy revision %d accepted by %s\n", ack.Revision, addr)
+	return nil
+}
+
+// serveConfig carries the daemon's parsed flags.
+type serveConfig struct {
+	addr        string
+	maxDocs     int
+	showStats   bool
+	capDocs     int
+	capBytes    int64
+	maxConns    int
+	metricsAddr string
+	policyFile  string
+	derive      bool
+	deriveEvery time.Duration
+	escalation  core.EscalationConfig
+	reprobeLib  string
+	cachePath   string
+}
+
+func run(cfg serveConfig) error {
+	if cfg.deriveEvery <= 0 {
+		cfg.deriveEvery = 2 * time.Second
+	}
+	cp := collect.NewControlPlane()
+	if cfg.policyFile != "" {
+		data, err := os.ReadFile(cfg.policyFile)
+		if err != nil {
+			return err
+		}
+		doc, err := xmlrep.Unmarshal[xmlrep.PolicyDoc](data)
+		if err != nil {
+			return err
+		}
+		if err := cp.SetPolicy(doc); err != nil {
+			return err
+		}
+		fmt.Printf("serving policy revision %d from %s\n", doc.Revision, cfg.policyFile)
+	}
+
+	srv, err := collect.Serve(cfg.addr,
+		collect.WithMaxDocs(cfg.capDocs),
+		collect.WithMaxBytes(cfg.capBytes),
+		collect.WithMaxConns(cfg.maxConns),
+		collect.WithHandler(cp.Handler()))
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	fmt.Printf("healers-collectd listening on %s\n", srv.Addr())
 
-	if metricsAddr != "" {
-		ln, err := net.Listen("tcp", metricsAddr)
+	if cfg.metricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", webui.MetricsHandler(srv, nil))
+		mux.Handle("/metrics", webui.MetricsHandlerFor(webui.MetricsSources{Collector: srv, Control: cp}))
 		hsrv := &http.Server{Handler: mux}
 		defer hsrv.Close()
 		go func() {
@@ -65,6 +162,14 @@ func run(addr string, maxDocs int, showStats bool, capDocs int, capBytes int64, 
 			_ = hsrv.Serve(ln)
 		}()
 		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	var deriver *deriveLoop
+	if cfg.derive {
+		deriver, err = newDeriveLoop(cp, cfg)
+		if err != nil {
+			return err
+		}
 	}
 
 	interrupted := make(chan os.Signal, 1)
@@ -75,21 +180,138 @@ func run(addr string, maxDocs int, showStats bool, capDocs int, capBytes int64, 
 	var cursor uint64
 	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
+	deriveTick := time.NewTicker(cfg.deriveEvery)
+	defer deriveTick.Stop()
 	for {
 		select {
 		case <-interrupted:
 			fmt.Println("\ninterrupted")
-			return summarize(srv, showStats)
+			return summarize(srv, cfg.showStats)
+		case <-deriveTick.C:
+			if deriver != nil {
+				deriver.step(srv)
+			}
 		case <-ticker.C:
 			cursor = report(srv, cursor)
-			if maxDocs > 0 && srv.Stats().DocsReceived >= uint64(maxDocs) {
+			if cfg.maxDocs > 0 && srv.Stats().DocsReceived >= uint64(cfg.maxDocs) {
 				// Drain once more so documents that arrived inside
 				// this tick are reported before the summary.
 				report(srv, cursor)
-				return summarize(srv, showStats)
+				if deriver != nil {
+					// One final pass so a short -max run still derives
+					// from everything it received.
+					deriver.step(srv)
+				}
+				return summarize(srv, cfg.showStats)
 			}
 		}
 	}
+}
+
+// deriveLoop is the adaptive-derivation state: the control plane to
+// publish to, the escalation parameters, and the optional re-probe
+// toolchain (toolkit + campaign cache).
+type deriveLoop struct {
+	cp         *collect.ControlPlane
+	cfg        core.EscalationConfig
+	policyFile string
+	reprobeLib string
+	tk         *core.Toolkit
+	cache      *inject.Cache
+}
+
+func newDeriveLoop(cp *collect.ControlPlane, cfg serveConfig) (*deriveLoop, error) {
+	d := &deriveLoop{cp: cp, cfg: cfg.escalation, policyFile: cfg.policyFile, reprobeLib: cfg.reprobeLib}
+	if cfg.reprobeLib != "" {
+		tk, err := core.NewToolkit()
+		if err != nil {
+			return nil, err
+		}
+		d.tk = tk
+		if cfg.cachePath != "" {
+			cache, err := inject.OpenCache(cfg.cachePath)
+			if err != nil {
+				return nil, err
+			}
+			if reason := cache.DiscardReason(); reason != "" {
+				fmt.Printf("WARNING: campaign cache discarded: %s\n", reason)
+			}
+			d.cache = cache
+		}
+	}
+	fmt.Printf("adaptive derivation armed: rate >= %g over >= %d calls escalates\n",
+		d.cfg.FaultRate, d.cfg.MinCalls)
+	return d, nil
+}
+
+// step runs one derivation pass: evaluate the aggregate, publish a
+// tightened revision when anything crossed the threshold, and re-probe
+// the escalated functions when a toolchain is configured.
+func (d *deriveLoop) step(srv *collect.Server) {
+	cur, _ := d.cp.Policy()
+	doc, escalations := core.EscalatePolicy(srv.Aggregate(), cur, d.cfg)
+	if doc == nil {
+		return
+	}
+	if err := d.cp.SetPolicy(doc); err != nil {
+		// Lost a race with a concurrent operator push of a higher
+		// revision; the next tick re-evaluates against it.
+		fmt.Printf("derive: revision %d not published: %v\n", doc.Revision, err)
+		return
+	}
+	d.cp.NoteEscalations(len(escalations))
+	for _, e := range escalations {
+		fmt.Printf("derive: escalated %s/%s: %s -> %s (%d/%d calls contained, rate %.1f%%)\n",
+			e.Func, e.Class, e.From, e.To, e.Contained, e.Calls, 100*e.Rate)
+	}
+	fmt.Printf("derive: published policy revision %d (%d rules)\n", doc.Revision, len(doc.Rules))
+	if d.policyFile != "" {
+		if err := writeFileAtomic(d.policyFile, doc); err != nil {
+			fmt.Printf("derive: writing %s: %v\n", d.policyFile, err)
+		}
+	}
+	if d.tk != nil {
+		d.reprobe(escalations)
+	}
+}
+
+// reprobe re-derives each escalated function's robust type through the
+// cache-aware engine and persists the refreshed cache.
+func (d *deriveLoop) reprobe(escalations []core.Escalation) {
+	seen := map[string]bool{}
+	for _, e := range escalations {
+		if seen[e.Func] {
+			continue
+		}
+		seen[e.Func] = true
+		fr, err := d.tk.ReprobeFunction(d.reprobeLib, e.Func, d.cache)
+		if err != nil {
+			fmt.Printf("derive: re-probe %s: %v\n", e.Func, err)
+			continue
+		}
+		fmt.Printf("derive: re-probed %s: %d probes, %d failures, needs_containment=%v\n",
+			e.Func, fr.Probes, fr.Failures, fr.NeedsContainment)
+	}
+	if d.cache != nil {
+		if err := d.cache.Save(); err != nil {
+			fmt.Printf("derive: saving cache: %v\n", err)
+		}
+	}
+}
+
+// writeFileAtomic writes the marshalled document via a same-directory
+// rename, so a crash mid-write cannot leave a torn policy file for the
+// file-watching subscribers.
+func writeFileAtomic(path string, doc *xmlrep.PolicyDoc) error {
+	data, err := xmlrep.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // report prints documents received since cursor and returns the new one.

@@ -3,11 +3,14 @@ package main
 import (
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"healers/internal/collect"
+	"healers/internal/core"
 	"healers/internal/gen"
 	"healers/internal/xmlrep"
 )
@@ -15,7 +18,7 @@ import (
 func TestRunReceivesAndExits(t *testing.T) {
 	done := make(chan error, 1)
 	addr := "127.0.0.1:39917"
-	go func() { done <- run(addr, 2, true, 0, 0, 0, "") }()
+	go func() { done <- run(serveConfig{addr: addr, maxDocs: 2, showStats: true}) }()
 
 	// Upload two profiles; run() must return after the second.
 	st := gen.NewState("libhealers_prof.so")
@@ -43,7 +46,7 @@ func TestRunReceivesAndExits(t *testing.T) {
 func TestRunWithRetentionBudget(t *testing.T) {
 	done := make(chan error, 1)
 	addr := "127.0.0.1:39918"
-	go func() { done <- run(addr, 3, true, 1, 0, 4, "") }()
+	go func() { done <- run(serveConfig{addr: addr, maxDocs: 3, showStats: true, capDocs: 1, maxConns: 4}) }()
 
 	// Three uploads against a one-document budget: run() must still see
 	// all three arrive (the cumulative counter drives -max, not the
@@ -68,11 +71,79 @@ func TestRunWithRetentionBudget(t *testing.T) {
 }
 
 func TestRunBadAddr(t *testing.T) {
-	if err := run("256.0.0.1:bad", 1, false, 0, 0, 0, ""); err == nil {
+	if err := run(serveConfig{addr: "256.0.0.1:bad", maxDocs: 1}); err == nil {
 		t.Error("bad address accepted")
 	}
-	if err := run("127.0.0.1:0", 1, false, 0, 0, 0, "256.0.0.1:bad"); err == nil {
+	if err := run(serveConfig{addr: "127.0.0.1:0", maxDocs: 1, metricsAddr: "256.0.0.1:bad"}); err == nil {
 		t.Error("bad metrics address accepted")
+	}
+}
+
+// TestRunDeriveMode closes the loop inside the daemon: a containment
+// profile whose per-class counters cross the escalation threshold is
+// uploaded, and the final -derive pass before exit must publish a
+// tightened revision and write it back to the -policy file atomically.
+func TestRunDeriveMode(t *testing.T) {
+	policyPath := filepath.Join(t.TempDir(), "policy.xml")
+	initial := &xmlrep.PolicyDoc{
+		Rules: []xmlrep.PolicyRuleXML{{Func: "*", Class: "*", Action: "retry", Retries: 1}},
+	}
+	initial.Stamp(1)
+	data, err := xmlrep.Marshal(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(policyPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	addr := "127.0.0.1:39921"
+	go func() {
+		done <- run(serveConfig{
+			addr: addr, maxDocs: 1, policyFile: policyPath,
+			derive:      true,
+			deriveEvery: time.Hour, // only the final pre-exit pass fires
+			escalation:  core.EscalationConfig{FaultRate: 0.05, MinCalls: 8},
+		})
+	}()
+
+	profile := &xmlrep.ProfileLog{
+		Host: "h", App: "a", Wrapper: "libhealers_contain.so",
+		Funcs: []xmlrep.FuncProfile{{
+			Name: "strlen", Calls: 100, Contained: 10,
+			ContainedBy: []xmlrep.ClassCount{{Class: "crash", Count: 10}},
+		}},
+	}
+	for try := 0; try < 100; try++ {
+		if err = collect.Upload(addr, profile); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	data, err = os.ReadFile(policyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmlrep.Unmarshal[xmlrep.PolicyDoc](data)
+	if err != nil {
+		t.Fatalf("written-back policy unparseable: %v", err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("written-back policy invalid: %v", err)
+	}
+	if doc.Revision != 2 {
+		t.Errorf("written-back revision = %d, want 2", doc.Revision)
+	}
+	if r := doc.Rules[0]; r.Func != "strlen" || r.Class != "crash" || r.Action != "deny" {
+		t.Errorf("rules[0] = %+v, want the escalated strlen/crash deny", r)
 	}
 }
 
@@ -84,7 +155,7 @@ func TestRunMetricsEndpoint(t *testing.T) {
 	done := make(chan error, 1)
 	addr := "127.0.0.1:39919"
 	metricsAddr := "127.0.0.1:39920"
-	go func() { done <- run(addr, 3, false, 0, 0, 0, metricsAddr) }()
+	go func() { done <- run(serveConfig{addr: addr, maxDocs: 3, metricsAddr: metricsAddr}) }()
 
 	// Two clients: each builds a quiesced wrapper state with latency
 	// samples in bucket 5 (32..63 ns) and an ENOENT for open.

@@ -9,6 +9,7 @@
 //	healers-gen -type robustness -derive strcpy  # derive the robust API first
 //	healers-gen -type containment strcpy      # fault-containment wrapper
 //	healers-gen -type containment -policy recovery.xml strcpy
+//	healers-gen -stamp-policy recovery.xml > recovery-v2.xml   # version for hot-reload
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"healers"
 	"healers/internal/ctypes"
+	"healers/internal/xmlrep"
 )
 
 func main() {
@@ -25,7 +27,16 @@ func main() {
 	derive := flag.Bool("derive", false, "run a fault-injection campaign to derive the robust API (robustness type only)")
 	lib := flag.String("lib", healers.Libc, "library the function belongs to")
 	policy := flag.String("policy", "", "recovery-policy XML file validated alongside a containment wrapper")
+	stampPolicy := flag.String("stamp-policy", "", "validate a policy file, stamp revision+checksum, print to stdout, and exit")
+	revision := flag.Int("policy-revision", 0, "revision for -stamp-policy (0 = current revision + 1)")
 	flag.Parse()
+	if *stampPolicy != "" {
+		if err := runStamp(*stampPolicy, *revision); err != nil {
+			fmt.Fprintln(os.Stderr, "healers-gen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: healers-gen [-type T] [-derive] [-policy FILE] <function>")
 		os.Exit(2)
@@ -34,6 +45,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "healers-gen:", err)
 		os.Exit(1)
 	}
+}
+
+// runStamp is the operator tooling for hand-written policies: validate
+// the rules, stamp revision and checksum, and print the hot-reloadable
+// document. The stamped output goes to stdout so the input file is
+// never half-rewritten.
+func runStamp(path string, revision int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := xmlrep.Unmarshal[xmlrep.PolicyDoc](data)
+	if err != nil {
+		return err
+	}
+	if revision <= 0 {
+		revision = doc.Revision + 1
+	}
+	doc.Stamp(revision)
+	if err := doc.Validate(); err != nil {
+		return fmt.Errorf("policy %s: %w", path, err)
+	}
+	out, err := xmlrep.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "healers-gen: %s stamped as revision %d\n", path, revision)
+	_, err = os.Stdout.Write(out)
+	return err
 }
 
 func run(kind, lib, fn string, derive bool, policyFile string) error {

@@ -22,6 +22,14 @@
 //
 //	healers-profile -app stress -contain -chaos 0.05 -chaos-seed 7
 //	healers-profile -app stress -contain -policy recovery.xml
+//
+// With -policy-from the containment wrapper's recovery policy is
+// subscribed to a healers-collectd control plane for the duration of
+// the run: a newer stamped policy revision published mid-run (an
+// operator push or a -derive escalation) is hot-reloaded into the
+// running engine without restarting the application.
+//
+//	healers-profile -app stress -contain -chaos 0.1 -policy-from 127.0.0.1:7099
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 
 	"healers"
 	"healers/internal/collect"
+	"healers/internal/wrappers"
 	"healers/internal/xmlrep"
 )
 
@@ -51,17 +60,23 @@ func main() {
 	chaosRate := flag.Float64("chaos", 0, "with -contain: per-call C-library fault probability (0 disables chaos mode)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "with -chaos: deterministic chaos injector seed")
 	policyFile := flag.String("policy", "", "with -contain: recovery-policy XML file for the containment wrapper")
+	policyFrom := flag.String("policy-from", "", "with -contain: subscribe the recovery policy to this control-plane address for hot-reload during the run")
+	policyPoll := flag.Duration("policy-poll", 250*time.Millisecond, "with -policy-from: control-plane poll interval")
 	flag.Parse()
 
+	if *policyFrom != "" && !*contain {
+		fmt.Fprintln(os.Stderr, "healers-profile: -policy-from requires -contain")
+		os.Exit(2)
+	}
 	if err := run(*app, *stdin, *argv, *asXML, *histograms, *trace, *collectAddr, *retries, *spool, *spoolWait,
-		*contain, *chaosRate, *chaosSeed, *policyFile); err != nil {
+		*contain, *chaosRate, *chaosSeed, *policyFile, *policyFrom, *policyPoll); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-profile:", err)
 		os.Exit(1)
 	}
 }
 
 func run(app, stdin, argv string, asXML, histograms, trace bool, collectAddr string, retries int, spool bool, spoolWait time.Duration,
-	contain bool, chaosRate float64, chaosSeed uint64, policyFile string) error {
+	contain bool, chaosRate float64, chaosSeed uint64, policyFile, policyFrom string, policyPoll time.Duration) error {
 	tk, err := healers.NewToolkit()
 	if err != nil {
 		return err
@@ -84,11 +99,25 @@ func run(app, stdin, argv string, asXML, histograms, trace bool, collectAddr str
 				return fmt.Errorf("policy %s: %w", policyFile, err)
 			}
 		}
+		if policyFrom != "" {
+			// Hot-reload needs a live engine even when no -policy file
+			// was given: start from the built-in defaults and let the
+			// control plane tighten them mid-run.
+			if policy == nil {
+				policy = healers.DefaultPolicy()
+			}
+			stop := subscribePolicy(policy, policyFrom, policyPoll)
+			defer stop()
+		}
 		var chaosSpec string
 		if chaosRate > 0 {
 			chaosSpec = fmt.Sprintf("%g:%d", chaosRate, chaosSeed)
 		}
 		rr, err = tk.RunContained(app, stdin, policyOrNil(policy), chaosSpec, args...)
+		if err == nil && policyFrom != "" {
+			fmt.Printf("policy: revision %d from %s (%d reloads, %d rejected)\n\n",
+				policy.Revision(), policyFrom, policy.Reloads(), policy.RejectedReloads())
+		}
 	} else {
 		rr, err = tk.RunProfiled(app, stdin, args...)
 	}
@@ -118,6 +147,28 @@ func run(app, stdin, argv string, asXML, histograms, trace bool, collectAddr str
 		fmt.Printf("\nprofile uploaded to %s\n", collectAddr)
 	}
 	return nil
+}
+
+// subscribePolicy points the containment engine at a healers-collectd
+// control plane: each poll asks only for revisions newer than what the
+// engine already runs, so the steady state is a cheap not-modified
+// exchange. The returned stop function tears down the poller and the
+// connection.
+func subscribePolicy(policy *healers.PolicyEngine, addr string, poll time.Duration) (stop func()) {
+	c := collect.NewClient(addr)
+	stopSub := policy.Subscribe(func() (*xmlrep.PolicyDoc, error) {
+		return collect.FetchPolicy(c, "healers-profile", policy.Revision())
+	}, poll, func(ev wrappers.ReloadEvent) {
+		if ev.Err != nil {
+			fmt.Fprintf(os.Stderr, "healers-profile: policy reload rejected: %v\n", ev.Err)
+		} else if ev.Applied {
+			fmt.Fprintf(os.Stderr, "healers-profile: policy hot-reloaded to revision %d\n", ev.Revision)
+		}
+	})
+	return func() {
+		stopSub()
+		c.Close()
+	}
 }
 
 // policyOrNil converts a possibly-nil engine into the policy interface

@@ -5,16 +5,17 @@ import (
 	"time"
 
 	"healers/internal/collect"
+	"healers/internal/xmlrep"
 )
 
 func TestRunProfileModes(t *testing.T) {
-	if err := run("textutil", "words here\n", "", false, true, true, "", 0, false, 0, false, 0, 1, ""); err != nil {
+	if err := run("textutil", "words here\n", "", false, true, true, "", 0, false, 0, false, 0, 1, "", "", 0); err != nil {
 		t.Fatalf("report mode: %v", err)
 	}
-	if err := run("stress", "", "20", true, false, false, "", 0, false, 0, false, 0, 1, ""); err != nil {
+	if err := run("stress", "", "20", true, false, false, "", 0, false, 0, false, 0, 1, "", "", 0); err != nil {
 		t.Fatalf("xml mode: %v", err)
 	}
-	if err := run("nope", "", "", false, false, false, "", 0, false, 0, false, 0, 1, ""); err == nil {
+	if err := run("nope", "", "", false, false, false, "", 0, false, 0, false, 0, 1, "", "", 0); err == nil {
 		t.Error("unknown app accepted")
 	}
 }
@@ -26,7 +27,7 @@ func TestRunMultiArgumentArgv(t *testing.T) {
 	// stress reads argv[1] as its iteration count; a trailing extra
 	// argument must arrive as a separate entry (and be ignored by the
 	// app), not glued into "15 extra" which fails to parse.
-	if err := run("stress", "", "  15   extra  ", false, false, false, "", 0, false, 0, false, 0, 1, ""); err != nil {
+	if err := run("stress", "", "  15   extra  ", false, false, false, "", 0, false, 0, false, 0, 1, "", "", 0); err != nil {
 		t.Fatalf("multi-arg argv: %v", err)
 	}
 }
@@ -37,10 +38,10 @@ func TestRunProfileWithCollector(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run("textutil", "ship me\n", "", false, false, false, srv.Addr(), 0, false, 0, false, 0, 1, ""); err != nil {
+	if err := run("textutil", "ship me\n", "", false, false, false, srv.Addr(), 0, false, 0, false, 0, 1, "", "", 0); err != nil {
 		t.Fatalf("collect mode: %v", err)
 	}
-	if err := run("textutil", "x\n", "", false, false, false, "127.0.0.1:1", 0, false, 0, false, 0, 1, ""); err == nil {
+	if err := run("textutil", "x\n", "", false, false, false, "127.0.0.1:1", 0, false, 0, false, 0, 1, "", "", 0); err == nil {
 		t.Error("dead collector accepted")
 	}
 }
@@ -51,15 +52,15 @@ func TestRunProfileWithRetryAndSpool(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run("textutil", "retry me\n", "", false, false, false, srv.Addr(), 3, false, 0, false, 0, 1, ""); err != nil {
+	if err := run("textutil", "retry me\n", "", false, false, false, srv.Addr(), 3, false, 0, false, 0, 1, "", "", 0); err != nil {
 		t.Fatalf("retry mode: %v", err)
 	}
-	if err := run("textutil", "spool me\n", "", false, false, false, srv.Addr(), 0, true, 5*time.Second, false, 0, 1, ""); err != nil {
+	if err := run("textutil", "spool me\n", "", false, false, false, srv.Addr(), 0, true, 5*time.Second, false, 0, 1, "", "", 0); err != nil {
 		t.Fatalf("spool mode: %v", err)
 	}
 	// Spooling to a dead collector must fail at the flush deadline, not
 	// hang.
-	if err := run("textutil", "x\n", "", false, false, false, "127.0.0.1:1", 0, true, 50*time.Millisecond, false, 0, 1, ""); err == nil {
+	if err := run("textutil", "x\n", "", false, false, false, "127.0.0.1:1", 0, true, 50*time.Millisecond, false, 0, 1, "", "", 0); err == nil {
 		t.Error("spool to dead collector reported success")
 	}
 }
@@ -67,16 +68,41 @@ func TestRunProfileWithRetryAndSpool(t *testing.T) {
 func TestRunContainedModes(t *testing.T) {
 	// Containment wrapper with chaos: the run must succeed and is
 	// rendered with the containment section.
-	if err := run("stress", "", "30", false, false, false, "", 0, false, 0, true, 0.05, 7, ""); err != nil {
+	if err := run("stress", "", "30", false, false, false, "", 0, false, 0, true, 0.05, 7, "", "", 0); err != nil {
 		t.Fatalf("contain+chaos mode: %v", err)
 	}
 	// Containment without chaos: nothing to contain, still fine.
-	if err := run("stress", "", "5", false, false, false, "", 0, false, 0, true, 0, 1, ""); err != nil {
+	if err := run("stress", "", "5", false, false, false, "", 0, false, 0, true, 0, 1, "", "", 0); err != nil {
 		t.Fatalf("contain mode: %v", err)
 	}
 	// A missing policy file fails up front.
-	if err := run("stress", "", "5", false, false, false, "", 0, false, 0, true, 0, 1, "/nonexistent/policy.xml"); err == nil {
+	if err := run("stress", "", "5", false, false, false, "", 0, false, 0, true, 0, 1, "/nonexistent/policy.xml", "", 0); err == nil {
 		t.Error("missing policy file accepted")
+	}
+}
+
+// TestRunContainedWithControlPlane subscribes the containment run to a
+// control plane serving a stamped policy: the immediate first poll must
+// hot-load revision 1 before the run completes.
+func TestRunContainedWithControlPlane(t *testing.T) {
+	cp := collect.NewControlPlane()
+	doc := &xmlrep.PolicyDoc{
+		Rules: []xmlrep.PolicyRuleXML{{Func: "*", Class: "crash", Action: "retry", Retries: 2}},
+	}
+	doc.Stamp(1)
+	if err := cp.SetPolicy(doc); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := collect.Serve("127.0.0.1:0", collect.WithHandler(cp.Handler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := run("stress", "", "30", false, false, false, "", 0, false, 0, true, 0.05, 7, "", srv.Addr(), 5*time.Millisecond); err != nil {
+		t.Fatalf("contain+policy-from: %v", err)
+	}
+	if got := cp.Stats().Served; got == 0 {
+		t.Errorf("control plane served no policy documents (stats %+v)", cp.Stats())
 	}
 }
 
@@ -86,7 +112,7 @@ func TestContainedProfileReachesCollector(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := run("stress", "", "30", false, false, false, srv.Addr(), 0, false, 0, true, 0.05, 7, ""); err != nil {
+	if err := run("stress", "", "30", false, false, false, srv.Addr(), 0, false, 0, true, 0.05, 7, "", "", 0); err != nil {
 		t.Fatalf("contain+collect: %v", err)
 	}
 	deadline := time.Now().Add(5 * time.Second)

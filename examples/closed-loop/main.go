@@ -1,0 +1,275 @@
+// Closed-loop demonstrates adaptive hardening end to end: a victim runs
+// under the fault-containment wrapper with a lenient recovery policy
+// while chaos mode injects C-library faults; its profile — containment
+// counters split per failure class — is shipped to a collection server
+// that doubles as the policy control plane; the adaptive-derivation pass
+// folds those counters into a stricter policy revision; and the running
+// engine, subscribed to the control plane, hot-reloads the tightened
+// rules without a restart. The loop closes: inject → wrap → contain →
+// re-derive.
+//
+// The demo then verifies the two properties an operator cares about:
+// the escalated function's Decide outcome actually changed (retry
+// became deny), and a follow-up workload touching only that function
+// leaves every other function's profile XML byte-identical — the
+// reload is surgical, not a reset.
+package main
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"healers"
+	"healers/internal/collect"
+	"healers/internal/core"
+	"healers/internal/cval"
+	"healers/internal/gen"
+	"healers/internal/proc"
+	"healers/internal/webui"
+	"healers/internal/wrappers"
+	"healers/internal/xmlrep"
+)
+
+// The function the demo tracks through the loop. stress calls it once
+// per iteration, so under chaos its crash-containment rate comfortably
+// crosses the escalation threshold.
+const target = "strlen"
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	tk, err := healers.NewToolkit()
+	if err != nil {
+		return err
+	}
+	if err := tk.InstallSampleApps(); err != nil {
+		return err
+	}
+
+	// --- Control plane: a collection server that also serves policy.
+	cp := collect.NewControlPlane()
+	initial := &xmlrep.PolicyDoc{
+		Rules: []xmlrep.PolicyRuleXML{{Func: "*", Class: "*", Action: "retry", Retries: 1}},
+	}
+	initial.Stamp(1)
+	if err := cp.SetPolicy(initial); err != nil {
+		return err
+	}
+	srv, err := collect.Serve("127.0.0.1:0", collect.WithHandler(cp.Handler()))
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("collector + control plane on %s, serving policy revision %d\n", srv.Addr(), revisionOf(cp))
+
+	// --- The containment engine, subscribed to the control plane.
+	engine, err := wrappers.PolicyFromDoc(initial)
+	if err != nil {
+		return err
+	}
+	sub := collect.NewClient(srv.Addr())
+	defer sub.Close()
+	stop := engine.Subscribe(func() (*xmlrep.PolicyDoc, error) {
+		return collect.FetchPolicy(sub, "closed-loop", engine.Revision())
+	}, 10*time.Millisecond, func(ev wrappers.ReloadEvent) {
+		if ev.Applied {
+			fmt.Printf("policy hot-reloaded to revision %d (reloads so far: %d)\n", ev.Revision, engine.Reloads())
+		} else {
+			fmt.Printf("policy reload rejected: %v\n", ev.Err)
+		}
+	})
+	defer stop()
+
+	fmt.Printf("decide(%s, *) under revision %d: %s\n\n",
+		target, engine.Revision(), engine.Decide(target, gen.ClassCrash).Action)
+
+	// --- Phase A: chaos-loaded victim under the lenient policy.
+	rr, err := tk.RunContained(healers.Stress, "", engine, "0.05:1234", "50")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phase A: %s under chaos: %s\n", healers.Stress, rr.Proc)
+	phaseA := perFunctionXML(rr.Profile)
+	printContainment(rr.Profile)
+
+	// Ship the per-class containment evidence to the collector.
+	up := collect.NewClient(srv.Addr())
+	if err := up.Send(rr.Profile); err != nil {
+		up.Close()
+		return err
+	}
+	up.Close()
+	if err := waitFor(func() bool { return srv.Count() > 0 }); err != nil {
+		return fmt.Errorf("profile never reached the collector")
+	}
+
+	// --- Adaptive derivation: fold fleet counters into a stricter policy.
+	cur, _ := cp.Policy()
+	next, escalations := core.EscalatePolicy(srv.Aggregate(), cur,
+		core.EscalationConfig{FaultRate: 0.02, MinCalls: 8})
+	if next == nil {
+		return fmt.Errorf("no function crossed the escalation threshold (unexpected under 5%% chaos)")
+	}
+	fmt.Printf("\nderivation pass escalated %d (function, class) rules:\n", len(escalations))
+	var escClass gen.FailureClass
+	found := false
+	for _, esc := range escalations {
+		fmt.Printf("  %-8s %-5s %3d/%3d calls contained (%.1f%%): %s -> %s\n",
+			esc.Func, esc.Class, esc.Contained, esc.Calls, 100*esc.Rate, esc.From, esc.To)
+		if esc.Func == target && !found {
+			escClass, found = classByName(esc.Class)
+		}
+	}
+	if !found {
+		return fmt.Errorf("no escalation targeted %s", target)
+	}
+	before := engine.Decide(target, escClass)
+	if err := cp.SetPolicy(next); err != nil {
+		return err
+	}
+	cp.NoteEscalations(len(escalations))
+	fmt.Printf("control plane now serves revision %d\n", revisionOf(cp))
+
+	// --- The subscribed engine picks the new revision up by itself.
+	if err := waitFor(func() bool { return engine.Revision() == next.Revision }); err != nil {
+		return fmt.Errorf("engine never reloaded to revision %d", next.Revision)
+	}
+	after := engine.Decide(target, escClass)
+	fmt.Printf("decide(%s, %s): %s under revision %d, %s under revision %d — the running process tightened without a restart\n",
+		target, escClass, before.Action, initial.Revision, after.Action, engine.Revision())
+	if before.Action == after.Action {
+		return fmt.Errorf("escalation did not change the %s decision", target)
+	}
+
+	// --- Phase B: touch only the escalated function; every other
+	// function's profile XML must stay byte-identical.
+	p, err := proc.Start(tk.System(), healers.Stress, proc.WithPreloads(healers.ContainmentWrapper))
+	if err != nil {
+		return err
+	}
+	s, f := p.Env().Img.StaticString("abcd")
+	if f != nil {
+		return fmt.Errorf("static string: %v", f)
+	}
+	for i := 0; i < 5; i++ {
+		if v, res := p.RunCall(target, cval.Ptr(s)); res.Fault != nil || v.Int32() != 4 {
+			return fmt.Errorf("phase B %s call: got %v (%v)", target, v, res.Fault)
+		}
+	}
+	st, _ := tk.WrapperState(healers.ContainmentWrapper)
+	phaseB := perFunctionXML(xmlrep.NewProfileLog("sim-host", healers.Stress, st))
+	var changed, identical []string
+	for fn, was := range phaseA {
+		if phaseB[fn] == was {
+			identical = append(identical, fn)
+		} else {
+			changed = append(changed, fn)
+		}
+	}
+	fmt.Printf("\nphase B: 5 direct %s calls; profile XML byte-identical for %d unaffected functions, changed only for %v\n",
+		target, len(identical), changed)
+	if len(changed) != 1 || changed[0] != target {
+		return fmt.Errorf("expected only %s to change, got %v", target, changed)
+	}
+
+	// --- The /metrics view of the loop.
+	return scrapeMetrics(webui.MetricsHandlerFor(webui.MetricsSources{
+		Collector: srv,
+		Control:   cp,
+		Engines:   map[string]*wrappers.PolicyEngine{"closed-loop": engine},
+	}))
+}
+
+// perFunctionXML marshals each function's profile element on its own,
+// keyed by function name, so phase A and phase B snapshots can be
+// byte-compared per function.
+func perFunctionXML(lg *xmlrep.ProfileLog) map[string]string {
+	out := make(map[string]string, len(lg.Funcs))
+	for i := range lg.Funcs {
+		data, err := xml.Marshal(&lg.Funcs[i])
+		if err != nil {
+			panic(err) // FuncProfile has no marshal failure mode
+		}
+		out[lg.Funcs[i].Name] = string(data)
+	}
+	return out
+}
+
+// printContainment summarizes phase A's per-class containment evidence.
+func printContainment(lg *xmlrep.ProfileLog) {
+	var funcs, contained int
+	for _, fp := range lg.Funcs {
+		if fp.Contained > 0 {
+			funcs++
+			contained += int(fp.Contained)
+		}
+	}
+	fmt.Printf("phase A contained %d faults across %d functions (per-class counters shipped in the profile)\n",
+		contained, funcs)
+}
+
+// classByName resolves a failure-class name to its gen.FailureClass.
+func classByName(name string) (gen.FailureClass, bool) {
+	for c := gen.FailureClass(0); int(c) < gen.NumFailureClasses; c++ {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// revisionOf reads the control plane's current policy revision.
+func revisionOf(cp *collect.ControlPlane) int {
+	_, rev := cp.Policy()
+	return rev
+}
+
+// waitFor polls cond for up to five seconds.
+func waitFor(cond func() bool) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timeout")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+// scrapeMetrics serves the metrics handler on a loopback port and prints
+// the control-plane and hot-reload families — what an operator's
+// Prometheus would see after the loop closed.
+func scrapeMetrics(h http.Handler) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go http.Serve(ln, h) //nolint:errcheck // torn down with the listener
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n/metrics after the loop closed:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "healers_control_policy_") || strings.HasPrefix(line, "healers_policy_") {
+			fmt.Println("  " + line)
+		}
+	}
+	return nil
+}

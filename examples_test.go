@@ -22,6 +22,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/harden-daemon", "overflow(s) stopped"},
 		{"./examples/profile-fleet", "aggregate call counts"},
 		{"./examples/robust-api", "writable_sized"},
+		{"./examples/closed-loop", "tightened without a restart"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.dir, func(t *testing.T) {

@@ -34,6 +34,11 @@ type FuncAggregate struct {
 	Contained    uint64
 	Retried      uint64
 	BreakerTrips uint64
+	// ContainedBy splits Contained per failure class, indexed by
+	// gen.FailureClass — the grain the control plane's escalation
+	// decisions consume. Profiles from pre-containment clients leave it
+	// all-zero.
+	ContainedBy [gen.NumFailureClasses]uint64
 	// Hist is the dense log2 latency histogram (gen.HistBuckets buckets),
 	// or nil when no uploaded profile carried latency data for this
 	// function (pre-observability clients).
@@ -80,6 +85,14 @@ func (a *FleetAggregate) merge(prof *xmlrep.ProfileLog) {
 		fa.Contained += f.Contained
 		fa.Retried += f.Retried
 		fa.BreakerTrips += f.BreakerTrips
+		for _, cc := range f.ContainedBy {
+			for c := 0; c < gen.NumFailureClasses; c++ {
+				if gen.FailureClass(c).String() == cc.Class {
+					fa.ContainedBy[c] += cc.Count
+					break
+				}
+			}
+		}
 		if f.Latency != nil {
 			for _, b := range f.Latency.Buckets {
 				if b.Bucket < 0 || b.Bucket >= gen.HistBuckets {
@@ -119,6 +132,7 @@ func (a *FleetAggregate) clone() *FleetAggregate {
 			Contained:    fa.Contained,
 			Retried:      fa.Retried,
 			BreakerTrips: fa.BreakerTrips,
+			ContainedBy:  fa.ContainedBy,
 		}
 		if fa.Hist != nil {
 			c.Hist = append([]uint64(nil), fa.Hist...)
@@ -164,7 +178,7 @@ type config struct {
 	maxBytes    int64
 	idleTimeout time.Duration
 	readTimeout time.Duration
-	handler     Handler
+	handlers    []Handler
 }
 
 // Option configures a Server at Serve time.
@@ -195,12 +209,15 @@ func WithReadTimeout(d time.Duration) Option { return func(c *config) { c.readTi
 // WithHandler installs a request handler: a received document the handler
 // answers (non-nil return) gets its response written back on the same
 // connection as one frame, turning the one-way upload protocol into
-// request/response without changing the framing. Documents the handler
-// declines are stored as usual. The handler runs on the connection's
-// goroutine and may be called concurrently across connections; response
-// writes run under the server's read timeout so a non-draining peer
-// cannot pin a handler.
-func WithHandler(h Handler) Option { return func(c *config) { c.handler = h } }
+// request/response without changing the framing. Documents every handler
+// declines are stored as usual. Repeated WithHandler options chain: each
+// document is offered to the handlers in installation order and the
+// first non-nil response wins, which is how one server can be both a
+// campaign coordinator and a policy control plane. Handlers run on the
+// connection's goroutine and may be called concurrently across
+// connections; response writes run under the server's read timeout so a
+// non-draining peer cannot pin a handler.
+func WithHandler(h Handler) Option { return func(c *config) { c.handlers = append(c.handlers, h) } }
 
 // Stats are the server's ingest counters. All counters are cumulative
 // over the server's lifetime except ActiveConns and the Retained pair,
@@ -410,14 +427,18 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // dispatch routes one received document: request kinds go to the handler
-// (response written back on the connection), everything else to the
-// store. It returns false when the session must end (a response write
-// failed — the peer is gone or not draining).
+// chain (first non-nil response written back on the connection),
+// everything else to the store. It returns false when the session must
+// end (a response write failed — the peer is gone or not draining).
 func (s *Server) dispatch(conn net.Conn, from string, data []byte) bool {
-	if s.cfg.handler != nil {
+	if len(s.cfg.handlers) > 0 {
 		kind, err := xmlrep.Kind(data)
 		if err == nil {
-			if resp := s.cfg.handler(from, kind, data); resp != nil {
+			for _, h := range s.cfg.handlers {
+				resp := h(from, kind, data)
+				if resp == nil {
+					continue
+				}
 				s.mu.Lock()
 				s.stats.RequestsHandled++
 				s.mu.Unlock()

@@ -1,0 +1,233 @@
+// Adaptive re-derivation: the feedback half of the closed loop. The
+// collector's fleet aggregate records how often each wrapped function's
+// faults were contained, per failure class; EscalatePolicy folds those
+// counters into a stricter recovery-policy revision, and ReprobeFunction
+// re-derives a single escalated function's robust type through the
+// ordinary cache-aware campaign engine. healers-collectd -derive drives
+// both on a timer, publishing each new revision through the control
+// plane so running containment wrappers tighten by hot-reload.
+
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"healers/internal/collect"
+	"healers/internal/gen"
+	"healers/internal/inject"
+	"healers/internal/xmlrep"
+)
+
+// EscalationConfig parametrizes the adaptive-derivation pass.
+type EscalationConfig struct {
+	// FaultRate is the per-(function, failure-class) containment rate —
+	// contained faults of that class divided by the function's total
+	// calls — at or above which the function's rule for that class is
+	// tightened. <= 0 selects DefaultEscalationRate.
+	FaultRate float64
+	// MinCalls is the evidence floor: functions with fewer total calls
+	// are never escalated, so a single unlucky call cannot condemn a
+	// function. <= 0 selects DefaultEscalationMinCalls.
+	MinCalls uint64
+	// TightenedBreaker is the per-function breaker threshold the
+	// ladder's last rung installs (a function already denied outright
+	// gets a stricter breaker instead). <= 0 selects
+	// DefaultTightenedBreaker.
+	TightenedBreaker int
+}
+
+// Escalation defaults: a function whose faults of one class exceed 5%
+// of its calls, over at least 16 calls of evidence, gets a stricter
+// rule; the final rung is a one-strike breaker.
+const (
+	DefaultEscalationRate     = 0.05
+	DefaultEscalationMinCalls = 16
+	DefaultTightenedBreaker   = 1
+)
+
+// withDefaults resolves zero fields to the package defaults.
+func (c EscalationConfig) withDefaults() EscalationConfig {
+	if c.FaultRate <= 0 {
+		c.FaultRate = DefaultEscalationRate
+	}
+	if c.MinCalls == 0 {
+		c.MinCalls = DefaultEscalationMinCalls
+	}
+	if c.TightenedBreaker <= 0 {
+		c.TightenedBreaker = DefaultTightenedBreaker
+	}
+	return c
+}
+
+// Escalation records one tightening decision: function fn's faults of
+// class Class crossed the configured rate, so its effective action From
+// was escalated to To.
+type Escalation struct {
+	Func  string
+	Class string
+	// Contained and Calls are the evidence: contained faults of Class
+	// vs total calls in the fleet aggregate.
+	Contained uint64
+	Calls     uint64
+	// Rate is Contained/Calls.
+	Rate float64
+	// From and To describe the rung climbed, e.g. "retry" -> "deny", or
+	// "deny" -> "deny+breaker(1)".
+	From string
+	To   string
+}
+
+// EscalatePolicy folds fleet containment counters into a stricter
+// policy document. For every (function, failure class) whose
+// containment rate crosses cfg.FaultRate with at least cfg.MinCalls of
+// evidence, the function's effective rule for that class climbs one
+// rung of the escalation ladder:
+//
+//	escalate / substitute / retry  ->  deny
+//	deny                           ->  deny + per-function breaker (one strike)
+//	deny + breaker                 ->  (top rung, no further change)
+//
+// The returned document keeps cur's breaker parameters and rules, with
+// the escalated (function, class) rules inserted ahead of them —
+// first-match semantics make the specific rule win over whatever
+// matched before. It is stamped with revision cur.Revision+1. When
+// nothing crosses the threshold the function returns (nil, nil); cur
+// may be nil, which escalates against the all-deny default policy.
+func EscalatePolicy(agg *collect.FleetAggregate, cur *xmlrep.PolicyDoc, cfg EscalationConfig) (*xmlrep.PolicyDoc, []Escalation) {
+	cfg = cfg.withDefaults()
+	base := cur
+	if base == nil {
+		base = &xmlrep.PolicyDoc{}
+	}
+
+	// Deterministic order: functions sorted by name, classes in declared
+	// order, so repeated passes over the same aggregate produce the same
+	// document (and the same checksum).
+	names := make([]string, 0, len(agg.Funcs))
+	for fn := range agg.Funcs {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
+
+	var escalations []Escalation
+	newRules := append([]xmlrep.PolicyRuleXML(nil), base.Rules...)
+	for _, fn := range names {
+		fa := agg.Funcs[fn]
+		if fa.Calls < cfg.MinCalls {
+			continue
+		}
+		for c := 0; c < gen.NumFailureClasses; c++ {
+			contained := fa.ContainedBy[c]
+			if contained == 0 {
+				continue
+			}
+			rate := float64(contained) / float64(fa.Calls)
+			if rate < cfg.FaultRate {
+				continue
+			}
+			class := gen.FailureClass(c).String()
+			rule, idx := effectiveRule(newRules, fn, class)
+			esc := Escalation{
+				Func:      fn,
+				Class:     class,
+				Contained: contained,
+				Calls:     fa.Calls,
+				Rate:      rate,
+			}
+			next, changed := climb(rule, cfg.TightenedBreaker)
+			if !changed {
+				continue
+			}
+			esc.From = describeRule(rule)
+			esc.To = describeRule(&next)
+			next.Func = fn
+			next.Class = class
+			if idx >= 0 && newRules[idx].Func == fn && newRules[idx].Class == class {
+				// A previous escalation already pinned a specific rule
+				// for this pair; climb it in place instead of stacking
+				// shadowed duplicates.
+				newRules[idx] = next
+			} else {
+				newRules = append([]xmlrep.PolicyRuleXML{next}, newRules...)
+			}
+			escalations = append(escalations, esc)
+		}
+	}
+	if len(escalations) == 0 {
+		return nil, nil
+	}
+	doc := &xmlrep.PolicyDoc{
+		BreakerThreshold: base.BreakerThreshold,
+		BreakerWindowMS:  base.BreakerWindowMS,
+		Rules:            newRules,
+	}
+	doc.Stamp(base.Revision + 1)
+	return doc, escalations
+}
+
+// effectiveRule returns the first rule matching (fn, class) under the
+// engine's first-match semantics, plus its index; (nil, -1) means the
+// engine default (deny) applies.
+func effectiveRule(rules []xmlrep.PolicyRuleXML, fn, class string) (*xmlrep.PolicyRuleXML, int) {
+	for i := range rules {
+		r := &rules[i]
+		if r.Func != "" && r.Func != "*" && r.Func != fn {
+			continue
+		}
+		if r.Class != "" && r.Class != "*" && r.Class != class {
+			continue
+		}
+		return r, i
+	}
+	return nil, -1
+}
+
+// climb returns the rule one rung stricter than cur (nil = the default
+// deny). changed is false at the top of the ladder.
+func climb(cur *xmlrep.PolicyRuleXML, tightenedBreaker int) (next xmlrep.PolicyRuleXML, changed bool) {
+	action := "deny"
+	breaker := 0
+	if cur != nil {
+		action = cur.Action
+		breaker = cur.BreakerThreshold
+	}
+	switch {
+	case action != "deny":
+		// escalate / substitute / retry: stop resurrecting the call,
+		// virtualize every failure into its class errno.
+		return xmlrep.PolicyRuleXML{Action: "deny"}, true
+	case breaker <= 0 || breaker > tightenedBreaker:
+		// Already denying: latch the function to always-deny after
+		// tightenedBreaker strikes instead of the engine-wide threshold.
+		return xmlrep.PolicyRuleXML{Action: "deny", BreakerThreshold: tightenedBreaker}, true
+	default:
+		return xmlrep.PolicyRuleXML{}, false
+	}
+}
+
+// describeRule renders a rule's action for escalation reports.
+func describeRule(r *xmlrep.PolicyRuleXML) string {
+	if r == nil {
+		return "deny (default)"
+	}
+	if r.BreakerThreshold > 0 {
+		return fmt.Sprintf("%s+breaker(%d)", r.Action, r.BreakerThreshold)
+	}
+	return r.Action
+}
+
+// ReprobeFunction re-derives one function's robust type through the
+// ordinary cache-aware campaign engine — the targeted half of adaptive
+// re-derivation. With a warm cache every *other* function's verdict is
+// a cache hit, so a single escalated function costs one function's
+// probes, not a library sweep. The refreshed report lands in the cache
+// via the engine's usual put path; callers persist it with cache.Save.
+func (t *Toolkit) ReprobeFunction(soname, fn string, cache *inject.Cache) (*inject.FuncReport, error) {
+	var opts []inject.CampaignOption
+	if cache != nil {
+		cache.Drop(fn) // force fresh probes for the escalated function
+		opts = append(opts, inject.WithCache(cache))
+	}
+	return t.InjectFunction(soname, fn, opts...)
+}

@@ -45,6 +45,10 @@ const (
 
 var failureClassNames = [...]string{"crash", "hang", "abort", "oom"}
 
+// NumFailureClasses is the number of failure classes, for sizing
+// per-class counter arrays (ClassCrash..ClassOOM are contiguous from 0).
+const NumFailureClasses = len(failureClassNames)
+
 func (c FailureClass) String() string {
 	if c < 0 || int(c) >= len(failureClassNames) {
 		return fmt.Sprintf("class(%d)", int(c))
@@ -266,7 +270,7 @@ func (g *containGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 			return nil
 		}
 
-		st.noteContained(ctx.Env, ctx.FuncIndex)
+		st.noteContained(ctx.Env, ctx.FuncIndex, class)
 		if g.policy != nil && g.policy.RecordFailure(ctx.Proto.Name, class) {
 			st.noteBreakerTrip(ctx.Env, ctx.FuncIndex)
 		}
@@ -379,7 +383,7 @@ func (g *watchdogGen) PostfixHook(proto *ctypes.Prototype, st *State) Hook {
 		// before us (composition without MGContain).
 		if f := ctx.ContainedFault; f != nil && !ctx.escalated && ClassifyFault(f) == ClassHang {
 			ctx.ContainedFault = nil
-			st.noteContained(ctx.Env, ctx.FuncIndex)
+			st.noteContained(ctx.Env, ctx.FuncIndex, ClassHang)
 			ctx.Denied = true
 			ctx.DenyReason = fmt.Sprintf("%s: watchdog budget exhausted", ctx.Proto.Name)
 			st.NoteDeny(ctx.Env, ctx.FuncIndex, ctx.DenyReason)

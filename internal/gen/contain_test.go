@@ -476,10 +476,13 @@ func TestClassifyFaultAndErrno(t *testing.T) {
 func TestStateResetClearsContainmentCounters(t *testing.T) {
 	st := NewState("w")
 	idx := st.Index("f")
-	st.noteContained(nil, idx)
+	st.noteContained(nil, idx, ClassCrash)
 	st.noteRetry(nil, idx)
 	st.noteBreakerTrip(nil, idx)
 	st.Reset()
+	if st.ContainedByClass[idx][ClassCrash] != 0 {
+		t.Errorf("Reset left per-class contained counter: %d", st.ContainedByClass[idx][ClassCrash])
+	}
 	if st.ContainedCount[idx] != 0 || st.RetriedCount[idx] != 0 || st.BreakerTrips[idx] != 0 {
 		t.Errorf("Reset left containment counters: %d/%d/%d",
 			st.ContainedCount[idx], st.RetriedCount[idx], st.BreakerTrips[idx])

@@ -120,8 +120,12 @@ type stateShard struct {
 	passed     []uint64
 	subst      []uint64
 	contained  []uint64
-	retried    []uint64
-	trips      []uint64
+	// containedBy splits contained per failure class (NumFailureClasses
+	// slots per function) — the grain the control plane's escalation
+	// decisions run on.
+	containedBy [][]uint64
+	retried     []uint64
+	trips       []uint64
 
 	globalErrno []uint64
 	overflows   uint64
@@ -186,6 +190,12 @@ type State struct {
 	// ContainedCount counts faults the containment micro-generator
 	// caught and virtualized into errno returns, per function index.
 	ContainedCount []uint64
+	// ContainedByClass splits ContainedCount per failure class: one
+	// NumFailureClasses-length histogram per function index, indexed by
+	// FailureClass. The per-class grain is what adaptive re-derivation
+	// escalates on (a function that keeps hanging warrants a different
+	// rule than one that keeps crashing).
+	ContainedByClass [][]uint64
 	// RetriedCount counts retry attempts the recovery policy issued
 	// after a contained fault, per function index.
 	RetriedCount []uint64
@@ -261,6 +271,9 @@ func (st *State) Reset() {
 		st.PassedCount[i] = 0
 		st.SubstCount[i] = 0
 		st.ContainedCount[i] = 0
+		for j := range st.ContainedByClass[i] {
+			st.ContainedByClass[i][j] = 0
+		}
 		st.RetriedCount[i] = 0
 		st.BreakerTrips[i] = 0
 		for j := range st.ExecHist[i] {
@@ -295,6 +308,9 @@ func (st *State) drainShards() {
 			atomic.SwapUint64(&sh.passed[i], 0)
 			atomic.SwapUint64(&sh.subst[i], 0)
 			atomic.SwapUint64(&sh.contained[i], 0)
+			for j := range sh.containedBy[i] {
+				atomic.SwapUint64(&sh.containedBy[i][j], 0)
+			}
 			atomic.SwapUint64(&sh.retried[i], 0)
 			atomic.SwapUint64(&sh.trips[i], 0)
 			for j := range sh.execHist[i] {
@@ -335,6 +351,9 @@ func (st *State) fold() {
 			st.PassedCount[i] += atomic.SwapUint64(&sh.passed[i], 0)
 			st.SubstCount[i] += atomic.SwapUint64(&sh.subst[i], 0)
 			st.ContainedCount[i] += atomic.SwapUint64(&sh.contained[i], 0)
+			for j := range sh.containedBy[i] {
+				st.ContainedByClass[i][j] += atomic.SwapUint64(&sh.containedBy[i][j], 0)
+			}
 			st.RetriedCount[i] += atomic.SwapUint64(&sh.retried[i], 0)
 			st.BreakerTrips[i] += atomic.SwapUint64(&sh.trips[i], 0)
 			for j := range sh.execHist[i] {
@@ -372,6 +391,7 @@ func (st *State) Index(name string) int {
 	st.PassedCount = append(st.PassedCount, 0)
 	st.SubstCount = append(st.SubstCount, 0)
 	st.ContainedCount = append(st.ContainedCount, 0)
+	st.ContainedByClass = append(st.ContainedByClass, make([]uint64, NumFailureClasses))
 	st.RetriedCount = append(st.RetriedCount, 0)
 	st.BreakerTrips = append(st.BreakerTrips, 0)
 	for s := range st.shards {
@@ -384,6 +404,7 @@ func (st *State) Index(name string) int {
 		sh.passed = append(sh.passed, 0)
 		sh.subst = append(sh.subst, 0)
 		sh.contained = append(sh.contained, 0)
+		sh.containedBy = append(sh.containedBy, make([]uint64, NumFailureClasses))
 		sh.retried = append(sh.retried, 0)
 		sh.trips = append(sh.trips, 0)
 	}
@@ -482,9 +503,14 @@ func (st *State) NoteDeny(env *cval.Env, idx int, reason string) {
 	st.mu.Unlock()
 }
 
-// noteContained counts a fault caught and virtualized for a function.
-func (st *State) noteContained(env *cval.Env, idx int) {
-	atomic.AddUint64(&st.shard(env).contained[idx], 1)
+// noteContained counts a fault caught and virtualized for a function,
+// in both the per-function total and its failure-class bucket.
+func (st *State) noteContained(env *cval.Env, idx int, class FailureClass) {
+	sh := st.shard(env)
+	atomic.AddUint64(&sh.contained[idx], 1)
+	if c := int(class); c >= 0 && c < NumFailureClasses {
+		atomic.AddUint64(&sh.containedBy[idx][c], 1)
+	}
 }
 
 // noteRetry counts one policy-issued retry attempt.

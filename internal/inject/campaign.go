@@ -492,6 +492,19 @@ func (c *Campaign) RunFunction(name string) (*FuncReport, error) {
 	if proto == nil {
 		return nil, fmt.Errorf("inject: %s has no prototype for %q", c.target, name)
 	}
+	// Single-function runs share the library sweep's cache discipline:
+	// an attached cache answers unchanged functions instantly and
+	// receives freshly derived reports — what makes a targeted re-probe
+	// (drop one entry, re-run one function) cost one function's probes.
+	var key, config string
+	if c.cache != nil {
+		config = c.configHash()
+		key = funcKey(proto, config)
+		if fr := c.cache.lookup(key, config); fr != nil {
+			fr.Proto = proto
+			return fr, nil
+		}
+	}
 	specs := planFunction(proto)
 	results := make([]ProbeResult, 0, len(specs))
 	for _, sp := range specs {
@@ -501,7 +514,13 @@ func (c *Campaign) RunFunction(name string) (*FuncReport, error) {
 		}
 		results = append(results, r)
 	}
-	return buildReport(name, proto, results), nil
+	fr := buildReport(name, proto, results)
+	if c.cache != nil {
+		if err := c.cache.put(name, config, key, fr); err != nil {
+			return nil, err
+		}
+	}
+	return fr, nil
 }
 
 // scannableFuncs returns the target's probe-able function names in

@@ -10,6 +10,7 @@ import (
 	"healers/internal/collect"
 	"healers/internal/gen"
 	"healers/internal/inject"
+	"healers/internal/wrappers"
 )
 
 // CampaignMetrics accumulates fault-injection campaign throughput for the
@@ -53,16 +54,43 @@ func (m *CampaignMetrics) snapshot() (runs, probes uint64, last inject.CampaignS
 // non-nil, the campaign throughput counters. Both healers-web and
 // healers-collectd mount it, so one scrape config covers either daemon.
 // col may be nil (no collection server attached); the profile metric
-// families are then omitted.
+// families are then omitted. Control-plane and policy-engine families
+// come from MetricsHandlerFor.
 func MetricsHandler(col *collect.Server, camp *CampaignMetrics) http.Handler {
+	return MetricsHandlerFor(MetricsSources{Collector: col, Campaign: camp})
+}
+
+// MetricsSources names everything a /metrics endpoint can render; any
+// field may be nil (its families are omitted). Engines maps a label to
+// each local policy engine whose hot-reload counters should be
+// exported — the closed-loop demo and healers-profile use it to expose
+// healers_policy_reloads_total next to the collector's fleet counters.
+type MetricsSources struct {
+	Collector *collect.Server
+	Campaign  *CampaignMetrics
+	Control   *collect.ControlPlane
+	Engines   map[string]*wrappers.PolicyEngine
+}
+
+// MetricsHandlerFor serves the Prometheus text format over every
+// non-nil source: fleet profile aggregate, ingest counters, campaign
+// throughput, control-plane policy distribution, and policy-engine
+// hot-reload counters.
+func MetricsHandlerFor(src MetricsSources) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var b strings.Builder
-		if col != nil {
-			writeProfileMetrics(&b, col)
-			writeIngestMetrics(&b, col)
+		if src.Collector != nil {
+			writeProfileMetrics(&b, src.Collector)
+			writeIngestMetrics(&b, src.Collector)
 		}
-		if camp != nil {
-			writeCampaignMetrics(&b, camp)
+		if src.Campaign != nil {
+			writeCampaignMetrics(&b, src.Campaign)
+		}
+		if src.Control != nil {
+			writeControlMetrics(&b, src.Control)
+		}
+		if len(src.Engines) > 0 {
+			writePolicyEngineMetrics(&b, src.Engines)
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		fmt.Fprint(w, b.String())
@@ -165,6 +193,19 @@ func writeProfileMetrics(b *strings.Builder, col *collect.Server) {
 		}
 	}
 
+	b.WriteString("# HELP healers_containment_class_total Contained faults per function and failure class.\n")
+	b.WriteString("# TYPE healers_containment_class_total counter\n")
+	for _, fn := range names {
+		fa := agg.Funcs[fn]
+		for c, count := range fa.ContainedBy {
+			if count == 0 {
+				continue
+			}
+			fmt.Fprintf(b, "healers_containment_class_total{function=%q,class=%q} %d\n",
+				promLabel(fn), gen.FailureClass(c).String(), count)
+		}
+	}
+
 	b.WriteString("# HELP healers_overflows_total Canary and bound violations detected fleet-wide.\n")
 	b.WriteString("# TYPE healers_overflows_total counter\n")
 	fmt.Fprintf(b, "healers_overflows_total %d\n", agg.Overflows)
@@ -231,6 +272,47 @@ func writeCoordinatorMetrics(b *strings.Builder, co *inject.Coordinator) {
 	b.WriteString("# HELP healers_coordinator_worker_busy_seconds_total Worker-reported probing wall time.\n# TYPE healers_coordinator_worker_busy_seconds_total counter\n")
 	for _, ws := range workers {
 		fmt.Fprintf(b, "healers_coordinator_worker_busy_seconds_total{worker=%q} %g\n", promLabel(ws.Name), ws.Busy.Seconds())
+	}
+}
+
+// writeControlMetrics renders the control plane's policy-distribution
+// counters.
+func writeControlMetrics(b *strings.Builder, cp *collect.ControlPlane) {
+	st := cp.Stats()
+	fmt.Fprintf(b, "# HELP healers_control_policy_revision Policy revision the control plane currently serves (0 = none).\n# TYPE healers_control_policy_revision gauge\nhealers_control_policy_revision %d\n", st.Revision)
+	for _, m := range []struct {
+		name, help string
+		value      uint64
+	}{
+		{"healers_control_policy_pushes_total", "Policy documents accepted by the control plane.", st.Pushes},
+		{"healers_control_policy_rejected_total", "Policy pushes refused (malformed, unstamped, corrupted, or stale).", st.Rejected},
+		{"healers_control_policy_served_total", "Full policy documents served to polling subscribers.", st.Served},
+		{"healers_control_policy_not_modified_total", "Policy requests answered already-current.", st.NotModified},
+		{"healers_control_escalations_total", "Rules tightened by adaptive derivation.", st.Escalations},
+	} {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
+	}
+}
+
+// writePolicyEngineMetrics renders each local policy engine's
+// hot-reload counters, labeled by the caller-chosen engine name.
+func writePolicyEngineMetrics(b *strings.Builder, engines map[string]*wrappers.PolicyEngine) {
+	names := make([]string, 0, len(engines))
+	for n := range engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.WriteString("# HELP healers_policy_revision Policy revision each engine currently runs.\n# TYPE healers_policy_revision gauge\n")
+	for _, n := range names {
+		fmt.Fprintf(b, "healers_policy_revision{engine=%q} %d\n", promLabel(n), engines[n].Revision())
+	}
+	b.WriteString("# HELP healers_policy_reloads_total Rule-set hot swaps each engine has applied.\n# TYPE healers_policy_reloads_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(b, "healers_policy_reloads_total{engine=%q} %d\n", promLabel(n), engines[n].Reloads())
+	}
+	b.WriteString("# HELP healers_policy_reload_rejected_total Reload attempts each engine refused, old rules kept.\n# TYPE healers_policy_reload_rejected_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(b, "healers_policy_reload_rejected_total{engine=%q} %d\n", promLabel(n), engines[n].RejectedReloads())
 	}
 }
 

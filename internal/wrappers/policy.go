@@ -3,6 +3,7 @@ package wrappers
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"healers/internal/cval"
@@ -14,15 +15,40 @@ import (
 // (function, failure class) to a recovery action, plus a per-function
 // circuit breaker. The engine is shared by every wrapped function of a
 // containment wrapper library and, like gen.State, may be consulted from
-// concurrent probe processes — all mutable state sits behind one mutex.
+// concurrent probe processes.
+//
+// The rule table is hot-swappable: ApplyDoc atomically replaces the
+// whole rule set (rules, breaker parameters, revision) in one pointer
+// store, so a running process picks up a new recovery policy without a
+// restart and no Decide call ever observes a half-applied table. Decide
+// is therefore lock-free; only the breaker's failure records sit behind
+// a mutex. Breaker trip state survives a reload on purpose — a new rule
+// set does not forgive a function the breaker already condemned (use
+// ResetBreakers for amnesty).
 type PolicyEngine struct {
-	mu      sync.Mutex
-	rules   []PolicyRule
-	breaker BreakerConfig
-	state   map[string]*breakerState
+	// live is the current immutable rule set; swapped wholesale on
+	// reload, never mutated in place.
+	live atomic.Pointer[ruleSet]
+
+	// mu guards the breaker failure records.
+	mu    sync.Mutex
+	state map[string]*breakerState
+
+	reloads  atomic.Uint64
+	rejected atomic.Uint64
 
 	// now is the clock, injectable for window tests.
 	now func() time.Time
+}
+
+// ruleSet is one immutable generation of the engine's configuration.
+// Reloads build a fresh ruleSet and publish it with a single atomic
+// store; readers load the pointer once per decision and work on a
+// consistent snapshot.
+type ruleSet struct {
+	rules    []PolicyRule
+	breaker  BreakerConfig
+	revision int
 }
 
 // PolicyRule is one recovery rule; the first rule matching both Func and
@@ -31,6 +57,10 @@ type PolicyRule struct {
 	Func     string
 	Class    string
 	Decision gen.ContainDecision
+	// BreakerThreshold, when > 0, overrides the engine-level breaker
+	// threshold for failures matched by this rule — the escalation
+	// ladder's last rung (a one-strike breaker for a single function).
+	BreakerThreshold int
 }
 
 // matches reports whether the rule applies to (fn, class).
@@ -68,7 +98,9 @@ type breakerState struct {
 
 // NewPolicyEngine builds an engine from a rule table and breaker
 // configuration. A zero-valued BreakerConfig gets the defaults; rules
-// may be nil (every failure is denied with its class errno).
+// may be nil (every failure is denied with its class errno). The
+// engine starts at revision 0: any stamped policy document revision
+// hot-reloads over it.
 func NewPolicyEngine(rules []PolicyRule, breaker BreakerConfig) *PolicyEngine {
 	if breaker.Threshold == 0 {
 		breaker.Threshold = DefaultBreakerThreshold
@@ -76,34 +108,46 @@ func NewPolicyEngine(rules []PolicyRule, breaker BreakerConfig) *PolicyEngine {
 	if breaker.Window <= 0 {
 		breaker.Window = DefaultBreakerWindow
 	}
-	return &PolicyEngine{
-		rules:   rules,
-		breaker: breaker,
-		state:   make(map[string]*breakerState),
-		now:     time.Now,
+	e := &PolicyEngine{
+		state: make(map[string]*breakerState),
+		now:   time.Now,
 	}
+	e.live.Store(&ruleSet{rules: rules, breaker: breaker})
+	return e
 }
 
 // DefaultPolicy is the containment wrapper's stock policy: deny every
 // failure with its class errno, default breaker.
 func DefaultPolicy() *PolicyEngine { return NewPolicyEngine(nil, BreakerConfig{}) }
 
-// Decide implements gen.ContainPolicy.
+// Decide implements gen.ContainPolicy. It is lock-free: one atomic load
+// of the current rule set, then a scan of an immutable table.
 func (e *PolicyEngine) Decide(fn string, class gen.FailureClass) gen.ContainDecision {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for i := range e.rules {
-		if e.rules[i].matches(fn, class) {
-			return e.rules[i].Decision
+	rs := e.live.Load()
+	for i := range rs.rules {
+		if rs.rules[i].matches(fn, class) {
+			return rs.rules[i].Decision
 		}
 	}
 	return gen.ContainDecision{Action: gen.ActionDeny}
 }
 
 // RecordFailure implements gen.ContainPolicy: it notes one contained
-// failure of fn and reports the trip transition.
+// failure of fn and reports the trip transition. The effective breaker
+// threshold is the first matching rule's override when it has one, else
+// the rule set's engine-level threshold.
 func (e *PolicyEngine) RecordFailure(fn string, class gen.FailureClass) bool {
-	if e.breaker.Threshold <= 0 {
+	rs := e.live.Load()
+	threshold := rs.breaker.Threshold
+	for i := range rs.rules {
+		if rs.rules[i].matches(fn, class) {
+			if rs.rules[i].BreakerThreshold > 0 {
+				threshold = rs.rules[i].BreakerThreshold
+			}
+			break
+		}
+	}
+	if threshold <= 0 {
 		return false
 	}
 	e.mu.Lock()
@@ -117,7 +161,7 @@ func (e *PolicyEngine) RecordFailure(fn string, class gen.FailureClass) bool {
 		return false
 	}
 	now := e.now()
-	cutoff := now.Add(-e.breaker.Window)
+	cutoff := now.Add(-rs.breaker.Window)
 	kept := bs.failures[:0]
 	for _, t := range bs.failures {
 		if t.After(cutoff) {
@@ -125,7 +169,7 @@ func (e *PolicyEngine) RecordFailure(fn string, class gen.FailureClass) bool {
 		}
 	}
 	bs.failures = append(kept, now)
-	if len(bs.failures) >= e.breaker.Threshold {
+	if len(bs.failures) >= threshold {
 		bs.tripped = true
 		bs.failures = nil
 		return true
@@ -149,26 +193,77 @@ func (e *PolicyEngine) ResetBreakers() {
 	e.mu.Unlock()
 }
 
-// PolicyFromDoc builds the engine a policy XML document describes.
-func PolicyFromDoc(doc *xmlrep.PolicyDoc) (*PolicyEngine, error) {
+// Revision reports the policy-document revision the engine currently
+// runs (0 until a stamped document has been loaded or applied).
+func (e *PolicyEngine) Revision() int { return e.live.Load().revision }
+
+// Reloads reports how many rule-set hot swaps ApplyDoc has performed.
+func (e *PolicyEngine) Reloads() uint64 { return e.reloads.Load() }
+
+// RejectedReloads reports how many ApplyDoc attempts were refused
+// (corrupted, malformed, unstamped, or stale documents); each left the
+// previous rules in force.
+func (e *PolicyEngine) RejectedReloads() uint64 { return e.rejected.Load() }
+
+// Breaker returns the engine-level breaker configuration of the current
+// rule set.
+func (e *PolicyEngine) Breaker() BreakerConfig { return e.live.Load().breaker }
+
+// ApplyDoc hot-swaps the engine's rule set to a stamped policy document.
+// The document must validate (see xmlrep.PolicyDoc.Validate), must carry
+// a checksum (an unstamped document cannot prove its integrity), and its
+// revision must be strictly greater than the engine's — a replayed or
+// stale revision is refused. On any rejection the previous rules stay in
+// force and RejectedReloads is bumped; on success the swap is one atomic
+// pointer store and Reloads is bumped. Concurrent Decide/RecordFailure
+// calls see either the old or the new rule set, never a mix.
+func (e *PolicyEngine) ApplyDoc(doc *xmlrep.PolicyDoc) error {
+	rs, err := compileRuleSet(doc)
+	if err != nil {
+		e.rejected.Add(1)
+		return err
+	}
+	if doc.Checksum == "" {
+		e.rejected.Add(1)
+		return fmt.Errorf("wrappers: policy reload: document is unstamped (no checksum); refusing to hot-load")
+	}
+	// Publish with a CAS loop so two concurrent ApplyDoc calls cannot
+	// both install the same revision, and a newer revision racing an
+	// older one cannot be overwritten by it.
+	for {
+		cur := e.live.Load()
+		if doc.Revision <= cur.revision {
+			e.rejected.Add(1)
+			return fmt.Errorf("wrappers: policy reload: stale revision %d (running %d)", doc.Revision, cur.revision)
+		}
+		if e.live.CompareAndSwap(cur, rs) {
+			e.reloads.Add(1)
+			return nil
+		}
+	}
+}
+
+// ApplyXML unmarshals a policy document and hot-swaps it in (see
+// ApplyDoc for the acceptance rules).
+func (e *PolicyEngine) ApplyXML(data []byte) error {
+	doc, err := xmlrep.Unmarshal[xmlrep.PolicyDoc](data)
+	if err != nil {
+		e.rejected.Add(1)
+		return fmt.Errorf("wrappers: policy reload: %w", err)
+	}
+	return e.ApplyDoc(doc)
+}
+
+// compileRuleSet validates a policy document and compiles it into an
+// immutable ruleSet — the shared back end of PolicyFromDoc (initial
+// load) and ApplyDoc (hot reload).
+func compileRuleSet(doc *xmlrep.PolicyDoc) (*ruleSet, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, fmt.Errorf("wrappers: policy: %w", err)
+	}
 	rules := make([]PolicyRule, 0, len(doc.Rules))
-	for i, rx := range doc.Rules {
-		action, ok := gen.ContainActionByName(rx.Action)
-		if !ok {
-			return nil, fmt.Errorf("wrappers: policy rule %d: unknown action %q", i, rx.Action)
-		}
-		if rx.Class != "" && rx.Class != "*" {
-			known := false
-			for c := gen.ClassCrash; c <= gen.ClassOOM; c++ {
-				if c.String() == rx.Class {
-					known = true
-					break
-				}
-			}
-			if !known {
-				return nil, fmt.Errorf("wrappers: policy rule %d: unknown failure class %q", i, rx.Class)
-			}
-		}
+	for _, rx := range doc.Rules {
+		action, _ := gen.ContainActionByName(rx.Action) // Validate vetted the name
 		d := gen.ContainDecision{
 			Action:  action,
 			Retries: rx.Retries,
@@ -181,10 +276,39 @@ func PolicyFromDoc(doc *xmlrep.PolicyDoc) (*PolicyEngine, error) {
 			v := cval.Int(rx.Value)
 			d.Substitute = &v
 		}
-		rules = append(rules, PolicyRule{Func: rx.Func, Class: rx.Class, Decision: d})
+		rules = append(rules, PolicyRule{
+			Func:             rx.Func,
+			Class:            rx.Class,
+			Decision:         d,
+			BreakerThreshold: rx.BreakerThreshold,
+		})
 	}
-	return NewPolicyEngine(rules, BreakerConfig{
+	breaker := BreakerConfig{
 		Threshold: doc.BreakerThreshold,
 		Window:    time.Duration(doc.BreakerWindowMS) * time.Millisecond,
-	}), nil
+	}
+	if breaker.Threshold == 0 {
+		breaker.Threshold = DefaultBreakerThreshold
+	}
+	if breaker.Window <= 0 {
+		breaker.Window = DefaultBreakerWindow
+	}
+	return &ruleSet{rules: rules, breaker: breaker, revision: doc.Revision}, nil
+}
+
+// PolicyFromDoc builds the engine a policy XML document describes. Unlike
+// ApplyDoc it accepts unstamped (revision 0, no checksum) documents —
+// the initial load of a local file needs no replay protection — but a
+// present checksum must still match.
+func PolicyFromDoc(doc *xmlrep.PolicyDoc) (*PolicyEngine, error) {
+	rs, err := compileRuleSet(doc)
+	if err != nil {
+		return nil, err
+	}
+	e := &PolicyEngine{
+		state: make(map[string]*breakerState),
+		now:   time.Now,
+	}
+	e.live.Store(rs)
+	return e, nil
 }

@@ -40,6 +40,13 @@ const (
 	KindProfile       DocKind = "profile"
 	KindCampaignCache DocKind = "campaign-cache"
 	KindPolicy        DocKind = "policy"
+	// Control-plane kinds: a containment process asks the collector for a
+	// newer recovery policy (KindPolicyRequest) and the collector answers
+	// with either a full policy document or a not-modified/refusal ack
+	// (KindPolicyAck). Operator pushes of new policy revisions reuse
+	// KindPolicy and are answered with a KindPolicyAck.
+	KindPolicyRequest DocKind = "policy-request"
+	KindPolicyAck     DocKind = "policy-ack"
 	// Distributed-campaign kinds: the coordinator/worker exchange of a
 	// sharded fault-injection sweep rides the collect framing as
 	// ordinary self-describing documents.
@@ -373,21 +380,36 @@ type PolicyRuleXML struct {
 	BackoffMS int `xml:"backoff_ms,attr,omitempty"`
 	// Value is the substitute action's return value.
 	Value int64 `xml:"value,attr,omitempty"`
+	// BreakerThreshold, when > 0, overrides the document-level breaker
+	// threshold for calls matched by this rule — the escalation ladder's
+	// last rung tightens a single function to a one-strike breaker
+	// without condemning the rest of the library.
+	BreakerThreshold int `xml:"breaker_threshold,attr,omitempty"`
 }
 
 // PolicyDoc configures the containment wrapper's recovery policy engine:
 // the rule table plus the circuit-breaker parameters (a function whose
 // contained failures reach BreakerThreshold within BreakerWindowMS flips
 // to always-deny).
+//
+// Revision and Checksum make the document a control-plane artifact: a
+// running engine only hot-reloads a document whose Revision is strictly
+// greater than the one it runs, and whose Checksum matches
+// ComputeChecksum() — a truncated, tampered, or hand-edited-but-unstamped
+// document is rejected and the old rules stay in force. Revision 0 marks
+// an unstamped document (initial-load only, never hot-reloadable).
 type PolicyDoc struct {
 	XMLName          xml.Name        `xml:"healers-policy"`
 	Generated        string          `xml:"generated,attr,omitempty"`
+	Revision         int             `xml:"revision,attr,omitempty"`
+	Checksum         string          `xml:"checksum,attr,omitempty"`
 	BreakerThreshold int             `xml:"breaker_threshold,attr,omitempty"`
 	BreakerWindowMS  int             `xml:"breaker_window_ms,attr,omitempty"`
 	Rules            []PolicyRuleXML `xml:"rule"`
 }
 
-// NewPolicyDoc stamps a policy document for serialization.
+// NewPolicyDoc stamps a policy document for serialization. The result is
+// unversioned (Revision 0); call Stamp to make it hot-reloadable.
 func NewPolicyDoc(threshold, windowMS int, rules []PolicyRuleXML) *PolicyDoc {
 	return &PolicyDoc{
 		Generated:        timestamp(),
@@ -397,9 +419,102 @@ func NewPolicyDoc(threshold, windowMS int, rules []PolicyRuleXML) *PolicyDoc {
 	}
 }
 
+// ComputeChecksum returns the integrity hash of the document's semantic
+// content: revision, breaker parameters, and every rule field in document
+// order. Generated and the stored Checksum itself are excluded, so the
+// value is reproducible from a parsed document.
+func (d *PolicyDoc) ComputeChecksum() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "rev=%d threshold=%d window=%d\n", d.Revision, d.BreakerThreshold, d.BreakerWindowMS)
+	for _, r := range d.Rules {
+		fmt.Fprintf(h, " rule func=%s class=%s action=%s retries=%d backoff=%d value=%d breaker=%d\n",
+			r.Func, r.Class, r.Action, r.Retries, r.BackoffMS, r.Value, r.BreakerThreshold)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stamp versions the document for hot-reload: it sets Revision and
+// recomputes Checksum over the final content. Call it last, after every
+// rule edit.
+func (d *PolicyDoc) Stamp(revision int) {
+	d.Revision = revision
+	d.Checksum = d.ComputeChecksum()
+}
+
+// Validate checks the document's structural integrity: every rule's
+// action and failure-class name must be known, retry/breaker parameters
+// non-negative, and — when the document is stamped — the checksum must
+// match its content. It does not enforce a revision floor; staleness is
+// the reloading engine's call, because only the engine knows what it
+// currently runs.
+func (d *PolicyDoc) Validate() error {
+	if d.Revision < 0 {
+		return fmt.Errorf("xmlrep: policy: negative revision %d", d.Revision)
+	}
+	if d.Checksum != "" {
+		if want := d.ComputeChecksum(); d.Checksum != want {
+			return fmt.Errorf("xmlrep: policy: checksum mismatch (document corrupted or edited without restamping)")
+		}
+	}
+	for i, r := range d.Rules {
+		if _, ok := gen.ContainActionByName(r.Action); !ok {
+			return fmt.Errorf("xmlrep: policy rule %d: unknown action %q", i, r.Action)
+		}
+		if r.Class != "" && r.Class != "*" {
+			known := false
+			for c := gen.FailureClass(0); int(c) < gen.NumFailureClasses; c++ {
+				if c.String() == r.Class {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return fmt.Errorf("xmlrep: policy rule %d: unknown failure class %q", i, r.Class)
+			}
+		}
+		if r.Retries < 0 || r.BackoffMS < 0 || r.BreakerThreshold < 0 {
+			return fmt.Errorf("xmlrep: policy rule %d: negative retry/backoff/breaker parameter", i)
+		}
+	}
+	return nil
+}
+
+// PolicyRequest asks a control plane for the current recovery policy.
+// HaveRevision is the requester's running revision; a control plane whose
+// policy is not newer answers with a PolicyAck instead of re-sending the
+// document, so idle polls stay one small frame each way.
+type PolicyRequest struct {
+	XMLName      xml.Name `xml:"healers-policy-request"`
+	Client       string   `xml:"client,attr,omitempty"`
+	HaveRevision int      `xml:"have_revision,attr,omitempty"`
+}
+
+// PolicyAck is the control plane's answer to a policy push or an
+// already-current policy request. OK false carries the Reason the push
+// was rejected (stale revision, checksum mismatch, malformed rules);
+// Revision reports the control plane's current policy revision either
+// way.
+type PolicyAck struct {
+	XMLName  xml.Name `xml:"healers-policy-ack"`
+	OK       bool     `xml:"ok,attr"`
+	Reason   string   `xml:"reason,attr,omitempty"`
+	Revision int      `xml:"revision,attr,omitempty"`
+}
+
 // ErrnoCount is one errno histogram bucket.
 type ErrnoCount struct {
 	Errno string `xml:"errno,attr"`
+	Count uint64 `xml:"count,attr"`
+}
+
+// ClassCount is one failure-class containment bucket of a function
+// profile: Count faults of class Class (crash, hang, abort, oom) were
+// caught and virtualized for the function. Only non-zero classes are
+// serialized, so pre-containment documents and readers are unaffected —
+// the per-class split is what lets the collector escalate recovery
+// policy per (function, failure class) instead of per function.
+type ClassCount struct {
+	Class string `xml:"class,attr"`
 	Count uint64 `xml:"count,attr"`
 }
 
@@ -450,11 +565,15 @@ type FuncProfile struct {
 	Substituted uint64 `xml:"substituted,attr,omitempty"`
 	// Containment counters (omitempty like the observability fields, so
 	// pre-containment readers and the compat golden stay unaffected).
-	Contained    uint64       `xml:"contained,attr,omitempty"`
-	Retried      uint64       `xml:"retried,attr,omitempty"`
-	BreakerTrips uint64       `xml:"breaker_trips,attr,omitempty"`
-	Errnos       []ErrnoCount `xml:"error"`
-	Latency      *LatencyXML  `xml:"latency"`
+	Contained    uint64 `xml:"contained,attr,omitempty"`
+	Retried      uint64 `xml:"retried,attr,omitempty"`
+	BreakerTrips uint64 `xml:"breaker_trips,attr,omitempty"`
+	// ContainedBy splits Contained per failure class (empty when the
+	// function never contained a fault, so old documents stay
+	// byte-identical).
+	ContainedBy []ClassCount `xml:"contained-class"`
+	Errnos      []ErrnoCount `xml:"error"`
+	Latency     *LatencyXML  `xml:"latency"`
 }
 
 // LatencyDense expands the sparse serialized latency buckets into a dense
@@ -522,6 +641,14 @@ func NewProfileLog(host, app string, st *gen.State) *ProfileLog {
 			Contained:    st.ContainedCount[i],
 			Retried:      st.RetriedCount[i],
 			BreakerTrips: st.BreakerTrips[i],
+		}
+		for c, cnt := range st.ContainedByClass[i] {
+			if cnt > 0 {
+				fp.ContainedBy = append(fp.ContainedBy, ClassCount{
+					Class: gen.FailureClass(c).String(),
+					Count: cnt,
+				})
+			}
 		}
 		for e, cnt := range st.FuncErrno[i] {
 			if cnt > 0 {
@@ -604,6 +731,10 @@ func Kind(data []byte) (DocKind, error) {
 				return KindCampaignCache, nil
 			case "healers-policy":
 				return KindPolicy, nil
+			case "healers-policy-request":
+				return KindPolicyRequest, nil
+			case "healers-policy-ack":
+				return KindPolicyAck, nil
 			case "healers-work-request":
 				return KindWorkRequest, nil
 			case "healers-work-lease":

@@ -1,8 +1,11 @@
 #!/bin/sh
-# Flag-vs-docs drift check: every command-line flag named in README.md or
-# CHANGES.md must have a matching flag definition (flag.String/Bool/Int/
-# IntVar/... ) in some cmd/* front end. Documentation that names a flag
-# which no binary defines fails `make docs` (and thus `make check`).
+# Flag-vs-docs drift check, both directions:
+#  - forward: every command-line flag named in README.md or CHANGES.md
+#    must have a matching flag definition (flag.String/Bool/Int/IntVar/
+#    ...) in some cmd/* front end;
+#  - reverse: every flag a front end defines must be named somewhere in
+#    README.md, so a new flag cannot ship undocumented.
+# Drift in either direction fails `make docs` (and thus `make check`).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -37,9 +40,25 @@ for f in $documented; do
     fi
 done
 
+# Reverse direction: the README (the user-facing reference, unlike the
+# append-only CHANGES.md) must name every defined flag.
+readme_documented=$(
+    {
+        grep -hoE '`-[a-z][a-z0-9-]*`' README.md | tr -d '`'
+        grep -hE 'healers-' README.md |
+            grep -hoE '[ /]-[a-z][a-z0-9-]*' | sed 's|^[ /]-||; s|^|-|'
+    } | sed 's/^-//' | sort -u
+)
+for f in $defined; do
+    if ! printf '%s\n' "$readme_documented" | grep -qx "$f"; then
+        echo "check-docs: defined flag -$f is not documented in README.md" >&2
+        status=1
+    fi
+done
+
 if [ "$status" -ne 0 ]; then
-    echo "check-docs: FAILED (docs name flags no binary defines)" >&2
+    echo "check-docs: FAILED (flag/docs drift)" >&2
 else
-    echo "check-docs: ok ($(printf '%s\n' "$documented" | wc -l | tr -d ' ') documented flags verified)"
+    echo "check-docs: ok ($(printf '%s\n' "$documented" | wc -l | tr -d ' ') documented flags verified, $(printf '%s\n' "$defined" | wc -l | tr -d ' ') defined flags covered)"
 fi
 exit $status

@@ -9,9 +9,11 @@ go build ./...
 go vet ./...
 go test -race ./...
 
-# Documentation hygiene: documented flags must exist in cmd/*, and the
-# whole repo must be gofmt-clean.
+# Documentation hygiene: flags and README must agree in both
+# directions, the embedding API's exported surface must be godoc'd, and
+# the whole repo must be gofmt-clean.
 sh scripts/check-docs.sh
+sh scripts/check-godoc.sh
 fmt=$(gofmt -l .)
 if [ -n "$fmt" ]; then
     echo "gofmt needed:" >&2
