@@ -1,8 +1,8 @@
-.PHONY: check build test bench docs verify-api ci
+.PHONY: check build test bench docs verify-api ci ci-check ci-race ci-bench-smoke ci-docs
 
 # Tier-1 gate: build + vet + full test suite under the race detector
-# (scripts/check.sh also runs the docs checks and the robustness gate
-# below).
+# (scripts/check.sh also runs the docs checks, the robustness gate
+# below, and the loopback smokes).
 check:
 	sh scripts/check.sh
 
@@ -12,11 +12,34 @@ check:
 verify-api:
 	sh scripts/verify-api.sh
 
-# Exactly what .github/workflows/ci.yml runs — reproduce CI locally with
-# `make ci`: the tier-1 gate plus a one-iteration smoke of every
-# benchmark.
-ci: check
+# The CI matrix (.github/workflows/ci.yml) runs one ci-* target per job;
+# `make ci` chains all four so CI is reproducible locally in one command.
+ci: ci-check ci-race ci-bench-smoke ci-docs
+
+# Build + vet + tests, the robustness gate, and both end-to-end smokes
+# (distributed sweep and shared-registry warm sweep).
+ci-check:
+	go build ./...
+	go vet ./...
+	go test ./...
+	sh scripts/verify-api.sh
+	sh scripts/smoke-distributed.sh
+	sh scripts/smoke-registry.sh
+
+# Full suite under the race detector; bounded so a deadlocked test fails
+# the job instead of hanging it.
+ci-race:
+	go test -race -timeout 10m ./...
+
+# One iteration of every benchmark proves the measured paths still run.
+ci-bench-smoke:
 	go test -run '^$$' -bench . -benchtime=1x .
+
+# Documentation hygiene as its own job: flag/README agreement, godoc
+# coverage, comment placement (vet), and repo-wide gofmt.
+ci-docs: docs
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 
 # Documentation hygiene: flags and README.md must agree in both
 # directions, the embedding API's exported surface must be godoc'd

@@ -21,6 +21,14 @@
 //	healers-collectd -metrics 127.0.0.1:9099         # Prometheus /metrics endpoint
 //	healers-collectd -policy recovery.xml -derive    # closed-loop adaptive hardening
 //	healers-collectd -push-policy recovery.xml -addr HOST:7099   # operator push
+//	healers-collectd -registry DIR                   # shared campaign-cache registry
+//
+// With -registry the collector also serves a content-addressed campaign
+// cache on the same port: `healers-inject -registry HOST:PORT` runners
+// fetch per-function results other runners already derived and push
+// fresh ones back. The store is bounded by -registry-max-docs and
+// -registry-max-bytes (oldest entries evicted first) and persists in
+// DIR across restarts.
 package main
 
 import (
@@ -55,6 +63,9 @@ func main() {
 	deriveEvery := flag.Duration("derive-every", 2*time.Second, "how often the -derive pass re-evaluates the fleet aggregate")
 	reprobeLib := flag.String("reprobe", "", "with -derive: re-probe escalated functions of this library via the campaign cache")
 	cachePath := flag.String("cache", "", "campaign cache file for -reprobe")
+	registryDir := flag.String("registry", "", "serve a shared campaign-cache registry persisted in this directory (empty = disabled)")
+	registryMaxDocs := flag.Int("registry-max-docs", collect.DefaultMaxDocs, "registry budget: entries kept before oldest are evicted (0 = unbounded)")
+	registryMaxBytes := flag.Int64("registry-max-bytes", collect.DefaultMaxBytes, "registry budget: stored XML bytes kept before oldest are evicted (0 = unbounded)")
 	flag.Parse()
 
 	if *pushPolicy != "" {
@@ -71,6 +82,7 @@ func main() {
 		derive: *derive, deriveEvery: *deriveEvery,
 		escalation: core.EscalationConfig{FaultRate: *deriveRate, MinCalls: *deriveMinCalls},
 		reprobeLib: *reprobeLib, cachePath: *cachePath,
+		registryDir: *registryDir, registryMaxDocs: *registryMaxDocs, registryMaxBytes: *registryMaxBytes,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "healers-collectd:", err)
@@ -115,6 +127,10 @@ type serveConfig struct {
 	escalation  core.EscalationConfig
 	reprobeLib  string
 	cachePath   string
+
+	registryDir      string
+	registryMaxDocs  int
+	registryMaxBytes int64
 }
 
 func run(cfg serveConfig) error {
@@ -137,16 +153,40 @@ func run(cfg serveConfig) error {
 		fmt.Printf("serving policy revision %d from %s\n", doc.Revision, cfg.policyFile)
 	}
 
-	srv, err := collect.Serve(cfg.addr,
+	// The campaign-cache registry chains onto the same port as ingest and
+	// the control plane: its handler answers registry frames, the control
+	// plane answers policy frames, and everything else falls through to
+	// the document store.
+	var reg *collect.Registry
+	if cfg.registryDir != "" {
+		r, err := collect.NewRegistry(cfg.registryDir,
+			collect.WithRegistryMaxDocs(cfg.registryMaxDocs),
+			collect.WithRegistryMaxBytes(cfg.registryMaxBytes))
+		if err != nil {
+			return err
+		}
+		reg = r
+	}
+
+	sopts := []collect.Option{
 		collect.WithMaxDocs(cfg.capDocs),
 		collect.WithMaxBytes(cfg.capBytes),
 		collect.WithMaxConns(cfg.maxConns),
-		collect.WithHandler(cp.Handler()))
+		collect.WithHandler(cp.Handler()),
+	}
+	if reg != nil {
+		sopts = append(sopts, collect.WithHandler(reg.Handler()))
+	}
+	srv, err := collect.Serve(cfg.addr, sopts...)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	fmt.Printf("healers-collectd listening on %s\n", srv.Addr())
+	if reg != nil {
+		st := reg.Stats()
+		fmt.Printf("campaign-cache registry in %s (%d entries, %d bytes)\n", cfg.registryDir, st.Entries, st.Bytes)
+	}
 
 	if cfg.metricsAddr != "" {
 		ln, err := net.Listen("tcp", cfg.metricsAddr)
@@ -154,7 +194,7 @@ func run(cfg serveConfig) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", webui.MetricsHandlerFor(webui.MetricsSources{Collector: srv, Control: cp}))
+		mux.Handle("/metrics", webui.MetricsHandlerFor(webui.MetricsSources{Collector: srv, Control: cp, Registry: reg}))
 		hsrv := &http.Server{Handler: mux}
 		defer hsrv.Close()
 		go func() {
@@ -186,7 +226,7 @@ func run(cfg serveConfig) error {
 		select {
 		case <-interrupted:
 			fmt.Println("\ninterrupted")
-			return summarize(srv, cfg.showStats)
+			return summarize(srv, reg, cfg.showStats)
 		case <-deriveTick.C:
 			if deriver != nil {
 				deriver.step(srv)
@@ -202,7 +242,7 @@ func run(cfg serveConfig) error {
 					// from everything it received.
 					deriver.step(srv)
 				}
-				return summarize(srv, cfg.showStats)
+				return summarize(srv, reg, cfg.showStats)
 			}
 		}
 	}
@@ -328,7 +368,7 @@ func report(srv *collect.Server, cursor uint64) uint64 {
 	return next
 }
 
-func summarize(srv *collect.Server, showStats bool) error {
+func summarize(srv *collect.Server, reg *collect.Registry, showStats bool) error {
 	agg, err := srv.AggregateCalls()
 	if err != nil {
 		return err
@@ -353,6 +393,14 @@ func summarize(srv *collect.Server, showStats bool) error {
 		for kind, n := range srv.KindCounts() {
 			fmt.Printf("  kind %-12s %d\n", kind, n)
 		}
+	}
+	if reg != nil {
+		st := reg.Stats()
+		fmt.Println("\ncampaign-cache registry:")
+		fmt.Printf("  entries          %d (%d bytes)\n", st.Entries, st.Bytes)
+		fmt.Printf("  gets             %d hit(s), %d miss(es)\n", st.Hits, st.Misses)
+		fmt.Printf("  puts             %d stored, %d already known, %d frame(s) rejected\n", st.Puts, st.Known, st.Rejected)
+		fmt.Printf("  evicted          %d, corrupt files discarded %d\n", st.Evicted, st.Corrupt)
 	}
 	return nil
 }

@@ -15,12 +15,21 @@
 //	healers-inject -verify-baseline F   # CI gate: diff against baseline F
 //	healers-inject -coordinator H:P     # serve the sweep to worker processes
 //	healers-inject -worker H:P          # process shard leases from a coordinator
+//	healers-inject -registry H:P        # share the campaign cache fleet-wide
 //
 // Distributed campaigns: `-coordinator host:port` plans the sweep, shards
 // it into `-shards` work units, and leases shards to every `-worker`
 // process that connects; the merged report (and `-xml` output) is
 // byte-identical to a single-process run. Workers exit on their own once
 // the coordinator reports the sweep complete.
+//
+// Shared cache registry: `-registry host:port` points at a
+// `healers-collectd -registry DIR` instance. Before probing, the sweep
+// batch-fetches every locally missing function from the registry and
+// probes only genuine misses; fresh derivations are pushed back so the
+// next runner anywhere inherits them. An unreachable registry degrades
+// the run to local-only operation with a counted warning — it never
+// fails the sweep.
 //
 // Exit status: 0 on success, 1 on a campaign or I/O error, 2 on a usage
 // error, 3 when -verify-baseline found a robustness regression.
@@ -62,6 +71,7 @@ func main() {
 	flag.StringVar(&o.writeBaseline, "write-baseline", "", "write the derivation as a robustness baseline file and exit")
 	flag.StringVar(&o.coordinator, "coordinator", "", "serve a distributed campaign to workers on this host:port")
 	flag.StringVar(&o.worker, "worker", "", "join the distributed-campaign coordinator at this host:port")
+	flag.StringVar(&o.registry, "registry", "", "shared campaign-cache registry at this host:port: fetch known results before probing, push fresh ones back")
 	flag.IntVar(&o.shards, "shards", 0, "work units a -coordinator sweep is sharded into (0 = default)")
 	flag.StringVar(&o.metricsAddr, "metrics", "", "with -coordinator: serve Prometheus /metrics on this host:port")
 	flag.Parse()
@@ -107,16 +117,20 @@ type options struct {
 	writeBaseline  string
 	coordinator    string
 	worker         string
+	registry       string
 	shards         int
 	metricsAddr    string
 }
 
 // campaignOpts translates the flags into campaign options. Collected
 // stats land in *sink (one entry per library sweep — two for -verify).
-func (o options) campaignOpts(sink *[]*inject.CampaignStats, cache *inject.Cache) []inject.CampaignOption {
+func (o options) campaignOpts(sink *[]*inject.CampaignStats, cache *inject.Cache, rc *inject.RegistryCache) []inject.CampaignOption {
 	opts := []inject.CampaignOption{inject.WithWorkers(o.jobs)}
 	if cache != nil {
 		opts = append(opts, inject.WithCache(cache))
+	}
+	if rc != nil {
+		opts = append(opts, inject.WithRegistry(rc))
 	}
 	if o.progress {
 		opts = append(opts, inject.WithProgress(func(p inject.Progress) {
@@ -188,17 +202,32 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	copts := o.campaignOpts(&stats, cache)
+	var rc *inject.RegistryCache
+	if o.registry != "" {
+		rc = inject.NewRegistryCache(o.registry)
+	}
+	copts := o.campaignOpts(&stats, cache, rc)
 	defer func() { printStats(stats) }()
 
 	var runErr error
 	switch {
 	case o.worker != "":
-		runErr = runWorker(o, tk, cache)
+		runErr = runWorker(o, tk, cache, rc)
 	case o.coordinator != "":
 		runErr = runCoordinator(o, tk, copts)
 	default:
 		runErr = dispatch(o, tk, copts)
+	}
+
+	// Drain queued registry pushes before exiting, then report what the
+	// shared cache contributed. The registry is an accelerator, never a
+	// dependency, so even a failing Close stays a warning. The smoke
+	// scripts parse the summary line.
+	if rc != nil {
+		if cerr := rc.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "healers-inject: registry close:", cerr)
+		}
+		registrySummary(o.registry, rc.Stats())
 	}
 
 	// Persist what the campaign learned, even after a regression — the
@@ -216,6 +245,18 @@ func run(o options) error {
 		}
 	}
 	return runErr
+}
+
+// registrySummary reports the shared-cache layer's contribution on
+// stderr; scripts/smoke-registry.sh greps it to assert a warm run was
+// served entirely from the registry.
+func registrySummary(addr string, st inject.RegistryCacheStats) {
+	fmt.Fprintf(os.Stderr, "healers-inject: registry %s: %d hit(s), %d miss(es), %d corrupt, %d pushed, %d dropped\n",
+		addr, st.RemoteHits, st.RemoteMisses, st.Corrupt, st.PutFuncs, st.PutDropped)
+	if st.Degraded {
+		fmt.Fprintf(os.Stderr, "healers-inject: WARNING: registry %s unreachable (%d transport error(s)); sweep degraded to local-only cache\n",
+			addr, st.Errors)
+	}
 }
 
 // runCoordinator serves the sweep to worker processes, waits for the
@@ -264,10 +305,13 @@ func runCoordinator(o options, tk *healers.Toolkit, copts []inject.CampaignOptio
 // sweep completes. The active cache (-cache / -checkpoint) doubles as
 // the worker's local cache; results it holds are reported without
 // re-probing.
-func runWorker(o options, tk *healers.Toolkit, cache *inject.Cache) error {
+func runWorker(o options, tk *healers.Toolkit, cache *inject.Cache, rc *inject.RegistryCache) error {
 	var wopts []inject.WorkerOption
 	if cache != nil {
 		wopts = append(wopts, inject.WithWorkerCache(cache))
+	}
+	if rc != nil {
+		wopts = append(wopts, inject.WithWorkerRegistry(rc))
 	}
 	sum, err := tk.RunInjectWorker(o.worker, wopts...)
 	if err != nil {

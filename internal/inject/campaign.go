@@ -204,6 +204,10 @@ type Campaign struct {
 	// outcome still matches the content hash of (prototype, probe
 	// hierarchy, config), and records fresh outcomes for the next run.
 	cache *Cache
+	// registry, when set, layers a shared campaign-cache registry over
+	// the local cache: locally missing entries are batch-fetched before
+	// probing and fresh ones pushed back (see WithRegistry).
+	registry *RegistryCache
 }
 
 // CampaignOption configures a campaign.
@@ -273,6 +277,11 @@ func New(sys *simelf.System, soname string, opts ...CampaignOption) (*Campaign, 
 	c := &Campaign{sys: sys, target: soname, hostname: probeHostName + ":" + soname, workers: 1}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.registry != nil && c.cache == nil {
+		// Registry hits need a local cache to land in; an in-memory one
+		// suffices when the caller did not attach a file-backed cache.
+		c.cache, _ = OpenCache("")
 	}
 	if _, ok := sys.Executable(c.hostname); !ok {
 		host := &simelf.Executable{
@@ -500,6 +509,7 @@ func (c *Campaign) RunFunction(name string) (*FuncReport, error) {
 	if c.cache != nil {
 		config = c.configHash()
 		key = funcKey(proto, config)
+		c.warmFromRegistry([]funcPlan{{name: name, proto: proto}})
 		if fr := c.cache.lookup(key, config); fr != nil {
 			fr.Proto = proto
 			return fr, nil
@@ -516,7 +526,7 @@ func (c *Campaign) RunFunction(name string) (*FuncReport, error) {
 	}
 	fr := buildReport(name, proto, results)
 	if c.cache != nil {
-		if err := c.cache.put(name, config, key, fr); err != nil {
+		if err := c.cachePut(name, config, key, fr); err != nil {
 			return nil, err
 		}
 	}
@@ -582,6 +592,7 @@ func (c *Campaign) cacheLookup(fp *funcPlan, config string) (fr *FuncReport, key
 // process at a time, in canonical order.
 func (c *Campaign) runLibrarySequential() (*LibReport, *CampaignStats, error) {
 	plan := c.planLibrary()
+	c.warmFromRegistry(plan.funcs)
 	lr := &LibReport{Library: c.target}
 	stats := newCampaignStats(1, len(plan.funcs))
 	config := c.configHash()
@@ -606,7 +617,7 @@ func (c *Campaign) runLibrarySequential() (*LibReport, *CampaignStats, error) {
 			stats.WorkerBusy[0] += wall
 			executed += fr.Probes
 			if c.cache != nil {
-				if err := c.cache.put(fp.name, config, key, fr); err != nil {
+				if err := c.cachePut(fp.name, config, key, fr); err != nil {
 					return nil, nil, err
 				}
 			}

@@ -157,6 +157,10 @@ func NewCoordinator(c *Campaign, nshards int, opts ...CoordOption) *Coordinator 
 	}
 
 	// Resolve coordinator-cache hits up front; only misses are sharded.
+	// The registry warm-up runs first, so a fleet-shared entry counts as
+	// a cache hit here and distributed sweeps lease only genuine global
+	// misses.
+	c.warmFromRegistry(plan.funcs)
 	var misses []int
 	for fi := range plan.funcs {
 		fp := &plan.funcs[fi]
@@ -444,14 +448,16 @@ func (co *Coordinator) handleResult(data []byte) []byte {
 		if res.CachedLocal {
 			ws.Cached++
 		}
-		if co.camp.cache != nil {
+		if co.camp.cache != nil || co.camp.registry != nil {
 			// Fold the worker's entry into the coordinator's campaign
 			// cache — put (not a blind insert) so checkpoint auto-flush
 			// and stale-key replacement apply; the fleet's persistent
 			// cache then warms monotonically through the normal
-			// MergeFrom save path.
+			// MergeFrom save path — and queue it for the shared registry,
+			// which is how a distributed sweep's fresh derivations reach
+			// the rest of the fleet.
 			stored := *fr
-			if err := co.camp.cache.put(fx.Name, co.config, fx.Key, &stored); err != nil {
+			if err := co.camp.cachePut(fx.Name, co.config, fx.Key, &stored); err != nil {
 				co.remaining++
 				co.doneFuncs--
 				co.reports[fi] = nil

@@ -109,6 +109,7 @@ func (c *Campaign) runLibraryParallel(workers int) (*LibReport, *CampaignStats, 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	plan := c.planLibrary()
+	c.warmFromRegistry(plan.funcs)
 	stats := newCampaignStats(workers, len(plan.funcs))
 	config := c.configHash()
 	start := time.Now()
@@ -218,7 +219,7 @@ func (c *Campaign) runLibraryParallel(workers int) (*LibReport, *CampaignStats, 
 					// the sole cache-put for this function.
 					built[t.fn] = buildReport(fp.name, fp.proto, results[t.fn])
 					if c.cache != nil {
-						if err := c.cache.put(fp.name, config, keys[t.fn], built[t.fn]); err != nil {
+						if err := c.cachePut(fp.name, config, keys[t.fn], built[t.fn]); err != nil {
 							errs[idx] = err
 							abort()
 							continue

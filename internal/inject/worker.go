@@ -43,6 +43,15 @@ func WithWorkerCache(cache *Cache) WorkerOption {
 	return func(w *worker) { w.cache = cache }
 }
 
+// WithWorkerRegistry layers a shared campaign-cache registry over the
+// worker's local cache: each lease's functions are batch-fetched from
+// the registry before probing (hits are reported to the coordinator
+// without re-probing) and fresh derivations are pushed back. A nil
+// client is ignored.
+func WithWorkerRegistry(rc *RegistryCache) WorkerOption {
+	return func(w *worker) { w.registry = rc }
+}
+
 // WithWorkerHeartbeat sets the mid-function heartbeat interval.
 func WithWorkerHeartbeat(d time.Duration) WorkerOption {
 	return func(w *worker) { w.heartbeat = d }
@@ -59,6 +68,7 @@ type worker struct {
 	sys       *simelf.System
 	cl        *collect.Client
 	cache     *Cache
+	registry  *RegistryCache
 	heartbeat time.Duration
 
 	// camp is rebuilt when a lease's campaign parameters change.
@@ -156,6 +166,9 @@ func (w *worker) campaignFor(lease *xmlrep.WorkLease) (*Campaign, error) {
 		if w.cache != nil {
 			opts = append(opts, WithCache(w.cache))
 		}
+		if w.registry != nil {
+			opts = append(opts, WithRegistry(w.registry))
+		}
 		camp, err := New(w.sys, lease.Library, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("inject: worker %s: building campaign: %w", w.id, err)
@@ -189,6 +202,16 @@ func (w *worker) runLease(lease *xmlrep.WorkLease) error {
 		return err
 	}
 	lib, _ := w.sys.Library(lease.Library)
+	// Warm the whole lease from the shared registry in one batch before
+	// probing anything: functions another runner already derived are
+	// answered from the fetched entries and reported as cache hits.
+	var fps []funcPlan
+	for _, name := range lease.Funcs {
+		if proto := lib.Proto(name); proto != nil {
+			fps = append(fps, funcPlan{name: name, proto: proto})
+		}
+	}
+	camp.warmFromRegistry(fps)
 	for done, name := range lease.Funcs {
 		proto := lib.Proto(name)
 		if proto == nil {
@@ -255,10 +278,8 @@ func (w *worker) sweepFunc(camp *Campaign, lease *xmlrep.WorkLease, name string,
 	fr := buildReport(name, proto, results)
 	wall := time.Since(start)
 	w.sum.Probes += fr.Probes
-	if w.cache != nil {
-		if err := w.cache.put(name, lease.Config, key, fr); err != nil {
-			return xmlrep.WorkFuncXML{}, false, err
-		}
+	if err := camp.cachePut(name, lease.Config, key, fr); err != nil {
+		return xmlrep.WorkFuncXML{}, false, err
 	}
 	entry := xmlrep.WorkFuncXML{
 		CacheFuncXML: reportToXML(name, key, lease.Config, fr),

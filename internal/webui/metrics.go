@@ -69,6 +69,7 @@ type MetricsSources struct {
 	Collector *collect.Server
 	Campaign  *CampaignMetrics
 	Control   *collect.ControlPlane
+	Registry  *collect.Registry
 	Engines   map[string]*wrappers.PolicyEngine
 }
 
@@ -88,6 +89,9 @@ func MetricsHandlerFor(src MetricsSources) http.Handler {
 		}
 		if src.Control != nil {
 			writeControlMetrics(&b, src.Control)
+		}
+		if src.Registry != nil {
+			writeRegistryMetrics(&b, src.Registry)
 		}
 		if len(src.Engines) > 0 {
 			writePolicyEngineMetrics(&b, src.Engines)
@@ -289,6 +293,28 @@ func writeControlMetrics(b *strings.Builder, cp *collect.ControlPlane) {
 		{"healers_control_policy_served_total", "Full policy documents served to polling subscribers.", st.Served},
 		{"healers_control_policy_not_modified_total", "Policy requests answered already-current.", st.NotModified},
 		{"healers_control_escalations_total", "Rules tightened by adaptive derivation.", st.Escalations},
+	} {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
+	}
+}
+
+// writeRegistryMetrics renders the campaign-cache registry's occupancy
+// and exchange counters.
+func writeRegistryMetrics(b *strings.Builder, reg *collect.Registry) {
+	st := reg.Stats()
+	fmt.Fprintf(b, "# HELP healers_registry_entries Campaign-cache entries currently stored.\n# TYPE healers_registry_entries gauge\nhealers_registry_entries %d\n", st.Entries)
+	fmt.Fprintf(b, "# HELP healers_registry_bytes Stored XML bytes of all registry entries.\n# TYPE healers_registry_bytes gauge\nhealers_registry_bytes %d\n", st.Bytes)
+	for _, m := range []struct {
+		name, help string
+		value      uint64
+	}{
+		{"healers_registry_hits_total", "Get keys answered with a stored entry.", st.Hits},
+		{"healers_registry_misses_total", "Get keys the registry did not hold.", st.Misses},
+		{"healers_registry_puts_total", "Entries stored by put exchanges.", st.Puts},
+		{"healers_registry_known_total", "Put entries already held (first write wins).", st.Known},
+		{"healers_registry_rejected_total", "Put frames refused: malformed, unstamped, or checksum-mismatched.", st.Rejected},
+		{"healers_registry_evicted_total", "Entries dropped by the doc/byte budgets.", st.Evicted},
+		{"healers_registry_corrupt_total", "Stored files discarded at load for failing validation.", st.Corrupt},
 	} {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
 	}

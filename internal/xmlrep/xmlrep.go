@@ -55,6 +55,16 @@ const (
 	KindWorkResult  DocKind = "work-result"
 	KindHeartbeat   DocKind = "heartbeat"
 	KindWorkAck     DocKind = "work-ack"
+	// Registry kinds: the shared campaign-cache registry's get/put/has
+	// exchanges. A client asks for entries by content-hash key
+	// (KindRegistryGet, answered with KindRegistryAnswer) and pushes
+	// freshly derived entries back (KindRegistryPut, answered with
+	// KindRegistryAck), turning every runner's local probing into a
+	// fleet-wide amortized cost.
+	KindRegistryGet    DocKind = "registry-get"
+	KindRegistryPut    DocKind = "registry-put"
+	KindRegistryAnswer DocKind = "registry-answer"
+	KindRegistryAck    DocKind = "registry-ack"
 )
 
 // ParamDecl is one parameter in a declaration file.
@@ -364,6 +374,114 @@ type WorkAck struct {
 	// Accepted counts the result entries the coordinator merged (the
 	// rest were duplicates it already had).
 	Accepted int `xml:"accepted,attr,omitempty"`
+}
+
+// ---------------------------------------------------------------------
+// Registry wire documents. A campaign-cache registry is a shared,
+// content-addressed store of cache entries: any runner can ask for
+// entries by their sha256(prototype, probe-hierarchy version, injector
+// config) key and push the entries it derived locally. Both exchanges
+// are client-initiated request/response pairs over the collect framing,
+// so one collector port serves ingest, coordination, policy, and the
+// registry at once.
+
+// EntrySum returns the per-entry integrity hash of one cache entry: the
+// same semantic content the campaign-cache document checksum folds in,
+// hashed alone. The registry stamps it on every entry it serves, so a
+// client can reject an entry corrupted in registry storage even when
+// the surrounding answer frame checksums clean.
+func EntrySum(f *CacheFuncXML) string {
+	h := sha256.New()
+	hashCacheFunc(h, f)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RegistryGet asks a registry for cache entries by key. With HasOnly
+// set the answer reports presence only (Found/Missing keys, no entry
+// bodies) — the cheap "has" probe a planner uses before deciding what
+// to lease.
+type RegistryGet struct {
+	XMLName  xml.Name `xml:"healers-registry-get"`
+	Client   string   `xml:"client,attr,omitempty"`
+	HasOnly  bool     `xml:"has_only,attr,omitempty"`
+	Keys     []string `xml:"key"`
+	Checksum string   `xml:"checksum,attr,omitempty"`
+}
+
+// ComputeChecksum returns the request's integrity hash (Checksum itself
+// excluded).
+func (g *RegistryGet) ComputeChecksum() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "client=%s has_only=%v keys=%s", g.Client, g.HasOnly, strings.Join(g.Keys, ","))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RegistryEntryXML is one served registry entry: the cache entry plus
+// the registry-stamped per-entry integrity hash (see EntrySum). A
+// client must recompute Sum and discard mismatching entries — the worst
+// case is always "probe again", never "trust a corrupted entry".
+type RegistryEntryXML struct {
+	CacheFuncXML
+	Sum string `xml:"sum,attr,omitempty"`
+}
+
+// RegistryAnswer is the registry's response to a get: the entries it
+// holds for the requested keys (or, for a HasOnly probe, just their
+// keys under Found) and the keys it does not.
+type RegistryAnswer struct {
+	XMLName  xml.Name           `xml:"healers-registry-answer"`
+	Funcs    []RegistryEntryXML `xml:"function"`
+	Found    []string           `xml:"found"`
+	Missing  []string           `xml:"missing"`
+	Checksum string             `xml:"checksum,attr,omitempty"`
+}
+
+// ComputeChecksum returns the answer's integrity hash (Checksum itself
+// excluded). A client discards answers whose checksum does not match
+// rather than trusting a truncated or corrupted frame.
+func (a *RegistryAnswer) ComputeChecksum() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "found=%s missing=%s\n", strings.Join(a.Found, ","), strings.Join(a.Missing, ","))
+	for i := range a.Funcs {
+		hashCacheFunc(h, &a.Funcs[i].CacheFuncXML)
+		fmt.Fprintf(h, " sum=%s\n", a.Funcs[i].Sum)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RegistryPut pushes freshly derived cache entries to a registry.
+// Hierarchy is the pusher's probe-hierarchy version, recorded with the
+// stored entries for diagnostics (the keys already pin it — entries
+// derived under different hierarchies never collide).
+type RegistryPut struct {
+	XMLName   xml.Name       `xml:"healers-registry-put"`
+	Client    string         `xml:"client,attr,omitempty"`
+	Hierarchy string         `xml:"hierarchy,attr,omitempty"`
+	Funcs     []CacheFuncXML `xml:"function"`
+	Checksum  string         `xml:"checksum,attr,omitempty"`
+}
+
+// ComputeChecksum returns the put's integrity hash (Checksum itself
+// excluded). A registry refuses puts whose checksum does not match —
+// storing a truncated frame would poison every future warm sweep.
+func (p *RegistryPut) ComputeChecksum() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "client=%s hierarchy=%s\n", p.Client, p.Hierarchy)
+	for i := range p.Funcs {
+		hashCacheFunc(h, &p.Funcs[i])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RegistryAck answers a put: how many entries the registry stored
+// (Stored) and how many it already held (Known). OK false carries the
+// Reason the whole put was refused (corrupted frame, registry disabled).
+type RegistryAck struct {
+	XMLName xml.Name `xml:"healers-registry-ack"`
+	OK      bool     `xml:"ok,attr"`
+	Reason  string   `xml:"reason,attr,omitempty"`
+	Stored  int      `xml:"stored,attr,omitempty"`
+	Known   int      `xml:"known,attr,omitempty"`
 }
 
 // PolicyRuleXML is one recovery rule of a policy document: what the
@@ -745,6 +863,14 @@ func Kind(data []byte) (DocKind, error) {
 				return KindHeartbeat, nil
 			case "healers-work-ack":
 				return KindWorkAck, nil
+			case "healers-registry-get":
+				return KindRegistryGet, nil
+			case "healers-registry-put":
+				return KindRegistryPut, nil
+			case "healers-registry-answer":
+				return KindRegistryAnswer, nil
+			case "healers-registry-ack":
+				return KindRegistryAck, nil
 			default:
 				return "", fmt.Errorf("xmlrep: unknown document root %q", se.Name.Local)
 			}

@@ -30,6 +30,11 @@ sh scripts/verify-api.sh
 # byte-identical robust-API XML to a sequential run.
 sh scripts/smoke-distributed.sh
 
+# Shared-registry smoke: a sweep warmed from a collectd-hosted registry
+# must probe nothing and render byte-identical robust-API XML to the
+# cold run that populated it.
+sh scripts/smoke-registry.sh
+
 # Smoke-run the collect ingest benchmarks (upload path, bounded store,
 # both aggregation paths, histogram merge), the chaos-survival benchmark
 # (the containment wrapper keeping a chaos-stricken workload alive end

@@ -10,7 +10,23 @@ cd "$(dirname "$0")/.."
 
 LIB=${1:-libm.so.6}
 tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
+
+# On failure, copy the run's XML and logs where CI can upload them
+# (HEALERS_ARTIFACT_DIR is set by the workflow; unset locally).
+collect_artifacts() {
+    [ -n "${HEALERS_ARTIFACT_DIR:-}" ] || return 0
+    mkdir -p "$HEALERS_ARTIFACT_DIR/smoke-distributed"
+    cp "$tmp"/*.xml "$tmp"/*.log "$HEALERS_ARTIFACT_DIR/smoke-distributed/" 2>/dev/null || true
+}
+cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        collect_artifacts
+    fi
+    rm -rf "$tmp"
+    exit "$status"
+}
+trap cleanup EXIT
 
 go build -o "$tmp/healers-inject" ./cmd/healers-inject
 

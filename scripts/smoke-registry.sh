@@ -1,0 +1,90 @@
+#!/bin/sh
+# Shared-registry smoke: start a collectd-hosted campaign-cache registry
+# on a loopback port, run one cold sweep against it (probes everything,
+# pushes every result), then run a second sweep from a fresh process —
+# empty local cache, same registry — and require that the warm run was
+# served entirely from the registry (zero misses in its summary line)
+# and rendered byte-identical robust-API XML. The generated= timestamp
+# attribute is the only field allowed to differ, so it is stripped
+# before comparing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+LIB=${1:-libm.so.6}
+tmp=$(mktemp -d)
+
+# On failure, copy the run's XML and logs where CI can upload them
+# (HEALERS_ARTIFACT_DIR is set by the workflow; unset locally).
+collect_artifacts() {
+    [ -n "${HEALERS_ARTIFACT_DIR:-}" ] || return 0
+    mkdir -p "$HEALERS_ARTIFACT_DIR/smoke-registry"
+    cp "$tmp"/*.xml "$tmp"/*.log "$HEALERS_ARTIFACT_DIR/smoke-registry/" 2>/dev/null || true
+}
+cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        collect_artifacts
+    fi
+    [ -n "${collectd:-}" ] && kill "$collectd" 2>/dev/null || true
+    rm -rf "$tmp"
+    exit "$status"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/healers-inject" ./cmd/healers-inject
+go build -o "$tmp/healers-collectd" ./cmd/healers-collectd
+
+strip_ts() {
+    sed 's/ generated="[^"]*"//' "$1" > "$1.stripped"
+}
+
+# Registry server on an ephemeral port; parse the bound address from the
+# listen line.
+"$tmp/healers-collectd" -addr 127.0.0.1:0 -registry "$tmp/registry" \
+    > "$tmp/collectd.log" 2>&1 &
+collectd=$!
+addr=
+for i in $(seq 1 50); do
+    addr=$(sed -n 's/^healers-collectd listening on //p' "$tmp/collectd.log" | head -n 1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$collectd" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "smoke-registry: collectd never came up" >&2
+    cat "$tmp/collectd.log" >&2
+    exit 1
+fi
+
+# Cold sweep: empty registry, so every function probes locally and is
+# pushed back before exit.
+"$tmp/healers-inject" -lib "$LIB" -registry "$addr" -xml \
+    > "$tmp/cold.xml" 2> "$tmp/cold.log"
+if ! grep -q "registry $addr: .* 0 dropped" "$tmp/cold.log"; then
+    echo "smoke-registry: cold sweep dropped registry pushes" >&2
+    cat "$tmp/cold.log" >&2
+    exit 1
+fi
+
+# Warm sweep: a fresh process has an empty local cache, so every hit in
+# its summary came over the wire. Zero misses (and zero corrupt entries)
+# means the whole plan was served from the registry — no probes ran.
+"$tmp/healers-inject" -lib "$LIB" -registry "$addr" -xml \
+    > "$tmp/warm.xml" 2> "$tmp/warm.log"
+if ! grep -Eq "registry $addr: [1-9][0-9]* hit\(s\), 0 miss\(es\), 0 corrupt" "$tmp/warm.log"; then
+    echo "smoke-registry: warm sweep was not served entirely from the registry" >&2
+    cat "$tmp/warm.log" >&2
+    exit 1
+fi
+
+strip_ts "$tmp/cold.xml"
+strip_ts "$tmp/warm.xml"
+if ! cmp -s "$tmp/cold.xml.stripped" "$tmp/warm.xml.stripped"; then
+    echo "smoke-registry: FAILED — registry-warmed robust-API XML differs from cold" >&2
+    diff "$tmp/cold.xml.stripped" "$tmp/warm.xml.stripped" >&2 || true
+    exit 1
+fi
+echo "smoke-registry: ok (warm sweep of $LIB served from registry, byte-identical XML)"
