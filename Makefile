@@ -26,10 +26,14 @@ ci-check:
 	sh scripts/smoke-distributed.sh
 	sh scripts/smoke-registry.sh
 
-# Full suite under the race detector; bounded so a deadlocked test fails
+# Full suite under the race detector, plus the chaos-soak smoke: a
+# bounded contained soak of the streaming rootd daemon that must
+# survive with a nonzero recovery-policy hit count (its logs land in
+# HEALERS_ARTIFACT_DIR on failure); bounded so a deadlocked test fails
 # the job instead of hanging it.
 ci-race:
 	go test -race -timeout 10m ./...
+	sh scripts/smoke-soak.sh
 
 # One iteration of every benchmark proves the measured paths still run.
 ci-bench-smoke:

@@ -870,7 +870,56 @@ func BenchmarkChaosSurvival(b *testing.B) {
 			b.Fatal(err)
 		}
 		if cr.Proc.Crashed() {
-			b.Fatalf("wrapped chaos run crashed (seed %d): %s", i+1, cr.Proc)
+			// Surface the failing seed's containment ledger: how many
+			// faults flew, how many the wrapper absorbed, and whether a
+			// breaker trip preceded the death.
+			var contained, retried, trips uint64
+			if st, ok := tk.WrapperState(ContainmentWrapper); ok {
+				contained, retried, trips = st.ContainmentTotals()
+			}
+			b.Fatalf("wrapped chaos run crashed (seed %d): %s (calls %d, injected %d, contained %d, retried %d, breaker trips %d)",
+				i+1, cr.Proc, cr.Calls, cr.Injected, contained, retried, trips)
 		}
 	}
+}
+
+// BenchmarkChaosSoak is the stateful-victim endurance run: the rootd
+// daemon in streaming mode serving a fixed request window under
+// sustained 5% chaos with the containment wrapper preloaded. Every
+// iteration asserts the contained daemon survives the whole window
+// while the unprotected daemon (checked once, outside the timed loop)
+// dies partway; the reported metrics are the survival fraction, the
+// recovery-policy hit rate, and the wrapped-call latency quantiles.
+func BenchmarkChaosSoak(b *testing.B) {
+	tk := newBenchToolkit(b)
+	const requests, rate, seed = 50, 0.05, 7
+
+	bare, err := tk.RunSoak(Rootd, requests, rate, seed, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if bare.Survived {
+		b.Fatalf("unprotected soak survived %d requests under chaos (injected %d)",
+			requests, bare.Injected)
+	}
+
+	var last *SoakResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		soak, err := tk.RunSoak(Rootd, requests, rate, seed+uint64(i), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !soak.Survived {
+			b.Fatalf("contained soak died (seed %d): %s (served %d/%d, injected %d, contained %d, retried %d, breaker trips %d)",
+				seed+uint64(i), soak.Proc, soak.Served, requests,
+				soak.Injected, soak.ContainedFaults, soak.Retried, soak.BreakerTrips)
+		}
+		last = soak
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.Served)/float64(last.Requests), "survival")
+	b.ReportMetric(last.PolicyHitRate(), "policy-hits")
+	b.ReportMetric(float64(last.P50NS), "p50-ns")
+	b.ReportMetric(float64(last.P99NS), "p99-ns")
 }

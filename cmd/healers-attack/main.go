@@ -18,12 +18,24 @@
 //
 //	healers-attack -chaos
 //	healers-attack -chaos -chaos-rate 0.1 -chaos-seed 7
+//
+// With -soak it stages the stateful-victim endurance scenario: a victim
+// daemon (-soak-app, rootd or stackd) serves benign requests in
+// streaming mode under sustained chaos for the given wall-clock
+// duration, with the containment wrapper preloaded. The run reports the
+// survival fraction, the recovery-policy hit rate, and wrapped-call
+// latency quantiles; an unprotected baseline window shows the bare
+// daemon dying at its first injected fault.
+//
+//	healers-attack -soak 5s
+//	healers-attack -soak 30s -soak-app stackd -chaos-rate 0.1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"healers"
 )
@@ -32,20 +44,101 @@ func main() {
 	defendOnly := flag.Bool("defend", false, "run only the defended phase")
 	benign := flag.Bool("benign", false, "send a benign request instead of the exploit")
 	chaos := flag.Bool("chaos", false, "run the chaos-mode fault-containment scenario instead of the overflow attack")
-	chaosRate := flag.Float64("chaos-rate", 0.05, "per-call fault probability for -chaos")
-	chaosSeed := flag.Uint64("chaos-seed", 1234, "deterministic chaos injector seed for -chaos")
+	chaosRate := flag.Float64("chaos-rate", 0.05, "per-call fault probability for -chaos and -soak")
+	chaosSeed := flag.Uint64("chaos-seed", 1234, "deterministic chaos injector seed for -chaos and -soak")
+	soak := flag.Duration("soak", 0, "run the stateful-victim chaos soak for this wall-clock duration (e.g. 5s)")
+	soakApp := flag.String("soak-app", healers.Rootd, "victim daemon the -soak drives (rootd or stackd)")
 	flag.Parse()
 
 	var err error
-	if *chaos {
+	switch {
+	case *soak > 0:
+		err = runSoak(*soakApp, *soak, *chaosRate, *chaosSeed, *defendOnly)
+	case *chaos:
 		err = runChaos(*chaosRate, *chaosSeed, *defendOnly)
-	} else {
+	default:
 		err = run(*defendOnly, *benign)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "healers-attack:", err)
 		os.Exit(1)
 	}
+}
+
+// soakWindowRequests is one soak window's benign request count; windows
+// repeat (with advancing seeds) until the -soak duration elapses.
+const soakWindowRequests = 50
+
+// runSoak stages the endurance scenario: repeated streaming-mode request
+// windows under sustained chaos until the wall-clock budget is spent.
+// Any window the contained daemon fails to survive ends the soak with an
+// error — survival is the claim under test, not a statistic.
+func runSoak(app string, dur time.Duration, rate float64, seed uint64, defendOnly bool) error {
+	tk, err := healers.NewToolkit()
+	if err != nil {
+		return err
+	}
+	if err := tk.InstallSampleApps(); err != nil {
+		return err
+	}
+	fmt.Printf("chaos soak: %s in streaming mode, p=%g per call, %s wall clock\n\n", app, rate, dur)
+
+	if !defendOnly {
+		fmt.Println("=== phase 1: one window WITHOUT protection ===")
+		bare, err := tk.RunSoak(app, soakWindowRequests, rate, seed, false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("process: %s (served %d/%d requests, %d faults injected)\n",
+			bare.Proc, bare.Served, bare.Requests, bare.Injected)
+		if bare.Survived {
+			fmt.Println("-> the bare daemon survived this window; raise -chaos-rate for a harsher soak.")
+		} else {
+			fmt.Println("-> the first uncontained fault killed the daemon partway through the window.")
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("=== phase 2: sustained soak with the containment wrapper preloaded ===")
+	fmt.Printf("LD_PRELOAD=%s\n", healers.ContainmentWrapper)
+	var windows int
+	var served, requests int
+	var calls, injected, contained, retried, trips uint64
+	var last *healers.SoakResult
+	start := time.Now()
+	for time.Since(start) < dur {
+		soak, err := tk.RunSoak(app, soakWindowRequests, rate, seed+uint64(windows), true)
+		if err != nil {
+			return err
+		}
+		windows++
+		served += soak.Served
+		requests += soak.Requests
+		calls += soak.Calls
+		injected += soak.Injected
+		contained += soak.ContainedFaults
+		retried += soak.Retried
+		trips += soak.BreakerTrips
+		last = soak
+		if !soak.Survived {
+			return fmt.Errorf("contained soak died in window %d (seed %d): %s (served %d/%d)",
+				windows, seed+uint64(windows-1), soak.Proc, soak.Served, soak.Requests)
+		}
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+	hitRate := 0.0
+	if injected > 0 {
+		hitRate = float64(contained) / float64(injected)
+	}
+	fmt.Printf("survived %s: %d windows, %d/%d requests served\n", elapsed, windows, served, requests)
+	fmt.Printf("faults: %d libc calls, %d injected, %d contained (policy hit rate %.2f), %d retries, %d breaker trips\n",
+		calls, injected, contained, hitRate, retried, trips)
+	if last != nil {
+		fmt.Printf("latency: p50 %dns, p99 %dns per wrapped call (last window)\n", last.P50NS, last.P99NS)
+	}
+	fmt.Println("-> every injected fault was rolled back and virtualized; the daemon")
+	fmt.Println("   outlived the whole soak window.")
+	return nil
 }
 
 // runChaos stages the containment survival demo: the same workload, the

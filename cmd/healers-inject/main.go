@@ -16,6 +16,17 @@
 //	healers-inject -coordinator H:P     # serve the sweep to worker processes
 //	healers-inject -worker H:P          # process shard leases from a coordinator
 //	healers-inject -registry H:P        # share the campaign cache fleet-wide
+//	healers-inject -sequence textutil   # temporal fault-sequence campaign
+//
+// Sequence campaigns: `-sequence APP` replays a deterministic victim
+// scenario and injects fault combinations across consecutive library
+// calls (pairwise over fault-class × call-position), classifying every
+// run against a golden replay on both the errno axis and the cmem
+// journal-diff state digest — runs that exit successfully with diverged
+// committed state are classified silent-corruption. `-seq-positions`
+// sizes the position sample, `-seq-report` writes the checksummed XML
+// report, and `-seq-upload` ships it to a healers-collectd, where it
+// feeds the healers_outcome_total metric family.
 //
 // Distributed campaigns: `-coordinator host:port` plans the sweep, shards
 // it into `-shards` work units, and leases shards to every `-worker`
@@ -41,10 +52,12 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"healers"
+	"healers/internal/collect"
 	"healers/internal/inject"
 	"healers/internal/webui"
 	"healers/internal/xmlrep"
@@ -74,6 +87,10 @@ func main() {
 	flag.StringVar(&o.registry, "registry", "", "shared campaign-cache registry at this host:port: fetch known results before probing, push fresh ones back")
 	flag.IntVar(&o.shards, "shards", 0, "work units a -coordinator sweep is sharded into (0 = default)")
 	flag.StringVar(&o.metricsAddr, "metrics", "", "with -coordinator: serve Prometheus /metrics on this host:port")
+	flag.StringVar(&o.sequence, "sequence", "", "run a temporal fault-sequence campaign against this sample application (textutil or stress)")
+	flag.IntVar(&o.seqPositions, "seq-positions", 0, "call positions the sequence planner samples (0 = default)")
+	flag.StringVar(&o.seqReport, "seq-report", "", "with -sequence: write the checksummed sequence-report XML to this file")
+	flag.StringVar(&o.seqUpload, "seq-upload", "", "with -sequence: upload the sequence report to the healers-collectd at this host:port")
 	flag.Parse()
 
 	if o.pairwise && o.fn == "" {
@@ -91,6 +108,14 @@ func main() {
 	}
 	if o.metricsAddr != "" && o.coordinator == "" {
 		fmt.Fprintln(os.Stderr, "healers-inject: -metrics requires -coordinator")
+		os.Exit(2)
+	}
+	if (o.seqPositions != 0 || o.seqReport != "" || o.seqUpload != "") && o.sequence == "" {
+		fmt.Fprintln(os.Stderr, "healers-inject: -seq-positions, -seq-report, and -seq-upload require -sequence")
+		os.Exit(2)
+	}
+	if o.sequence != "" && (o.coordinator != "" || o.worker != "" || o.fn != "" || o.verify) {
+		fmt.Fprintln(os.Stderr, "healers-inject: -sequence runs standalone (no -func, -verify, or distributed flags)")
 		os.Exit(2)
 	}
 	if err := run(o); err != nil {
@@ -120,6 +145,10 @@ type options struct {
 	registry       string
 	shards         int
 	metricsAddr    string
+	sequence       string
+	seqPositions   int
+	seqReport      string
+	seqUpload      string
 }
 
 // campaignOpts translates the flags into campaign options. Collected
@@ -322,8 +351,92 @@ func runWorker(o options, tk *healers.Toolkit, cache *inject.Cache, rc *inject.R
 	return nil
 }
 
+// sequenceScenario maps a sample-application name to its canonical
+// deterministic workload.
+func sequenceScenario(app string) (healers.SequenceScenario, error) {
+	switch app {
+	case healers.Textutil:
+		return healers.SequenceScenario{
+			Name:  "textutil-words",
+			App:   app,
+			Stdin: "delta alpha charlie bravo\n",
+		}, nil
+	case healers.Stress:
+		return healers.SequenceScenario{
+			Name: "stress-mixed",
+			App:  app,
+			Argv: []string{"10"},
+		}, nil
+	}
+	return healers.SequenceScenario{}, fmt.Errorf("no sequence scenario for %q (have %s and %s)",
+		app, healers.Textutil, healers.Stress)
+}
+
+// runSequence runs the temporal fault-sequence campaign: a scripted
+// victim scenario replayed under every planned fault combination, each
+// run classified against the golden replay on both the errno axis and
+// the journal-diff state digest.
+func runSequence(o options, tk *healers.Toolkit) error {
+	if err := tk.InstallSampleApps(); err != nil {
+		return err
+	}
+	scenario, err := sequenceScenario(o.sequence)
+	if err != nil {
+		return err
+	}
+	var sopts []inject.SequenceOption
+	if o.seqPositions > 0 {
+		sopts = append(sopts, inject.WithPositions(o.seqPositions))
+	}
+	report, err := tk.RunSequenceCampaign(scenario, sopts...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("sequence campaign %s (%s): %d golden calls, %d runs, %d failures\n",
+		report.Scenario, report.App, report.Calls, report.Probes, report.Failures)
+	counts := map[string]int{}
+	for _, run := range report.Runs {
+		counts[run.Outcome.String()]++
+	}
+	outcomes := make([]string, 0, len(counts))
+	for out := range counts {
+		outcomes = append(outcomes, out)
+	}
+	sort.Strings(outcomes)
+	for _, out := range outcomes {
+		fmt.Printf("  %-18s %4d\n", out, counts[out])
+	}
+	if funcs := report.SilentCorruptions(); len(funcs) > 0 {
+		fmt.Printf("silent-corruption sites: %s\n", strings.Join(funcs, ", "))
+	}
+
+	doc := report.ToXML()
+	if o.seqReport != "" {
+		data, err := xmlrep.Marshal(doc)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.seqReport, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote sequence report to %s\n", o.seqReport)
+	}
+	if o.seqUpload != "" {
+		if err := collect.Upload(o.seqUpload, doc); err != nil {
+			return fmt.Errorf("uploading sequence report: %w", err)
+		}
+		fmt.Printf("uploaded sequence report to %s\n", o.seqUpload)
+	}
+	return nil
+}
+
 // dispatch executes the mode the flags selected.
 func dispatch(o options, tk *healers.Toolkit, copts []inject.CampaignOption) error {
+	if o.sequence != "" {
+		return runSequence(o, tk)
+	}
+
 	if o.fn != "" {
 		fr, err := tk.InjectFunction(o.lib, o.fn)
 		if err != nil {

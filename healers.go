@@ -79,6 +79,14 @@ type (
 	// ChaosResult couples a chaos-mode run's outcome with the
 	// injector's draw statistics.
 	ChaosResult = core.ChaosResult
+	// SoakResult summarizes a sustained chaos soak of a stateful
+	// victim daemon: survival, containment counters, latency quantiles.
+	SoakResult = core.SoakResult
+	// SequenceScenario is one deterministic victim workload a temporal
+	// fault-sequence campaign replays.
+	SequenceScenario = inject.SequenceScenario
+	// SequenceReport is a temporal fault-sequence campaign's result.
+	SequenceReport = inject.SequenceReport
 	// ContainPolicy is the interface the containment wrapper consults
 	// on every contained failure.
 	ContainPolicy = gen.ContainPolicy
@@ -119,10 +127,15 @@ func DefaultPolicy() *PolicyEngine { return wrappers.DefaultPolicy() }
 const (
 	// Rootd is the vulnerable root daemon of the §3.4 demo.
 	Rootd = victim.RootdName
+	// Stackd is the stack-smashing counterpart of Rootd.
+	Stackd = victim.StackdName
 	// Textutil is the string-heavy text processor.
 	Textutil = victim.TextutilName
 	// Stress is the deterministic mixed libc workload.
 	Stress = victim.StressName
+	// StreamFlag switches Rootd/Stackd into streaming (request-loop)
+	// mode for soak runs.
+	StreamFlag = victim.RootdStreamFlag
 )
 
 // NewToolkit creates a toolkit over a fresh simulated system with the C

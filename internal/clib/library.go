@@ -26,7 +26,10 @@ func (r *Registry) AsLibrary() *simelf.Library {
 
 // chaosShim wraps a builtin with the chaos-mode roll. exit is exempt so
 // a chaos-stricken process can still terminate voluntarily (and flush
-// collected data) instead of faulting on its way out.
+// collected data) instead of faulting on its way out. A scripted Silent
+// fault takes the other path: the call runs to completion and, if it
+// succeeded, one byte of its committed state is flipped afterwards — the
+// silent corruption the journal-diff probes exist to catch.
 func chaosShim(name string, fn cval.CFunc) cval.CFunc {
 	if name == "exit" {
 		return fn
@@ -35,6 +38,15 @@ func chaosShim(name string, fn cval.CFunc) cval.CFunc {
 		if env.Chaos != nil {
 			if f := env.Chaos.Roll(name); f != nil {
 				return 0, f
+			}
+			if env.Chaos.CorruptPending() {
+				v, fault := fn(env, args)
+				if fault == nil {
+					if _, ok := env.Img.Space.CorruptJournaledByte(); ok {
+						env.Chaos.NoteCorrupted()
+					}
+				}
+				return v, fault
 			}
 		}
 		return fn(env, args)

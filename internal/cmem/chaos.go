@@ -26,9 +26,67 @@ type Chaos struct {
 	// draw fires) is representable.
 	threshold uint64
 
-	// Calls counts rolls; Injected counts faults produced.
-	Calls    uint64
-	Injected uint64
+	// Calls counts rolls; Injected counts faults produced (including
+	// silent corruptions); Corrupted counts silent corruptions alone.
+	Calls     uint64
+	Injected  uint64
+	Corrupted uint64
+
+	// scripted switches Roll from probabilistic draws to the script:
+	// faults fire at exact 1-based call indices. An empty script makes
+	// the injector a pure call counter — the golden-run mode.
+	scripted bool
+	script   map[uint64]ScriptedFault
+
+	// corruptPending is set when a Silent scripted fault's call index is
+	// reached: the shim lets the call run, then corrupts committed state.
+	corruptPending bool
+
+	// TraceOps, when set before the run, records the op name of every
+	// roll in Ops — the call-index→function mapping a golden run exports
+	// so sequence reports can label fault positions.
+	TraceOps bool
+	Ops      []string
+}
+
+// ScriptedFault schedules one fault in a scripted chaos scenario: at the
+// Call-th intercepted call (1-based), inject a fault of the given Kind —
+// or, when Silent is set, let the call succeed and flip one byte of its
+// committed state afterwards (the silent-corruption probe).
+type ScriptedFault struct {
+	Call   uint64
+	Kind   FaultKind
+	Silent bool
+}
+
+// NewScriptedChaos builds a chaos injector that replays the given fault
+// script instead of drawing probabilistically. With an empty script it
+// injects nothing and just counts calls (and, with TraceOps, records
+// op names) — the golden-run configuration.
+func NewScriptedChaos(faults []ScriptedFault) *Chaos {
+	c := &Chaos{scripted: true}
+	if len(faults) > 0 {
+		c.script = make(map[uint64]ScriptedFault, len(faults))
+		for _, f := range faults {
+			c.script[f.Call] = f
+		}
+	}
+	return c
+}
+
+// CorruptPending reports — and clears — the pending silent-corruption
+// flag set when a Silent scripted fault's call index was reached.
+func (c *Chaos) CorruptPending() bool {
+	p := c.corruptPending
+	c.corruptPending = false
+	return p
+}
+
+// NoteCorrupted records that a pending silent corruption was actually
+// applied to the victim's state.
+func (c *Chaos) NoteCorrupted() {
+	c.Corrupted++
+	c.Injected++
 }
 
 // NewChaos builds a chaos injector firing with probability rate (clamped
@@ -101,9 +159,30 @@ var chaosKinds = [8]FaultKind{
 }
 
 // Roll draws once for a call into op; on a hit it returns the injected
-// fault, whose kind is chosen deterministically from the same draw.
+// fault, whose kind is chosen deterministically from the same draw. In
+// scripted mode no draw happens: the script alone decides which call
+// indices fault.
 func (c *Chaos) Roll(op string) *Fault {
 	c.Calls++
+	if c.TraceOps {
+		c.Ops = append(c.Ops, op)
+	}
+	if c.scripted {
+		sf, ok := c.script[c.Calls]
+		if !ok {
+			return nil
+		}
+		if sf.Silent {
+			c.corruptPending = true
+			return nil
+		}
+		c.Injected++
+		return &Fault{
+			Kind:   sf.Kind,
+			Op:     op,
+			Detail: fmt.Sprintf("chaos: scripted %s at call #%d", sf.Kind, c.Calls),
+		}
+	}
 	draw := c.next()
 	if draw&0xffffffff >= c.threshold {
 		return nil

@@ -100,3 +100,58 @@ func TestParseChaosSeedlessMatchesZeroSeed(t *testing.T) {
 		t.Errorf("injected counts diverged: %d vs %d", parsed.Injected, direct.Injected)
 	}
 }
+
+func TestScriptedChaos(t *testing.T) {
+	c := NewScriptedChaos([]ScriptedFault{
+		{Call: 2, Kind: FaultAbort},
+		{Call: 4, Silent: true},
+	})
+	c.TraceOps = true
+	if f := c.Roll("a"); f != nil {
+		t.Fatalf("call 1 faulted: %v", f)
+	}
+	f := c.Roll("b")
+	if f == nil || f.Kind != FaultAbort || f.Op != "b" {
+		t.Fatalf("call 2 = %v, want scripted abort on b", f)
+	}
+	if c.Injected != 1 {
+		t.Errorf("Injected = %d, want 1", c.Injected)
+	}
+	if f := c.Roll("c"); f != nil {
+		t.Fatalf("call 3 faulted: %v", f)
+	}
+	if c.CorruptPending() {
+		t.Fatal("corruption pending before the silent call")
+	}
+	if f := c.Roll("d"); f != nil {
+		t.Fatalf("silent call 4 returned a fault: %v", f)
+	}
+	if !c.CorruptPending() {
+		t.Fatal("no corruption pending after the silent call")
+	}
+	if c.CorruptPending() {
+		t.Error("CorruptPending did not clear on read")
+	}
+	c.NoteCorrupted()
+	if c.Corrupted != 1 || c.Injected != 2 {
+		t.Errorf("Corrupted/Injected = %d/%d, want 1/2", c.Corrupted, c.Injected)
+	}
+	if len(c.Ops) != 4 || c.Ops[0] != "a" || c.Ops[3] != "d" {
+		t.Errorf("Ops = %v, want the four rolled op names", c.Ops)
+	}
+}
+
+func TestScriptedChaosEmptyScriptCounts(t *testing.T) {
+	c := NewScriptedChaos(nil)
+	for i := 0; i < 100; i++ {
+		if f := c.Roll("op"); f != nil {
+			t.Fatalf("golden-mode injector fired: %v", f)
+		}
+	}
+	if c.Calls != 100 || c.Injected != 0 {
+		t.Errorf("Calls/Injected = %d/%d, want 100/0", c.Calls, c.Injected)
+	}
+	if c.Ops != nil {
+		t.Errorf("ops recorded without TraceOps: %v", c.Ops)
+	}
+}

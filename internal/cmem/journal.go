@@ -1,5 +1,12 @@
 package cmem
 
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
 // Write journal: the undo log behind the containment wrapper's rollback.
 //
 // A containment micro-generator arms the journal just before invoking the
@@ -53,9 +60,22 @@ func (s *Space) popJournal() []journalEntry {
 	return entries
 }
 
-// CommitJournal discards the innermost journal: the call completed, its
-// writes stand.
-func (s *Space) CommitJournal() { s.popJournal() }
+// CommitJournal settles the innermost journal: the call completed, its
+// writes stand. When an outer journal is still armed the committed
+// entries are retained as part of it — an outer rollback (or diff) must
+// still cover the inner call's writes, otherwise a contained inner call
+// would punch a hole in the outer undo log. Only the last commit
+// discards the log.
+func (s *Space) CommitJournal() {
+	if len(s.journalMarks) == 0 {
+		return
+	}
+	s.journalMarks = s.journalMarks[:len(s.journalMarks)-1]
+	if len(s.journalMarks) == 0 {
+		s.journal = s.journal[:0]
+		s.journalArmed = false
+	}
+}
 
 // RollbackJournal restores the pre-image of every byte written since the
 // innermost BeginJournal, newest first, and disarms that journal level.
@@ -87,4 +107,107 @@ func (s *Space) journalWrite(pg *page, a Addr) {
 		old = pg.data[a&pageMask]
 	}
 	s.journal = append(s.journal, journalEntry{addr: a, old: old})
+}
+
+// JournalDiffEntry is one byte whose committed value differs from its
+// pre-image: the net state change a journalled window left behind.
+type JournalDiffEntry struct {
+	Addr Addr
+	Old  byte // pre-image when the byte was first journalled in the window
+	New  byte // current value in the space
+}
+
+// JournalDiff computes the net state change of the innermost armed
+// journal window: every byte whose current value differs from the first
+// pre-image recorded for it since the matching BeginJournal. Bytes
+// rewritten back to their pre-image (or on pages unmapped since) are
+// omitted, so a rolled-back window diffs empty. The journal stays armed
+// — this is a read-only peek — and the result is sorted by address, so
+// two runs with identical net writes produce identical diffs.
+func (s *Space) JournalDiff() []JournalDiffEntry {
+	if len(s.journalMarks) == 0 {
+		return nil
+	}
+	mark := s.journalMarks[len(s.journalMarks)-1]
+	window := s.journal[mark:]
+	first := make(map[Addr]byte, len(window))
+	for _, e := range window {
+		if _, seen := first[e.addr]; !seen {
+			first[e.addr] = e.old
+		}
+	}
+	diff := make([]JournalDiffEntry, 0, len(first))
+	for a, old := range first {
+		pg := s.pageOf(a)
+		if pg == nil {
+			continue
+		}
+		var cur byte
+		if pg.data != nil {
+			cur = pg.data[a&pageMask]
+		}
+		if cur == old {
+			continue
+		}
+		diff = append(diff, JournalDiffEntry{Addr: a, Old: old, New: cur})
+	}
+	sort.Slice(diff, func(i, j int) bool { return diff[i].Addr < diff[j].Addr })
+	return diff
+}
+
+// JournalDiffDigest folds JournalDiff into a sha256 hex digest over the
+// sorted (address, new value) pairs. Two processes that committed the
+// same net state change report the same digest, so a faulted run can be
+// compared against a golden run without shipping either diff.
+func (s *Space) JournalDiffDigest() string {
+	h := sha256.New()
+	var buf [9]byte
+	for _, e := range s.JournalDiff() {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(e.Addr))
+		buf[8] = e.New
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CorruptJournaledByte flips one byte the current journal window has
+// touched — the silent-corruption injector. It prefers a *durable* byte
+// (data segment or heap, below HeapLimit) over transient stack slots,
+// scanning newest-first so the corruption lands in state the victim just
+// committed. The flip goes through the journal itself, so JournalDiff
+// observes it and RollbackJournal undoes it. Returns the corrupted
+// address, or false when no armed journal window has a usable entry.
+func (s *Space) CorruptJournaledByte() (Addr, bool) {
+	if len(s.journalMarks) == 0 {
+		return 0, false
+	}
+	mark := s.journalMarks[len(s.journalMarks)-1]
+	window := s.journal[mark:]
+	pick := func(durableOnly bool) (Addr, bool) {
+		for i := len(window) - 1; i >= 0; i-- {
+			a := window[i].addr
+			if durableOnly && a >= HeapLimit {
+				continue
+			}
+			if s.pageOf(a) == nil {
+				continue
+			}
+			return a, true
+		}
+		return 0, false
+	}
+	a, ok := pick(true)
+	if !ok {
+		a, ok = pick(false)
+	}
+	if !ok {
+		return 0, false
+	}
+	pg := s.pageOf(a)
+	if pg.data == nil {
+		pg.data = make([]byte, PageSize)
+	}
+	s.journalWrite(pg, a)
+	pg.data[a&pageMask] ^= 0xff
+	return a, true
 }

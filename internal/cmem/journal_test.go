@@ -121,3 +121,200 @@ func TestJournalRollbackAfterPartialFaultingWrite(t *testing.T) {
 		t.Errorf("partial write not rolled back: %v", buf)
 	}
 }
+
+func TestJournalDiffSortedAndSkipsUnchanged(t *testing.T) {
+	sp := NewSpace()
+	if f := sp.Map(0x1000, PageSize, ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	if f := sp.Write(0x1000, []byte("before")); f != nil {
+		t.Fatal(f)
+	}
+	sp.BeginJournal()
+	// Write out of address order; only two bytes actually change value.
+	if f := sp.Write(0x1004, []byte{'r'}); f != nil { // unchanged
+		t.Fatal(f)
+	}
+	if f := sp.Write(0x1000, []byte("BEfore")); f != nil {
+		t.Fatal(f)
+	}
+	diff := sp.JournalDiff()
+	if len(diff) != 2 {
+		t.Fatalf("diff = %+v, want 2 entries", diff)
+	}
+	want := []JournalDiffEntry{
+		{Addr: 0x1000, Old: 'b', New: 'B'},
+		{Addr: 0x1001, Old: 'e', New: 'E'},
+	}
+	for i, e := range diff {
+		if e != want[i] {
+			t.Errorf("diff[%d] = %+v, want %+v", i, e, want[i])
+		}
+	}
+	if d := sp.JournalDiffDigest(); d == "" || d != sp.JournalDiffDigest() {
+		t.Error("digest empty or unstable across calls")
+	}
+}
+
+func TestJournalDiffLazilyZeroPages(t *testing.T) {
+	sp := NewSpace()
+	if f := sp.Map(0x1000, PageSize, ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	sp.BeginJournal()
+	// The page has never been written: its backing store is still nil
+	// and every byte reads as zero. A journaled write of {0, 7} changes
+	// only the second byte's value.
+	if f := sp.Write(0x1100, []byte{0, 7}); f != nil {
+		t.Fatal(f)
+	}
+	diff := sp.JournalDiff()
+	if len(diff) != 1 || diff[0] != (JournalDiffEntry{Addr: 0x1101, Old: 0, New: 7}) {
+		t.Fatalf("diff over lazily-zero page = %+v, want one 0->7 entry at 0x1101", diff)
+	}
+}
+
+func TestJournalDiffOverlappingWritesFirstPreImageWins(t *testing.T) {
+	sp := NewSpace()
+	if f := sp.Map(0x1000, PageSize, ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	if f := sp.Write(0x1000, []byte("ax")); f != nil {
+		t.Fatal(f)
+	}
+	sp.BeginJournal()
+	// Same byte written twice: Old must be the original value, New the
+	// final one.
+	if f := sp.Write(0x1000, []byte{'b'}); f != nil {
+		t.Fatal(f)
+	}
+	if f := sp.Write(0x1000, []byte{'c'}); f != nil {
+		t.Fatal(f)
+	}
+	// A byte overwritten and then restored to its pre-image must drop
+	// out of the diff entirely.
+	if f := sp.Write(0x1001, []byte{'y'}); f != nil {
+		t.Fatal(f)
+	}
+	if f := sp.Write(0x1001, []byte{'x'}); f != nil {
+		t.Fatal(f)
+	}
+	diff := sp.JournalDiff()
+	if len(diff) != 1 || diff[0] != (JournalDiffEntry{Addr: 0x1000, Old: 'a', New: 'c'}) {
+		t.Fatalf("diff = %+v, want one a->c entry at 0x1000", diff)
+	}
+}
+
+func TestJournalDiffNestedCommitFoldsIntoOuter(t *testing.T) {
+	sp := NewSpace()
+	if f := sp.Map(0x1000, PageSize, ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	sp.BeginJournal() // outer
+	if f := sp.Write(0x1000, []byte{'A'}); f != nil {
+		t.Fatal(f)
+	}
+	sp.BeginJournal() // inner
+	if f := sp.Write(0x1001, []byte{'B'}); f != nil {
+		t.Fatal(f)
+	}
+	sp.CommitJournal() // inner commit must retain entries in the outer window
+	if !sp.JournalActive() {
+		t.Fatal("outer journal disarmed by inner commit")
+	}
+	diff := sp.JournalDiff()
+	if len(diff) != 2 {
+		t.Fatalf("outer diff after inner commit = %+v, want both bytes", diff)
+	}
+	// An inner rollback must leave the outer diff untouched.
+	sp.BeginJournal()
+	if f := sp.Write(0x1002, []byte{'C'}); f != nil {
+		t.Fatal(f)
+	}
+	sp.RollbackJournal()
+	diff = sp.JournalDiff()
+	if len(diff) != 2 {
+		t.Fatalf("outer diff after inner rollback = %+v, want 2 entries", diff)
+	}
+	// The last commit truncates everything.
+	sp.CommitJournal()
+	if sp.JournalActive() || sp.JournalLen() != 0 {
+		t.Error("outermost commit left the journal armed or non-empty")
+	}
+}
+
+func TestJournalDiffAfterRollbackEmpty(t *testing.T) {
+	sp := NewSpace()
+	if f := sp.Map(0x1000, PageSize, ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	sp.BeginJournal() // outer
+	sp.BeginJournal() // inner
+	if f := sp.Write(0x1000, []byte{9}); f != nil {
+		t.Fatal(f)
+	}
+	sp.RollbackJournal() // inner
+	if diff := sp.JournalDiff(); len(diff) != 0 {
+		t.Fatalf("outer diff after inner rollback = %+v, want empty", diff)
+	}
+	empty := sp.JournalDiffDigest()
+	sp.RollbackJournal() // outer
+	if diff := sp.JournalDiff(); diff != nil {
+		t.Fatalf("diff with no journal armed = %+v, want nil", diff)
+	}
+	if sp.JournalDiffDigest() != empty {
+		t.Error("unarmed digest differs from empty-window digest")
+	}
+}
+
+func TestCorruptJournaledBytePrefersDurable(t *testing.T) {
+	sp := NewSpace()
+	if f := sp.Map(DataBase, PageSize, ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	stack := Addr(StackTop - PageSize)
+	if f := sp.Map(stack, PageSize, ProtRW); f != nil {
+		t.Fatal(f)
+	}
+	if _, ok := sp.CorruptJournaledByte(); ok {
+		t.Fatal("corrupted a byte with no journal armed")
+	}
+	sp.BeginJournal()
+	if _, ok := sp.CorruptJournaledByte(); ok {
+		t.Fatal("corrupted a byte with an empty journal window")
+	}
+	// A stack write alone: the durable pass finds nothing, the fallback
+	// still corrupts the transient byte.
+	if f := sp.Write(stack, []byte{1}); f != nil {
+		t.Fatal(f)
+	}
+	if addr, ok := sp.CorruptJournaledByte(); !ok || addr != stack {
+		t.Fatalf("fallback corruption at %v (ok=%v), want %v", addr, ok, stack)
+	}
+	// With a durable write journaled, it wins over the (newer) stack one.
+	if f := sp.Write(DataBase, []byte{5}); f != nil {
+		t.Fatal(f)
+	}
+	if f := sp.Write(stack+1, []byte{2}); f != nil {
+		t.Fatal(f)
+	}
+	addr, ok := sp.CorruptJournaledByte()
+	if !ok || addr != DataBase {
+		t.Fatalf("corruption at %v (ok=%v), want durable %v", addr, ok, DataBase)
+	}
+	var b [1]byte
+	if f := sp.Read(DataBase, b[:]); f != nil {
+		t.Fatal(f)
+	}
+	if b[0] != 5^0xff {
+		t.Errorf("corrupted byte = %#x, want %#x (XOR 0xff)", b[0], 5^0xff)
+	}
+	// The flip is itself journaled: rollback restores the original.
+	sp.RollbackJournal()
+	if f := sp.Read(DataBase, b[:]); f != nil {
+		t.Fatal(f)
+	}
+	if b[0] != 0 {
+		t.Errorf("byte after rollback = %#x, want 0", b[0])
+	}
+}

@@ -401,3 +401,92 @@ func TestCallRequestResponse(t *testing.T) {
 		t.Errorf("stats = %+v, want 1 handled request and 1 stored doc", st)
 	}
 }
+
+// sampleSequenceReport builds a small checksummed sequence-report
+// document with the given per-outcome run counts.
+func sampleSequenceReport(outcomes map[string]int) *xmlrep.SequenceReportDoc {
+	doc := &xmlrep.SequenceReportDoc{
+		Scenario:     "textutil-words",
+		App:          "textutil",
+		Calls:        9,
+		GoldenDigest: "abc123",
+	}
+	for out, n := range outcomes {
+		for i := 0; i < n; i++ {
+			doc.Runs = append(doc.Runs, xmlrep.SeqRunXML{
+				Steps:   []xmlrep.SeqStepXML{{Call: 3, Class: "crash", Func: "strdup"}},
+				Outcome: out,
+			})
+		}
+	}
+	doc.Stamp()
+	return doc
+}
+
+// TestSequenceReportIngestion: uploaded sequence reports are sniffed,
+// checksum-validated, stored under their own kind, and their per-run
+// outcomes feed the fleet aggregate's Outcomes map.
+func TestSequenceReportIngestion(t *testing.T) {
+	s := startServer(t)
+	if err := Upload(s.Addr(), sampleSequenceReport(map[string]int{
+		"crash": 3, "silent-corruption": 2, "ok": 1,
+	})); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	waitCount(t, s, 1)
+	if n := len(s.Docs(xmlrep.KindSequenceReport)); n != 1 {
+		t.Fatalf("sequence-report docs = %d, want 1", n)
+	}
+	agg := s.Aggregate()
+	for out, want := range map[string]uint64{"crash": 3, "silent-corruption": 2, "ok": 1} {
+		if agg.Outcomes[out] != want {
+			t.Errorf("Outcomes[%q] = %d, want %d", out, agg.Outcomes[out], want)
+		}
+	}
+}
+
+// TestSequenceReportChecksumRejected: a tampered sequence report is
+// counted rejected and contributes nothing to the aggregate.
+func TestSequenceReportChecksumRejected(t *testing.T) {
+	s := startServer(t)
+	doc := sampleSequenceReport(map[string]int{"crash": 1})
+	doc.Runs[0].Outcome = "ok" // tamper after Stamp
+	if err := Upload(s.Addr(), doc); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	// Rejection is asynchronous; poll the stats counter.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().DocsRejected == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("tampered sequence report never rejected")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := s.Count(); n != 0 {
+		t.Errorf("stored %d docs, want 0", n)
+	}
+	if agg := s.Aggregate(); len(agg.Outcomes) != 0 {
+		t.Errorf("tampered report reached the aggregate: %v", agg.Outcomes)
+	}
+}
+
+// TestAggregateSilentCorruption: a profile's silent-corruption counters
+// aggregate per function and feed the outcome totals.
+func TestAggregateSilentCorruption(t *testing.T) {
+	s := startServer(t)
+	st := gen.NewState("libhealers_contain.so")
+	i := st.Index("strdup")
+	st.CallCount[i] = 5
+	st.CorruptionCount[i] = 2
+	if err := Upload(s.Addr(), xmlrep.NewProfileLog("h", "app", st)); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, s, 1)
+	agg := s.Aggregate()
+	if got := agg.Funcs["strdup"].SilentCorrupt; got != 2 {
+		t.Errorf("Funcs[strdup].SilentCorrupt = %d, want 2", got)
+	}
+	if got := agg.Outcomes["silent-corruption"]; got != 2 {
+		t.Errorf("Outcomes[silent-corruption] = %d, want 2", got)
+	}
+}

@@ -34,6 +34,10 @@ type FuncAggregate struct {
 	Contained    uint64
 	Retried      uint64
 	BreakerTrips uint64
+	// SilentCorrupt counts silent corruptions attributed to the function
+	// (success status, diverged committed state — see the sequence
+	// campaign's journal-diff classification).
+	SilentCorrupt uint64
 	// ContainedBy splits Contained per failure class, indexed by
 	// gen.FailureClass — the grain the control plane's escalation
 	// decisions consume. Profiles from pre-containment clients leave it
@@ -58,12 +62,18 @@ type FleetAggregate struct {
 	Global map[string]uint64
 	// Overflows sums detected canary/bound violations.
 	Overflows uint64
+	// Outcomes maps outcome class ("ok", "crash", "silent-corruption",
+	// ...) to fleet-wide run counts. Sequence reports feed it one count
+	// per fault-combination run; profile documents feed the
+	// silent-corruption class from their per-function counters.
+	Outcomes map[string]uint64
 }
 
 func newFleetAggregate() *FleetAggregate {
 	return &FleetAggregate{
-		Funcs:  make(map[string]*FuncAggregate),
-		Global: make(map[string]uint64),
+		Funcs:    make(map[string]*FuncAggregate),
+		Global:   make(map[string]uint64),
+		Outcomes: make(map[string]uint64),
 	}
 }
 
@@ -85,6 +95,10 @@ func (a *FleetAggregate) merge(prof *xmlrep.ProfileLog) {
 		fa.Contained += f.Contained
 		fa.Retried += f.Retried
 		fa.BreakerTrips += f.BreakerTrips
+		fa.SilentCorrupt += f.SilentCorrupt
+		if f.SilentCorrupt > 0 {
+			a.Outcomes["silent-corruption"] += f.SilentCorrupt
+		}
 		for _, cc := range f.ContainedBy {
 			for c := 0; c < gen.NumFailureClasses; c++ {
 				if gen.FailureClass(c).String() == cc.Class {
@@ -117,6 +131,14 @@ func (a *FleetAggregate) merge(prof *xmlrep.ProfileLog) {
 	a.Overflows += prof.Overflows
 }
 
+// mergeSequence folds one sequence-campaign report into the aggregate:
+// every fault-combination run counts once under its outcome class.
+func (a *FleetAggregate) mergeSequence(doc *xmlrep.SequenceReportDoc) {
+	for _, r := range doc.Runs {
+		a.Outcomes[r.Outcome]++
+	}
+}
+
 // clone deep-copies the aggregate so callers can read it without holding
 // the server lock.
 func (a *FleetAggregate) clone() *FleetAggregate {
@@ -124,15 +146,16 @@ func (a *FleetAggregate) clone() *FleetAggregate {
 	out.Overflows = a.Overflows
 	for fn, fa := range a.Funcs {
 		c := &FuncAggregate{
-			Calls:        fa.Calls,
-			ExecNS:       fa.ExecNS,
-			Denied:       fa.Denied,
-			Passed:       fa.Passed,
-			Substituted:  fa.Substituted,
-			Contained:    fa.Contained,
-			Retried:      fa.Retried,
-			BreakerTrips: fa.BreakerTrips,
-			ContainedBy:  fa.ContainedBy,
+			Calls:         fa.Calls,
+			ExecNS:        fa.ExecNS,
+			Denied:        fa.Denied,
+			Passed:        fa.Passed,
+			Substituted:   fa.Substituted,
+			Contained:     fa.Contained,
+			Retried:       fa.Retried,
+			BreakerTrips:  fa.BreakerTrips,
+			SilentCorrupt: fa.SilentCorrupt,
+			ContainedBy:   fa.ContainedBy,
 		}
 		if fa.Hist != nil {
 			c.Hist = append([]uint64(nil), fa.Hist...)
@@ -147,6 +170,9 @@ func (a *FleetAggregate) clone() *FleetAggregate {
 	}
 	for e, n := range a.Global {
 		out.Global[e] = n
+	}
+	for o, n := range a.Outcomes {
+		out.Outcomes[o] = n
 	}
 	return out
 }
@@ -483,8 +509,24 @@ func (s *Server) store(from string, data []byte) {
 	// aggregate, and doing it at ingest is what lets AggregateCalls
 	// answer without touching stored XML.
 	var prof *xmlrep.ProfileLog
-	if kind == xmlrep.KindProfile {
+	var seq *xmlrep.SequenceReportDoc
+	switch kind {
+	case xmlrep.KindProfile:
 		prof, err = xmlrep.Unmarshal[xmlrep.ProfileLog](data)
+		if err != nil {
+			s.mu.Lock()
+			s.stats.DocsRejected++
+			s.mu.Unlock()
+			return
+		}
+	case xmlrep.KindSequenceReport:
+		// Sequence reports carry an integrity checksum; a mismatched or
+		// unparseable document is rejected rather than aggregated — the
+		// outcome counters must never absorb a truncated upload.
+		seq, err = xmlrep.Unmarshal[xmlrep.SequenceReportDoc](data)
+		if err == nil {
+			err = seq.Validate()
+		}
 		if err != nil {
 			s.mu.Lock()
 			s.stats.DocsRejected++
@@ -502,6 +544,9 @@ func (s *Server) store(from string, data []byte) {
 	s.kinds[kind]++
 	if prof != nil {
 		s.fleet.merge(prof)
+	}
+	if seq != nil {
+		s.fleet.mergeSequence(seq)
 	}
 	s.evictLocked()
 }

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"healers/internal/clib"
 	"healers/internal/cmath"
@@ -462,6 +463,133 @@ func (t *Toolkit) RunChaos(app string, rate float64, seed uint64, preloads []str
 		cr.Calls, cr.Injected = c.Calls, c.Injected
 	}
 	return cr, nil
+}
+
+// ---------------------------------------------------------------------
+// Chaos soak and sequence campaigns (stateful victims)
+
+// SoakResult summarizes a sustained chaos soak of a stateful victim
+// daemon: whether it survived the whole request window, how much the
+// injector threw at it, how much the containment layer absorbed, and
+// the request-latency quantiles the wrapper's histograms recorded.
+type SoakResult struct {
+	App      string
+	Requests int
+	// Served counts requests the daemon actually completed (its
+	// per-request log lines) — the survival-time measure: an
+	// unprotected daemon dies at its first injected fault, so
+	// Served/Requests is the fraction of the window it survived.
+	Served    int
+	Survived  bool
+	Contained bool
+	Proc      proc.Result
+	// Calls and Injected are the chaos injector's counters.
+	Calls    uint64
+	Injected uint64
+	// ContainedFaults, Retried, and BreakerTrips are the containment
+	// wrapper's recovery counters (zero for unprotected runs).
+	ContainedFaults uint64
+	Retried         uint64
+	BreakerTrips    uint64
+	// P50NS and P99NS are wrapped-call latency quantiles from the
+	// wrapper's log2 histograms (zero for unprotected runs).
+	P50NS int64
+	P99NS int64
+}
+
+// PolicyHitRate is the fraction of injected faults the recovery policy
+// absorbed (contained into errno returns).
+func (r *SoakResult) PolicyHitRate() float64 {
+	if r.Injected == 0 {
+		return 0
+	}
+	return float64(r.ContainedFaults) / float64(r.Injected)
+}
+
+// RunSoak drives a victim daemon (rootd or stackd) in streaming mode
+// through `requests` benign requests under sustained chaos at the given
+// rate and seed. With contained set, the fault-containment wrapper is
+// preloaded (generated on first use) and its recovery counters and
+// latency histograms are folded into the result; without it the bare
+// daemon dies at its first injected fault.
+func (t *Toolkit) RunSoak(app string, requests int, rate float64, seed uint64, contained bool) (*SoakResult, error) {
+	var stdin []byte
+	var logLine string
+	switch app {
+	case victim.RootdName:
+		stdin = victim.StreamTraffic(requests)
+		logLine = "rootd: request logged\n"
+	case victim.StackdName:
+		stdin = victim.StackStreamTraffic(requests)
+		logLine = "stackd: request logged\n"
+	default:
+		return nil, fmt.Errorf("core: no streaming soak victim %q", app)
+	}
+	var preloads []string
+	var st *gen.State
+	if contained {
+		// The soak-tuned recovery policy: deny with errno (the daemon's
+		// retry loop replays), circuit breaker off — under *injected*
+		// faults a breaker would condemn the hot read path and turn the
+		// soak into a self-inflicted outage. An already-installed
+		// containment wrapper (and its policy) is reused as-is.
+		if _, ok := t.sys.Library(wrappers.ContainmentSoname); !ok {
+			if _, err := t.GenerateContainmentWrapper(clib.LibcSoname, nil, wrappers.SoakPolicy(), nil); err != nil {
+				return nil, err
+			}
+		}
+		st = t.states[wrappers.ContainmentSoname]
+		st.Reset()
+		preloads = []string{wrappers.ContainmentSoname}
+	}
+	cr, err := t.RunChaos(app, rate, seed, preloads, string(stdin), victim.RootdStreamFlag)
+	if err != nil {
+		return nil, err
+	}
+	res := &SoakResult{
+		App:       app,
+		Requests:  requests,
+		Served:    strings.Count(cr.Proc.Stdout, logLine),
+		Survived:  !cr.Proc.Crashed() && cr.Proc.Status == 0,
+		Contained: contained,
+		Proc:      cr.Proc,
+		Calls:     cr.Calls,
+		Injected:  cr.Injected,
+	}
+	if st != nil {
+		res.ContainedFaults, res.Retried, res.BreakerTrips = st.ContainmentTotals()
+		st.Sync()
+		merged := make([]uint64, gen.HistBuckets)
+		for _, h := range st.ExecHist {
+			for j, v := range h {
+				merged[j] += v
+			}
+		}
+		res.P50NS = gen.HistQuantileNS(merged, 0.50)
+		res.P99NS = gen.HistQuantileNS(merged, 0.99)
+	}
+	return res, nil
+}
+
+// RunSequenceCampaign runs a temporal fault-sequence campaign over one
+// scenario. Silent corruptions the journal diff catches are attributed
+// to the containment wrapper's state (when one is installed), so they
+// surface in profile XML and the /metrics outcome family.
+func (t *Toolkit) RunSequenceCampaign(scenario inject.SequenceScenario, opts ...inject.SequenceOption) (*inject.SequenceReport, error) {
+	sc, err := inject.NewSequence(t.sys, scenario, opts...)
+	if err != nil {
+		return nil, err
+	}
+	report, err := sc.Run()
+	if err != nil {
+		return nil, err
+	}
+	if st, ok := t.WrapperState(wrappers.ContainmentSoname); ok {
+		for _, fn := range report.SilentCorruptions() {
+			st.NoteSilentCorruption(nil, st.Index(fn))
+		}
+	}
+	return report, nil
 }
 
 // Run executes an application with arbitrary preloads.

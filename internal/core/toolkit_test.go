@@ -434,3 +434,98 @@ func TestRunContained(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSoak: the sustained-chaos soak of the streaming daemons. The
+// contained daemon must survive the whole request window with a nonzero
+// recovery-policy hit rate; the bare daemon must die partway through.
+func TestRunSoak(t *testing.T) {
+	tk := newToolkit(t)
+	const requests, rate, seed = 40, 0.05, 99
+
+	for _, app := range []string{victim.RootdName, victim.StackdName} {
+		bare, err := tk.RunSoak(app, requests, rate, seed, false)
+		if err != nil {
+			t.Fatalf("RunSoak %s bare: %v", app, err)
+		}
+		if bare.Survived {
+			t.Fatalf("%s: unprotected soak survived %d requests under chaos (injected %d)",
+				app, requests, bare.Injected)
+		}
+		if bare.Injected == 0 {
+			t.Errorf("%s: unprotected soak saw no injected faults", app)
+		}
+		if bare.Served >= requests {
+			t.Errorf("%s: unprotected soak served all %d requests despite dying", app, requests)
+		}
+
+		soak, err := tk.RunSoak(app, requests, rate, seed, true)
+		if err != nil {
+			t.Fatalf("RunSoak %s contained: %v", app, err)
+		}
+		if !soak.Survived {
+			t.Fatalf("%s: contained soak died: %s (served %d/%d, injected %d, contained %d)",
+				app, soak.Proc, soak.Served, requests, soak.Injected, soak.ContainedFaults)
+		}
+		if soak.Served != requests {
+			t.Errorf("%s: contained soak served %d/%d requests", app, soak.Served, requests)
+		}
+		if soak.Injected == 0 {
+			t.Errorf("%s: contained soak saw no injected faults; survival proves nothing", app)
+		}
+		if hr := soak.PolicyHitRate(); hr <= 0 || hr > 1 {
+			t.Errorf("%s: policy hit rate %v outside (0,1]", app, hr)
+		}
+		if soak.P99NS < soak.P50NS {
+			t.Errorf("%s: p99 %dns < p50 %dns", app, soak.P99NS, soak.P50NS)
+		}
+
+		// Determinism: same seed, same counters.
+		again, err := tk.RunSoak(app, requests, rate, seed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Injected != soak.Injected || again.Calls != soak.Calls {
+			t.Errorf("%s: replay diverged: %d/%d faults, %d/%d calls",
+				app, again.Injected, soak.Injected, again.Calls, soak.Calls)
+		}
+	}
+}
+
+// TestRunSequenceCampaignThroughToolkit: the facade runs a temporal
+// campaign and attributes silent corruptions to the containment
+// wrapper's state, so they surface in the profile document.
+func TestRunSequenceCampaignThroughToolkit(t *testing.T) {
+	tk := newToolkit(t)
+	if _, err := tk.GenerateContainmentWrapper(clib.LibcSoname, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	report, err := tk.RunSequenceCampaign(inject.SequenceScenario{
+		Name:  "textutil-words",
+		App:   victim.TextutilName,
+		Stdin: "delta alpha charlie bravo\n",
+	})
+	if err != nil {
+		t.Fatalf("RunSequenceCampaign: %v", err)
+	}
+	funcs := report.SilentCorruptions()
+	if len(funcs) == 0 {
+		t.Fatal("sequence campaign caught no silent corruptions")
+	}
+	st, _ := tk.WrapperState(wrappers.ContainmentSoname)
+	st.Sync()
+	var total uint64
+	for _, n := range st.CorruptionCount {
+		total += n
+	}
+	if total != uint64(len(funcs)) {
+		t.Errorf("wrapper state records %d silent corruptions, campaign found %d", total, len(funcs))
+	}
+	log := xmlrep.NewProfileLog("sim-host", victim.TextutilName, st)
+	var inProfile uint64
+	for _, f := range log.Funcs {
+		inProfile += f.SilentCorrupt
+	}
+	if inProfile != total {
+		t.Errorf("profile document carries %d silent corruptions, state has %d", inProfile, total)
+	}
+}

@@ -126,6 +126,7 @@ type stateShard struct {
 	containedBy [][]uint64
 	retried     []uint64
 	trips       []uint64
+	corrupt     []uint64
 
 	globalErrno []uint64
 	overflows   uint64
@@ -203,6 +204,11 @@ type State struct {
 	// always-deny after repeated contained failures), per function
 	// index.
 	BreakerTrips []uint64
+	// CorruptionCount counts silent corruptions per function index: runs
+	// where the function's call completed with a success status but the
+	// journal diff showed committed state diverging from the golden run
+	// — damage no errno-based counter above can see.
+	CorruptionCount []uint64
 	// Overflows counts canary/bound violations detected.
 	Overflows uint64
 	// DenyLog records human-readable veto reasons (bounded).
@@ -276,6 +282,7 @@ func (st *State) Reset() {
 		}
 		st.RetriedCount[i] = 0
 		st.BreakerTrips[i] = 0
+		st.CorruptionCount[i] = 0
 		for j := range st.ExecHist[i] {
 			st.ExecHist[i][j] = 0
 		}
@@ -313,6 +320,7 @@ func (st *State) drainShards() {
 			}
 			atomic.SwapUint64(&sh.retried[i], 0)
 			atomic.SwapUint64(&sh.trips[i], 0)
+			atomic.SwapUint64(&sh.corrupt[i], 0)
 			for j := range sh.execHist[i] {
 				atomic.SwapUint64(&sh.execHist[i][j], 0)
 			}
@@ -356,6 +364,7 @@ func (st *State) fold() {
 			}
 			st.RetriedCount[i] += atomic.SwapUint64(&sh.retried[i], 0)
 			st.BreakerTrips[i] += atomic.SwapUint64(&sh.trips[i], 0)
+			st.CorruptionCount[i] += atomic.SwapUint64(&sh.corrupt[i], 0)
 			for j := range sh.execHist[i] {
 				st.ExecHist[i][j] += atomic.SwapUint64(&sh.execHist[i][j], 0)
 			}
@@ -394,6 +403,7 @@ func (st *State) Index(name string) int {
 	st.ContainedByClass = append(st.ContainedByClass, make([]uint64, NumFailureClasses))
 	st.RetriedCount = append(st.RetriedCount, 0)
 	st.BreakerTrips = append(st.BreakerTrips, 0)
+	st.CorruptionCount = append(st.CorruptionCount, 0)
 	for s := range st.shards {
 		sh := &st.shards[s]
 		sh.callCount = append(sh.callCount, 0)
@@ -407,6 +417,7 @@ func (st *State) Index(name string) int {
 		sh.containedBy = append(sh.containedBy, make([]uint64, NumFailureClasses))
 		sh.retried = append(sh.retried, 0)
 		sh.trips = append(sh.trips, 0)
+		sh.corrupt = append(sh.corrupt, 0)
 	}
 	return i
 }
@@ -501,6 +512,16 @@ func (st *State) NoteDeny(env *cval.Env, idx int, reason string) {
 		st.DenyLog = append(st.DenyLog, reason)
 	}
 	st.mu.Unlock()
+}
+
+// NoteSilentCorruption counts a silent corruption attributed to the
+// function at idx: its call completed with a success status while the
+// journal diff showed committed state diverging from the golden run.
+// Exported because the detector lives outside the wrapper — the
+// sequence campaign compares digests across whole processes and reports
+// the verdict back into the wrapper's state.
+func (st *State) NoteSilentCorruption(env *cval.Env, idx int) {
+	atomic.AddUint64(&st.shard(env).corrupt[idx], 1)
 }
 
 // noteContained counts a fault caught and virtualized for a function,

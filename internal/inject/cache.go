@@ -381,7 +381,7 @@ func reportToXML(name, key, config string, fr *FuncReport) xmlrep.CacheFuncXML {
 
 // outcomeFromString is the inverse of Outcome.String.
 func outcomeFromString(s string) (Outcome, error) {
-	for _, o := range []Outcome{OutcomeOK, OutcomeErrno, OutcomeCrash, OutcomeAbort, OutcomeDenied, OutcomeHang, OutcomeCorrupt} {
+	for _, o := range []Outcome{OutcomeOK, OutcomeErrno, OutcomeCrash, OutcomeAbort, OutcomeDenied, OutcomeHang, OutcomeCorrupt, OutcomeSilentCorruption} {
 		if o.String() == s {
 			return o, nil
 		}

@@ -36,6 +36,11 @@ const (
 	// Ballista's "Silent" class, detected by snapshotting read-only
 	// golden arguments around the call.
 	OutcomeCorrupt
+	// OutcomeSilentCorruption: the run finished with a success status
+	// but its committed state diverged from the golden (un-faulted)
+	// run's — damage the errno-based classes cannot see, detected by the
+	// cmem journal diff in sequence campaigns.
+	OutcomeSilentCorruption
 )
 
 // String names the outcome.
@@ -55,6 +60,8 @@ func (o Outcome) String() string {
 		return "hang"
 	case OutcomeCorrupt:
 		return "silent"
+	case OutcomeSilentCorruption:
+		return "silent-corruption"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -63,7 +70,8 @@ func (o Outcome) String() string {
 // Failure reports whether the outcome is a robustness failure — the
 // paper's "crashes, hangs, or aborts" triad.
 func (o Outcome) Failure() bool {
-	return o == OutcomeCrash || o == OutcomeAbort || o == OutcomeHang || o == OutcomeCorrupt
+	return o == OutcomeCrash || o == OutcomeAbort || o == OutcomeHang ||
+		o == OutcomeCorrupt || o == OutcomeSilentCorruption
 }
 
 // DeniedErrno is the errno value HEALERS robustness wrappers set when they

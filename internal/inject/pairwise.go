@@ -2,6 +2,8 @@ package inject
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"healers/internal/cmem"
 	"healers/internal/ctypes"
@@ -33,22 +35,51 @@ type PairReport struct {
 	Failures int
 }
 
+// pairwiseConfigSuffix marks pairwise cache entries: mixed into the
+// injector config before hashing the cache key, it keeps a pairwise
+// sweep's entry from ever colliding with the single-fault sweep's for
+// the same prototype and configuration.
+const pairwiseConfigSuffix = "+pairwise"
+
 // RunFunctionPairwise probes every pair of parameters of the named
-// function with every probe combination.
+// function with every probe combination. It shares RunFunction's cache
+// and stats-sink discipline: an attached cache answers an unchanged
+// function instantly (under a pairwise-marked key, so the two sweep
+// modes never cross-contaminate), fresh sweeps are stored back, and an
+// attached stats sink receives the run's throughput.
 func (c *Campaign) RunFunctionPairwise(name string) (*PairReport, error) {
 	lib, _ := c.sys.Library(c.target)
 	proto := lib.Proto(name)
 	if proto == nil {
 		return nil, fmt.Errorf("inject: %s has no prototype for %q", c.target, name)
 	}
+	var key, config string
+	if c.cache != nil {
+		config = c.configHash() + pairwiseConfigSuffix
+		key = funcKey(proto, config)
+		if fr := c.cache.lookup(key, config); fr != nil {
+			pr, err := pairReportFromFunc(proto, fr)
+			if err == nil {
+				c.emitPairStats(pr, 0, true)
+				return pr, nil
+			}
+			// Undecodable pairwise entry: fall through and re-probe.
+		}
+	}
 	report := &PairReport{Name: name, Proto: proto}
 	n := len(proto.Params)
+	// One probe catalog per parameter, hoisted out of the pair loops:
+	// ProbesFor allocates, and the inner loops would otherwise recompute
+	// parameter i's catalog for every partner j.
+	probes := make([][]Probe, n)
+	for i := range probes {
+		probes[i] = ProbesFor(proto.Params[i])
+	}
+	start := time.Now()
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			probesI := ProbesFor(proto.Params[i])
-			probesJ := ProbesFor(proto.Params[j])
-			for _, pi := range probesI {
-				for _, pj := range probesJ {
+			for _, pi := range probes[i] {
+				for _, pj := range probes[j] {
 					r, err := c.runPairProbe(proto, i, pi, j, pj)
 					if err != nil {
 						return nil, err
@@ -62,7 +93,71 @@ func (c *Campaign) RunFunctionPairwise(name string) (*PairReport, error) {
 			}
 		}
 	}
+	if c.cache != nil {
+		if err := c.cachePut(name, config, key, pairReportToFunc(report)); err != nil {
+			return nil, err
+		}
+	}
+	c.emitPairStats(report, time.Since(start), false)
 	return report, nil
+}
+
+// emitPairStats reports one pairwise sweep through the campaign's stats
+// sink, mirroring the library engines' bookkeeping.
+func (c *Campaign) emitPairStats(pr *PairReport, wall time.Duration, cached bool) {
+	if c.statsSink == nil {
+		return
+	}
+	stats := newCampaignStats(1, 1)
+	executed := 0
+	if cached {
+		stats.CachedFuncs++
+		stats.CachedProbes += pr.Probes
+	} else {
+		executed = pr.Probes
+		stats.WorkerBusy[0] = wall
+	}
+	stats.noteFunc(pr.Name, pr.Probes, wall, cached)
+	stats.finish(executed, wall)
+	c.statsSink(stats)
+}
+
+// pairReportToFunc packs a pairwise report into the cache's FuncReport
+// shape: each pair result becomes a ProbeResult whose Param encodes both
+// indices ((a<<16)|b) and whose Probe joins both probe names. Verdicts
+// stay empty — pairwise sweeps observe interactions, they do not derive
+// robust types.
+func pairReportToFunc(pr *PairReport) *FuncReport {
+	fr := &FuncReport{Name: pr.Name, Probes: pr.Probes, Failures: pr.Failures}
+	for _, r := range pr.Results {
+		fr.Results = append(fr.Results, ProbeResult{
+			Param:   r.ParamA<<16 | r.ParamB,
+			Probe:   r.ProbeA + "+" + r.ProbeB,
+			Outcome: r.Outcome,
+			Fault:   r.Fault,
+		})
+	}
+	return fr
+}
+
+// pairReportFromFunc is the inverse of pairReportToFunc.
+func pairReportFromFunc(proto *ctypes.Prototype, fr *FuncReport) (*PairReport, error) {
+	pr := &PairReport{Name: fr.Name, Proto: proto, Probes: fr.Probes, Failures: fr.Failures}
+	for _, r := range fr.Results {
+		a, b, ok := strings.Cut(r.Probe, "+")
+		if !ok {
+			return nil, fmt.Errorf("inject: cache entry %s: unpaired probe %q", fr.Name, r.Probe)
+		}
+		pr.Results = append(pr.Results, PairResult{
+			ParamA:  r.Param >> 16,
+			ParamB:  r.Param & 0xffff,
+			ProbeA:  a,
+			ProbeB:  b,
+			Outcome: r.Outcome,
+			Fault:   r.Fault,
+		})
+	}
+	return pr, nil
 }
 
 // runPairProbe executes one two-parameter injection in a fresh process.

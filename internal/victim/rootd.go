@@ -44,6 +44,19 @@ const rootdHandlerOffset = RootdBufSize + 8
 // the second registration after log_request.
 const RootdDebugShellAddr = cval.TextBase + cval.TextStep
 
+// RootdStreamFlag switches rootd into streaming mode (argv[1]): instead
+// of one raw packet, the daemon serves requests in a loop, reading up to
+// RootdBufSize bytes per request off the stream until EOF — the
+// long-running server shape the chaos soak drives. A negative read
+// (a contained, errno-virtualized fault) is retried like a real daemon
+// retries EINTR; only EOF ends the loop.
+const RootdStreamFlag = "-stream"
+
+// streamRetryBudget bounds consecutive failed reads in streaming mode:
+// past it the daemon concludes the errors are permanent (a tripped
+// circuit breaker, not transient faults) and exits with status 2.
+const streamRetryBudget = 128
+
 // rootdMain is the daemon: receive a packet, copy it into the connection
 // buffer (the bug: no bound check), then dispatch through the handler
 // pointer.
@@ -71,10 +84,21 @@ func rootdMain(c simelf.Caller, argv []string) int32 {
 		panic(fmt.Sprintf("victim: debug_shell at %s, expected %s", debugShell, RootdDebugShellAddr))
 	}
 
+	stream := len(argv) > 1 && argv[1] == RootdStreamFlag
+
 	// Connection state: a request buffer and, immediately after it on
-	// the heap, the handler function pointer.
-	buf := c.MustCall("malloc", cval.Uint(RootdBufSize))
-	handlerSlot := c.MustCall("malloc", cval.Uint(4))
+	// the heap, the handler function pointer. In streaming mode a NULL
+	// return is a transient contained fault, so the allocation is
+	// retried (bounded) like the read loop below.
+	alloc := func(size uint64) cval.Value {
+		p := c.MustCall("malloc", cval.Uint(size))
+		for i := 0; stream && p.IsNull() && i < streamRetryBudget; i++ {
+			p = c.MustCall("malloc", cval.Uint(size))
+		}
+		return p
+	}
+	buf := alloc(RootdBufSize)
+	handlerSlot := alloc(4)
 	if buf.IsNull() || handlerSlot.IsNull() {
 		return 1
 	}
@@ -87,6 +111,46 @@ func rootdMain(c simelf.Caller, argv []string) int32 {
 	if f != nil {
 		c.Raise(f)
 	}
+
+	// dispatch routes one received request through the (possibly
+	// clobbered) handler pointer.
+	dispatch := func() {
+		ptr, f := env.Img.Space.ReadU32(handlerSlot.Addr())
+		if f != nil {
+			c.Raise(f)
+		}
+		if _, f := env.CallIndirect(cval.Ptr(cmem.Addr(ptr)), nil); f != nil {
+			c.Raise(f)
+		}
+	}
+
+	if stream {
+		// Streaming mode: serve fixed-size request chunks until the
+		// stream closes. Reads are bounded by the buffer size, so benign
+		// streamed traffic never overflows — the chaos soak's adversary
+		// is sustained fault injection, not the packet smash.
+		fails := 0
+		for {
+			n := c.MustCall("read", cval.Int(0), cval.Ptr(recvBuf), cval.Uint(RootdBufSize))
+			if n.Int32() < 0 {
+				// A contained fault surfaced as an errno: retry, like a
+				// real daemon retries EINTR — but give up when the
+				// errors never stop (an open circuit breaker), rather
+				// than spin forever.
+				if fails++; fails > streamRetryBudget {
+					return 2
+				}
+				continue
+			}
+			fails = 0
+			if n.Int32() == 0 {
+				return 0
+			}
+			c.MustCall("memcpy", buf, cval.Ptr(recvBuf), cval.Uint(uint64(uint32(n.Int32()))))
+			dispatch()
+		}
+	}
+
 	n := c.MustCall("read", cval.Int(0), cval.Ptr(recvBuf), cval.Uint(rootdRecvMax))
 	if n.Int32() <= 0 {
 		return 1
@@ -95,14 +159,7 @@ func rootdMain(c simelf.Caller, argv []string) int32 {
 	// THE BUG: copy n bytes into a 64-byte buffer.
 	c.MustCall("memcpy", buf, cval.Ptr(recvBuf), cval.Uint(uint64(uint32(n.Int32()))))
 
-	// Dispatch the request through the (possibly clobbered) pointer.
-	ptr, f := env.Img.Space.ReadU32(handlerSlot.Addr())
-	if f != nil {
-		c.Raise(f)
-	}
-	if _, f := env.CallIndirect(cval.Ptr(cmem.Addr(ptr)), nil); f != nil {
-		c.Raise(f)
-	}
+	dispatch()
 	return 0
 }
 
@@ -124,6 +181,20 @@ func BenignPacket(msg string) []byte {
 		msg = msg[:RootdBufSize-1]
 	}
 	return []byte(msg + "\x00")
+}
+
+// StreamTraffic builds n benign streaming-mode requests: each is exactly
+// RootdBufSize bytes (a NUL-padded message), so every read of the
+// streaming daemon serves exactly one request even though reads coalesce
+// on the byte stream.
+func StreamTraffic(n int) []byte {
+	out := make([]byte, 0, n*RootdBufSize)
+	for i := 0; i < n; i++ {
+		req := make([]byte, RootdBufSize)
+		copy(req, fmt.Sprintf("req-%06d", i))
+		out = append(out, req...)
+	}
+	return out
 }
 
 // Rootd returns the daemon's executable image.

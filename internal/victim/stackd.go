@@ -2,6 +2,7 @@ package victim
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"healers/internal/clib"
 	"healers/internal/cmem"
@@ -53,6 +54,63 @@ func stackdMain(c simelf.Caller, argv []string) int32 {
 	if f != nil {
 		c.Raise(f)
 	}
+
+	if len(argv) > 1 && argv[1] == RootdStreamFlag {
+		// Streaming mode for the chaos soak: serve length-framed requests
+		// in a loop until EOF. The explicit framing keeps a multi-request
+		// stream aligned; negative reads (contained faults surfaced as
+		// errnos) are retried so the protected daemon keeps serving.
+		fails := 0
+		for {
+			n := c.MustCall("read", cval.Int(0), cval.Ptr(hdr), cval.Uint(4))
+			if n.Int32() < 0 {
+				// Transient (contained) error: retry, bounded so an
+				// open circuit breaker ends the daemon instead of
+				// spinning it.
+				if fails++; fails > streamRetryBudget {
+					return 2
+				}
+				continue
+			}
+			fails = 0
+			if n.Int32() != 4 {
+				return 0
+			}
+			reqLen, f := env.Img.Space.ReadU32(hdr)
+			if f != nil {
+				c.Raise(f)
+			}
+			locals, f := env.Img.Stack.PushFrame(StackdBufSize, uint64(logHandler))
+			if f != nil {
+				c.Raise(f)
+			}
+			var m cval.Value
+			for {
+				m = c.MustCall("read", cval.Int(0), cval.Ptr(locals), cval.Uint(uint64(reqLen)))
+				if m.Int32() >= 0 {
+					break
+				}
+				if fails++; fails > streamRetryBudget {
+					break
+				}
+			}
+			ret, f := env.Img.Stack.PopFrame()
+			if f != nil {
+				c.Raise(f)
+			}
+			if m.Int32() < 0 {
+				return 2
+			}
+			fails = 0
+			if m.Int32() == 0 {
+				return 0
+			}
+			if _, f := env.CallIndirect(cval.Ptr(cmem.Addr(ret)), nil); f != nil {
+				c.Raise(f)
+			}
+		}
+	}
+
 	if n := c.MustCall("read", cval.Int(0), cval.Ptr(hdr), cval.Uint(4)); n.Int32() != 4 {
 		return 1
 	}
@@ -109,6 +167,16 @@ func StackBenignPacket(msg string) []byte {
 	pkt := make([]byte, 4, 4+len(msg))
 	binary.LittleEndian.PutUint32(pkt, uint32(len(msg)))
 	return append(pkt, msg...)
+}
+
+// StackStreamTraffic builds n benign length-framed streaming requests
+// for stackd's streaming mode.
+func StackStreamTraffic(n int) []byte {
+	var out []byte
+	for i := 0; i < n; i++ {
+		out = append(out, StackBenignPacket(fmt.Sprintf("req-%06d", i))...)
+	}
+	return out
 }
 
 // Stackd returns the stack-smash daemon's executable image.

@@ -210,6 +210,17 @@ func writeProfileMetrics(b *strings.Builder, col *collect.Server) {
 		}
 	}
 
+	b.WriteString("# HELP healers_outcome_total Fault-sequence run outcomes by class, plus per-function silent corruptions from profiles.\n")
+	b.WriteString("# TYPE healers_outcome_total counter\n")
+	classes := make([]string, 0, len(agg.Outcomes))
+	for class := range agg.Outcomes {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		fmt.Fprintf(b, "healers_outcome_total{class=%q} %d\n", class, agg.Outcomes[class])
+	}
+
 	b.WriteString("# HELP healers_overflows_total Canary and bound violations detected fleet-wide.\n")
 	b.WriteString("# TYPE healers_overflows_total counter\n")
 	fmt.Fprintf(b, "healers_overflows_total %d\n", agg.Overflows)

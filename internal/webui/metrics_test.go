@@ -89,3 +89,55 @@ func TestCoordinatorMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsOutcomeFamily: sequence-report runs and profile
+// silent-corruption counters surface as the healers_outcome_total
+// family, one labeled series per outcome class.
+func TestMetricsOutcomeFamily(t *testing.T) {
+	col, err := collect.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	doc := &xmlrep.SequenceReportDoc{
+		Scenario:     "textutil-words",
+		App:          "textutil",
+		Calls:        9,
+		GoldenDigest: "abc123",
+		Runs: []xmlrep.SeqRunXML{
+			{Outcome: "crash"},
+			{Outcome: "crash"},
+			{Outcome: "silent-corruption", Diverged: true},
+		},
+	}
+	doc.Stamp()
+	if err := collect.Upload(col.Addr(), doc); err != nil {
+		t.Fatal(err)
+	}
+	st := gen.NewState("libhealers_contain.so")
+	i := st.Index("strdup")
+	st.CallCount[i] = 5
+	st.CorruptionCount[i] = 2
+	if err := collect.Upload(col.Addr(), xmlrep.NewProfileLog("h", "app", st)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Count() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ts := httptest.NewServer(MetricsHandler(col, nil))
+	defer ts.Close()
+	body := get(t, ts.URL, 200)
+
+	for _, want := range []string{
+		"# TYPE healers_outcome_total counter",
+		`healers_outcome_total{class="crash"} 2`,
+		`healers_outcome_total{class="silent-corruption"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -120,6 +120,14 @@ func NewPolicyEngine(rules []PolicyRule, breaker BreakerConfig) *PolicyEngine {
 // failure with its class errno, default breaker.
 func DefaultPolicy() *PolicyEngine { return NewPolicyEngine(nil, BreakerConfig{}) }
 
+// SoakPolicy is the recovery policy a sustained-chaos soak installs:
+// every failure is denied with its class errno — the daemon's own
+// retry loop replays the request — and the circuit breaker is disabled
+// (Threshold < 0), because condemning a hot function for transient
+// *injected* faults would turn sustained chaos into a permanent denial
+// of service.
+func SoakPolicy() *PolicyEngine { return NewPolicyEngine(nil, BreakerConfig{Threshold: -1}) }
+
 // Decide implements gen.ContainPolicy. It is lock-free: one atomic load
 // of the current rule set, then a scan of an immutable table.
 func (e *PolicyEngine) Decide(fn string, class gen.FailureClass) gen.ContainDecision {

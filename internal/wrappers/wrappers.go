@@ -131,6 +131,11 @@ func containmentMicros(api ctypes.RobustAPI, policy gen.ContainPolicy) []gen.Mic
 	micros := []gen.MicroGenerator{
 		gen.MGPrototype(),
 		gen.MGCallCounter(),
+		// Latency histograms: the exectime postfix runs *after*
+		// containment's (reverse order), so a contained call's sample
+		// includes its rollback and retries — the latency the caller
+		// actually saw, which is what the chaos soak quantiles report.
+		gen.MGExectime(),
 	}
 	if api != nil {
 		micros = append(micros, gen.MGArgCheck(api))

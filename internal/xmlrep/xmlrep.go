@@ -40,6 +40,11 @@ const (
 	KindProfile       DocKind = "profile"
 	KindCampaignCache DocKind = "campaign-cache"
 	KindPolicy        DocKind = "policy"
+	// KindSequenceReport is a temporal fault-sequence campaign's result:
+	// one victim scenario replayed under scripted fault combinations
+	// across consecutive calls, each run classified against the golden
+	// run's committed-state digest.
+	KindSequenceReport DocKind = "sequence-report"
 	// Control-plane kinds: a containment process asks the collector for a
 	// newer recovery policy (KindPolicyRequest) and the collector answers
 	// with either a full policy document or a not-modified/refusal ack
@@ -248,6 +253,85 @@ func hashCacheFunc(h io.Writer, f *CacheFuncXML) {
 		fmt.Fprintf(h, " probe=%d/%s sat=%d out=%s fault=%d/%d/%s/%s\n",
 			r.Param, r.Probe, r.Sat, r.Outcome, r.FaultKind, r.FaultAddr, r.FaultOp, r.FaultDetail)
 	}
+}
+
+// SeqStepXML is one scripted fault of a sequence run: at the Call-th
+// intercepted library call, a fault of class Class fires. Func labels
+// the call position with the function name the golden run observed
+// there, so reports stay readable without replaying the scenario.
+type SeqStepXML struct {
+	Call  uint64 `xml:"call,attr"`
+	Class string `xml:"class,attr"`
+	Func  string `xml:"func,attr,omitempty"`
+}
+
+// SeqRunXML is one fault-combination run of a sequence campaign: the
+// scripted steps, how the victim ended, and whether its committed state
+// diverged from the golden run's digest.
+type SeqRunXML struct {
+	Steps   []SeqStepXML `xml:"step"`
+	Outcome string       `xml:"outcome,attr"`
+	Exit    int32        `xml:"exit,attr,omitempty"`
+	// Diverged means the run's journal-diff digest differs from the
+	// golden run's — set for every silent-corruption outcome, and also
+	// recorded (without reclassifying) when a faulting run additionally
+	// damaged state.
+	Diverged bool `xml:"diverged,attr,omitempty"`
+	// Fault fields carry the terminating fault of crash/abort/hang runs.
+	FaultKind   int    `xml:"fault_kind,attr,omitempty"`
+	FaultOp     string `xml:"fault_op,attr,omitempty"`
+	FaultDetail string `xml:"fault_detail,attr,omitempty"`
+}
+
+// SequenceReportDoc is a temporal fault-sequence campaign's result
+// document: the scenario identity, the golden run's call count and
+// committed-state digest, and one entry per fault-combination run.
+// Checksum follows the campaign-cache integrity idiom: reproducible from
+// the parsed document, Generated excluded.
+type SequenceReportDoc struct {
+	XMLName      xml.Name    `xml:"healers-sequence-report"`
+	Scenario     string      `xml:"scenario,attr"`
+	App          string      `xml:"app,attr"`
+	Calls        uint64      `xml:"calls,attr"`
+	GoldenDigest string      `xml:"golden_digest,attr"`
+	Checksum     string      `xml:"checksum,attr,omitempty"`
+	Generated    string      `xml:"generated,attr,omitempty"`
+	Runs         []SeqRunXML `xml:"run"`
+}
+
+// ComputeChecksum returns the integrity hash of the sequence report's
+// semantic content (scenario identity plus every run, in document
+// order). Generated and the stored Checksum are excluded, so the value
+// is reproducible from a parsed document.
+func (d *SequenceReportDoc) ComputeChecksum() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "scenario=%s app=%s calls=%d golden=%s\n", d.Scenario, d.App, d.Calls, d.GoldenDigest)
+	for _, r := range d.Runs {
+		fmt.Fprintf(h, "run out=%s exit=%d div=%v fault=%d/%s/%s\n",
+			r.Outcome, r.Exit, r.Diverged, r.FaultKind, r.FaultOp, r.FaultDetail)
+		for _, s := range r.Steps {
+			fmt.Fprintf(h, " step=%d class=%s func=%s\n", s.Call, s.Class, s.Func)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stamp sets the Generated timestamp and (re)computes the checksum; call
+// it after filling the runs and before marshalling.
+func (d *SequenceReportDoc) Stamp() {
+	d.Generated = timestamp()
+	d.Checksum = d.ComputeChecksum()
+}
+
+// Validate verifies the stored checksum against the recomputed one.
+func (d *SequenceReportDoc) Validate() error {
+	if d.Checksum == "" {
+		return fmt.Errorf("xmlrep: sequence report has no checksum")
+	}
+	if got := d.ComputeChecksum(); got != d.Checksum {
+		return fmt.Errorf("xmlrep: sequence report checksum mismatch")
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------
@@ -686,6 +770,11 @@ type FuncProfile struct {
 	Contained    uint64 `xml:"contained,attr,omitempty"`
 	Retried      uint64 `xml:"retried,attr,omitempty"`
 	BreakerTrips uint64 `xml:"breaker_trips,attr,omitempty"`
+	// SilentCorrupt counts runs where this function's call completed
+	// with a success status but the journal diff showed committed state
+	// diverging from the golden run (omitempty: pre-sequence documents
+	// and the compat golden stay byte-identical).
+	SilentCorrupt uint64 `xml:"silent_corruption,attr,omitempty"`
 	// ContainedBy splits Contained per failure class (empty when the
 	// function never contained a fault, so old documents stay
 	// byte-identical).
@@ -750,15 +839,16 @@ func NewProfileLog(host, app string, st *gen.State) *ProfileLog {
 	}
 	for i, name := range st.FuncNames() {
 		fp := FuncProfile{
-			Name:         name,
-			Calls:        st.CallCount[i],
-			ExecNS:       st.ExecTime[i].Nanoseconds(),
-			Denied:       st.DeniedCount[i],
-			Passed:       st.PassedCount[i],
-			Substituted:  st.SubstCount[i],
-			Contained:    st.ContainedCount[i],
-			Retried:      st.RetriedCount[i],
-			BreakerTrips: st.BreakerTrips[i],
+			Name:          name,
+			Calls:         st.CallCount[i],
+			ExecNS:        st.ExecTime[i].Nanoseconds(),
+			Denied:        st.DeniedCount[i],
+			Passed:        st.PassedCount[i],
+			Substituted:   st.SubstCount[i],
+			Contained:     st.ContainedCount[i],
+			Retried:       st.RetriedCount[i],
+			BreakerTrips:  st.BreakerTrips[i],
+			SilentCorrupt: st.CorruptionCount[i],
 		}
 		for c, cnt := range st.ContainedByClass[i] {
 			if cnt > 0 {
@@ -847,6 +937,8 @@ func Kind(data []byte) (DocKind, error) {
 				return KindProfile, nil
 			case "healers-campaign-cache":
 				return KindCampaignCache, nil
+			case "healers-sequence-report":
+				return KindSequenceReport, nil
 			case "healers-policy":
 				return KindPolicy, nil
 			case "healers-policy-request":

@@ -35,10 +35,16 @@ sh scripts/smoke-distributed.sh
 # cold run that populated it.
 sh scripts/smoke-registry.sh
 
+# Chaos-soak smoke: the contained rootd daemon must survive a bounded
+# streaming soak under sustained fault injection with a nonzero
+# recovery-policy hit count.
+sh scripts/smoke-soak.sh
+
 # Smoke-run the collect ingest benchmarks (upload path, bounded store,
-# both aggregation paths, histogram merge), the chaos-survival benchmark
-# (the containment wrapper keeping a chaos-stricken workload alive end
-# to end), and the capture-contention benchmark (its post-run check
-# asserts the sharded counters stayed exact under parallel load): one
-# iteration each proves the paths still work.
-go test -run '^$' -bench 'BenchmarkCollect|BenchmarkChaosSurvival|BenchmarkCaptureContention' -benchtime=1x .
+# both aggregation paths, histogram merge), the chaos-survival and
+# chaos-soak benchmarks (the containment wrapper keeping a
+# chaos-stricken workload and a streaming daemon alive end to end), and
+# the capture-contention benchmark (its post-run check asserts the
+# sharded counters stayed exact under parallel load): one iteration
+# each proves the paths still work.
+go test -run '^$' -bench 'BenchmarkCollect|BenchmarkChaosSurvival|BenchmarkChaosSoak|BenchmarkCaptureContention' -benchtime=1x .

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Chaos-soak smoke: drive the rootd daemon in streaming mode under
+# sustained chaos with the containment wrapper preloaded for a bounded
+# wall-clock window, and require (a) the daemon to survive the whole
+# soak and (b) a nonzero recovery-policy hit count — survival must be
+# earned by containment, not by an idle injector.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SOAK=${1:-3s}
+tmp=$(mktemp -d)
+
+# On failure, copy the soak logs where CI can upload them
+# (HEALERS_ARTIFACT_DIR is set by the workflow; unset locally).
+collect_artifacts() {
+    [ -n "${HEALERS_ARTIFACT_DIR:-}" ] || return 0
+    mkdir -p "$HEALERS_ARTIFACT_DIR/smoke-soak"
+    cp "$tmp"/*.log "$HEALERS_ARTIFACT_DIR/smoke-soak/" 2>/dev/null || true
+}
+cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        collect_artifacts
+    fi
+    rm -rf "$tmp"
+    exit "$status"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/healers-attack" ./cmd/healers-attack
+
+if ! "$tmp/healers-attack" -soak "$SOAK" > "$tmp/soak.log" 2> "$tmp/soak-stderr.log"; then
+    echo "smoke-soak: FAILED — contained soak did not survive" >&2
+    cat "$tmp/soak.log" "$tmp/soak-stderr.log" >&2
+    exit 1
+fi
+
+if ! grep -q '^survived ' "$tmp/soak.log"; then
+    echo "smoke-soak: FAILED — no survival line in the soak report" >&2
+    cat "$tmp/soak.log" >&2
+    exit 1
+fi
+
+# "faults: N libc calls, N injected, N contained (policy hit rate R), ..."
+contained=$(sed -n 's/^faults:.* \([0-9][0-9]*\) contained .*/\1/p' "$tmp/soak.log")
+if [ -z "$contained" ] || [ "$contained" -eq 0 ]; then
+    echo "smoke-soak: FAILED — zero recovery-policy hits; survival proves nothing" >&2
+    cat "$tmp/soak.log" >&2
+    exit 1
+fi
+
+echo "smoke-soak: ok (rootd survived a $SOAK contained soak, $contained policy hits)"
